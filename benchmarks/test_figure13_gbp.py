@@ -1,0 +1,17 @@
+"""Benchmark regenerating Figure 13 + the section 7.2 statistics:
+Gaussian Blur Pyramid, latency-abstract (Lilac) vs ready-valid (RV)."""
+
+from repro.evalx import figure13
+
+
+def test_figure13(benchmark):
+    rows = benchmark.pedantic(figure13.build_rows, rounds=1, iterations=1)
+    print("\nFigure 13 — GBP resource usage and maximum frequency "
+          "(Lilac / RV)\n")
+    print(figure13.render(rows))
+    stats = figure13.check_shape(rows)
+    print("\nSection 7.2 headline statistics "
+          "(paper: +26.2% LUTs, +33.0% registers, -6.8% frequency):")
+    print(f"  LI extra LUTs:       {stats['li_extra_luts_pct']:+.1f}%")
+    print(f"  LI extra registers:  {stats['li_extra_registers_pct']:+.1f}%")
+    print(f"  LI frequency loss:   {stats['li_frequency_loss_pct']:+.1f}%")

@@ -1,0 +1,15 @@
+"""Benchmark regenerating Figure 8: type-checker lines and wall time.
+
+The measurement is the type check itself, so the benchmark wraps
+``build_rows`` (which times each design's check individually).
+"""
+
+from repro.evalx import figure8
+
+
+def test_figure8(benchmark):
+    rows = benchmark.pedantic(figure8.build_rows, rounds=1, iterations=1)
+    print("\nFigure 8 — type checker performance (reproduction; paper used "
+          "Rust + Z3, we use pure Python + the bundled solver)\n")
+    print(figure8.render(rows))
+    figure8.check_shape(rows)

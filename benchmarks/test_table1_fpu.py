@@ -1,0 +1,18 @@
+"""Benchmark regenerating Table 1: LS vs LI FPU resources and frequency.
+
+Run with:  pytest benchmarks/test_table1_fpu.py --benchmark-only -s
+"""
+
+from repro.evalx import table1
+
+
+def test_table1(benchmark):
+    rows = benchmark.pedantic(table1.build_rows, rounds=1, iterations=1)
+    print("\nTable 1 — LS vs LI FPU implementations (reproduction)\n")
+    print(table1.render(rows))
+    stats = table1.check_shape(rows)
+    print("\nShape statistics (paper: LI +29-31% LUTs, 3-4x registers, "
+          "-21-25% frequency):")
+    for key, value in stats.items():
+        print(f"  {key}: {value:+.1%}" if "overhead" in key or "loss" in key
+              else f"  {key}: {value:.2f}x")

@@ -1,0 +1,10 @@
+"""Benchmark regenerating Table 2: when interface timing is known."""
+
+from repro.evalx import table2
+
+
+def test_table2(benchmark):
+    rows = benchmark.pedantic(table2.classify, rounds=1, iterations=1)
+    print("\nTable 2 — when an interface's timing behavior is known\n")
+    print(table2.render(rows))
+    table2.check_shape(rows)

@@ -1,0 +1,11 @@
+"""Benchmark regenerating Table 3: generators and required LA features."""
+
+from repro.evalx import table3
+
+
+def test_table3(benchmark):
+    rows = benchmark.pedantic(table3.build_rows, rounds=1, iterations=1)
+    print("\nTable 3 — generators integrated with Lilac (features computed "
+          "from their LA interfaces)\n")
+    print(table3.render(rows))
+    table3.check_shape(rows)

@@ -1,0 +1,27 @@
+"""Export the embedded Lilac sources to .lilac files for reading."""
+
+import pathlib
+
+from repro.designs.blas import BLAS_SOURCE
+from repro.designs.fft import FFT_FLOPOCO, FFT_LILAC
+from repro.designs.fpu import FPU_LA_SOURCE
+from repro.designs.gbp_la import GBP_SOURCE
+from repro.designs.risc import RISC_SOURCE
+from repro.lilac.stdlib import STDLIB_SOURCE
+
+HERE = pathlib.Path(__file__).parent
+
+SOURCES = {
+    "stdlib.lilac": STDLIB_SOURCE,
+    "fpu.lilac": FPU_LA_SOURCE,
+    "gbp.lilac": GBP_SOURCE,
+    "fft_lilac.lilac": FFT_LILAC,
+    "fft_flopoco.lilac": FFT_FLOPOCO,
+    "risc.lilac": RISC_SOURCE,
+    "blas.lilac": BLAS_SOURCE,
+}
+
+if __name__ == "__main__":
+    for name, source in SOURCES.items():
+        (HERE / name).write_text(source.strip() + "\n")
+        print(f"wrote designs/{name}")

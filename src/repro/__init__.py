@@ -1,0 +1,29 @@
+"""Reproduction of "Parameterized Hardware Design with Latency-Abstract
+Interfaces" (Lilac, ASPLOS 2026).
+
+Subpackages:
+
+* ``repro.smt``        — QF_UFLIA SMT solver (the Z3 substitute)
+* ``repro.params``     — parameter expressions and constraints
+* ``repro.lilac``      — the HDL: parser, type checker, elaborator
+* ``repro.filament``   — concrete structural IR
+* ``repro.rtl``        — netlists, simulation, Verilog emission
+* ``repro.generators`` — hardware generator stand-ins
+* ``repro.li``         — latency-insensitive (ready-valid) substrate
+* ``repro.synth``      — area/timing cost model
+* ``repro.designs``    — the paper's evaluated designs
+* ``repro.evalx``      — regenerates every table and figure
+
+Quick start::
+
+    from repro.lilac.stdlib import stdlib_program
+    from repro.lilac.typecheck import check_program
+    from repro.lilac.elaborate import Elaborator
+    from repro.generators import default_registry
+
+    program = stdlib_program(my_lilac_source)
+    check_program(program)
+    result = Elaborator(program, default_registry()).elaborate("Top", {...})
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,1 @@
+"""The paper's evaluated designs (FPU, GBP, FFT, RISC, BLAS)."""

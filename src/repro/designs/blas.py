@@ -1,0 +1,183 @@
+"""BLAS level-1 kernels (Figure 8 row "BLAS Level 1 Kernels").
+
+Pipelined 8-lane vector kernels built on the latency-abstract Vivado
+multiplier interface (the user picks ``#ML``, the multiplier latency, and
+every kernel rebalances itself):
+
+* ``Scal``  — y = alpha * x
+* ``Axpy``  — y = alpha * x + y
+* ``Dot``   — reduction of x .* y to a scalar
+* ``Asum``  — reduction of x to a scalar sum
+* ``Nrm2Sq``— sum of squares (norm^2, avoiding the square root)
+* ``Iamax`` — index of the maximum element (comparison tree)
+
+Each kernel is parameterized over the element width ``#W`` and exposes
+its latency as an output parameter so callers can compose them.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..generators import GeneratorRegistry
+from ..generators.vivado_mult import VivadoMultGenerator
+from ..lilac.elaborate import ElabResult, Elaborator
+from ..lilac.stdlib import stdlib_program
+
+LANES = 8
+
+BLAS_SOURCE = """
+gen "vivado-mult" comp Mult[#W, #L]<G:1>(
+    a: [G, G+1] #W, b: [G, G+1] #W
+) -> (o: [G+#L, G+#L+1] #W) where #L >= 1;
+
+// y = alpha * x, elementwise over 8 lanes.
+comp Scal[#W, #ML]<G:1>(alpha: [G, G+1] #W, x[8]: [G, G+1] #W)
+    -> (y[8]: [G+#L, G+#L+1] #W)
+    with { some #L where #L >= 1; } where #ML >= 1 {
+  for #k in 0..8 {
+    m := new Mult[#W, #ML]<G>(alpha, x{#k});
+    y{#k} = m.o;
+  }
+  #L := #ML;
+}
+
+// y = alpha * x + y.
+comp Axpy[#W, #ML]<G:1>(alpha: [G, G+1] #W,
+                        x[8]: [G, G+1] #W, y[8]: [G, G+1] #W)
+    -> (r[8]: [G+#L, G+#L+1] #W)
+    with { some #L where #L >= 2; } where #ML >= 1 {
+  for #k in 0..8 {
+    m := new Mult[#W, #ML]<G>(alpha, x{#k});
+    yd := new Shift[#W, #ML]<G>(y{#k});
+    s := new Add[#W]<G+#ML>(m.o, yd.out);
+    rr := new Reg[#W]<G+#ML>(s.out);
+    r{#k} = rr.out;
+  }
+  #L := #ML + 1;
+}
+
+// Pairwise reduction of 8 lanes in 3 registered levels.
+comp Reduce8[#W]<G:1>(v[8]: [G, G+1] #W) -> (s: [G+3, G+4] #W) {
+  bundle<#i> l1[4]: [G+1, G+2] #W;
+  bundle<#i> l2[2]: [G+2, G+3] #W;
+  for #k in 0..4 {
+    a := new Add[#W]<G>(v{2*#k}, v{2*#k+1});
+    r := new Reg[#W]<G>(a.out);
+    l1{#k} = r.out;
+  }
+  for #k in 0..2 {
+    a := new Add[#W]<G+1>(l1{2*#k}, l1{2*#k+1});
+    r := new Reg[#W]<G+1>(a.out);
+    l2{#k} = r.out;
+  }
+  a := new Add[#W]<G+2>(l2{0}, l2{1});
+  r := new Reg[#W]<G+2>(a.out);
+  s = r.out;
+}
+
+// dot(x, y): multiply lanes then reduce.
+comp Dot[#W, #ML]<G:1>(x[8]: [G, G+1] #W, y[8]: [G, G+1] #W)
+    -> (s: [G+#L, G+#L+1] #W)
+    with { some #L where #L >= 4; } where #ML >= 1 {
+  bundle<#i> prod[8]: [G+#ML, G+#ML+1] #W;
+  for #k in 0..8 {
+    m := new Mult[#W, #ML]<G>(x{#k}, y{#k});
+    prod{#k} = m.o;
+  }
+  R := new Reduce8[#W];
+  red := R<G+#ML>(prod);
+  s = red.s;
+  #L := #ML + 3;
+}
+
+// asum(x): plain reduction (unsigned stand-in for sum of magnitudes).
+comp Asum[#W]<G:1>(x[8]: [G, G+1] #W) -> (s: [G+3, G+4] #W) {
+  R := new Reduce8[#W];
+  red := R<G>(x);
+  s = red.s;
+}
+
+// nrm2^2: sum of squares.
+comp Nrm2Sq[#W, #ML]<G:1>(x[8]: [G, G+1] #W)
+    -> (s: [G+#L, G+#L+1] #W)
+    with { some #L where #L >= 4; } where #ML >= 1 {
+  bundle<#i> sq[8]: [G+#ML, G+#ML+1] #W;
+  for #k in 0..8 {
+    m := new Mult[#W, #ML]<G>(x{#k}, x{#k});
+    sq{#k} = m.o;
+  }
+  R := new Reduce8[#W];
+  red := R<G+#ML>(sq);
+  s = red.s;
+  #L := #ML + 3;
+}
+
+// A max+index pair selector.
+comp MaxSel[#W]<G:1>(va: [G, G+1] #W, ia: [G, G+1] 4,
+                     vb: [G, G+1] #W, ib: [G, G+1] 4)
+    -> (v: [G+1, G+2] #W, i: [G+1, G+2] 4) {
+  bgt := new Lt[#W]<G>(va, vb);
+  vm := new Mux[#W]<G>(bgt.out, vb, va);
+  im := new Mux[4]<G>(bgt.out, ib, ia);
+  rv := new Reg[#W]<G>(vm.out);
+  ri := new Reg[4]<G>(im.out);
+  v = rv.out;
+  i = ri.out;
+}
+
+// iamax: index of the maximum element (ties keep the lower index).
+comp Iamax[#W]<G:1>(x[8]: [G, G+1] #W) -> (idx: [G+3, G+4] 4) {
+  bundle<#i> v1[4]: [G+1, G+2] #W;
+  bundle<#i> i1[4]: [G+1, G+2] 4;
+  bundle<#i> v2[2]: [G+2, G+3] #W;
+  bundle<#i> i2[2]: [G+2, G+3] 4;
+  for #k in 0..4 {
+    ca := new ConstVal[4, 2*#k]<G>();
+    cb := new ConstVal[4, 2*#k+1]<G>();
+    sel := new MaxSel[#W]<G>(x{2*#k}, ca.out, x{2*#k+1}, cb.out);
+    v1{#k} = sel.v;
+    i1{#k} = sel.i;
+  }
+  for #k in 0..2 {
+    sel := new MaxSel[#W]<G+1>(v1{2*#k}, i1{2*#k}, v1{2*#k+1}, i1{2*#k+1});
+    v2{#k} = sel.v;
+    i2{#k} = sel.i;
+  }
+  sel := new MaxSel[#W]<G+2>(v2{0}, i2{0}, v2{1}, i2{1});
+  idx = sel.i;
+}
+"""
+
+
+def blas_program():
+    return stdlib_program(BLAS_SOURCE)
+
+
+def blas_registry() -> GeneratorRegistry:
+    return GeneratorRegistry().register(VivadoMultGenerator())
+
+
+def elaborate_kernel(name: str, params) -> ElabResult:
+    return Elaborator(blas_program(), blas_registry()).elaborate(name, params)
+
+
+def golden_dot(x: List[int], y: List[int], width: int) -> int:
+    mask = (1 << width) - 1
+    total = 0
+    for a, b in zip(x, y):
+        total += (a * b) & mask
+    return total & mask
+
+
+def golden_axpy(alpha: int, x: List[int], y: List[int], width: int) -> List[int]:
+    mask = (1 << width) - 1
+    return [((alpha * a) & mask) + b & mask for a, b in zip(x, y)]
+
+
+def golden_iamax(x: List[int]) -> int:
+    best = 0
+    for index, value in enumerate(x):
+        if value > x[best]:
+            best = index
+    return best

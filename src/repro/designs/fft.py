@@ -1,0 +1,228 @@
+"""FFT designs (Figure 8 rows "FFT (Lilac only)" and "FFT (using FloPoCo)").
+
+Two pipelined transform implementations over 16-element vectors:
+
+* ``Fft16`` — pure Lilac: butterflies from the standard library's
+  combinational adders, one register level per stage (latency 4,
+  fully pipelined).
+* ``FloFft16`` — butterflies built on FloPoCo-generated adders whose
+  latency ``#L`` is an *output parameter*: each stage takes ``Add::#L``
+  cycles and the design rebalances itself for any frequency goal — the
+  latency-abstract payoff on a non-trivial dataflow graph.
+
+As with the generator stand-ins, twiddle factors are unity (the
+transform computed is a Walsh--Hadamard transform; see DESIGN.md): the
+pipeline structure, the scheduling problem, and the line counts are the
+object of study, not the spectral semantics.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..generators import GeneratorRegistry
+from ..generators.flopoco import FloPoCoGenerator
+from ..lilac.elaborate import ElabResult, Elaborator
+from ..lilac.stdlib import stdlib_program
+
+# A registered butterfly: sum and difference, one cycle.
+FFT_COMMON = """
+comp Bfly[#W]<G:1>(a: [G, G+1] #W, b: [G, G+1] #W)
+    -> (s: [G+1, G+2] #W, d: [G+1, G+2] #W) {
+  ad := new Add[#W]<G>(a, b);
+  sb := new Sub[#W]<G>(a, b);
+  rs := new Reg[#W]<G>(ad.out);
+  rd := new Reg[#W]<G>(sb.out);
+  s = rs.out;
+  d = rd.out;
+}
+"""
+
+FFT_LILAC = FFT_COMMON + """
+comp Fft2[#W]<G:1>(x[2]: [G, G+1] #W) -> (y[2]: [G+1, G+2] #W) {
+  b := new Bfly[#W]<G>(x{0}, x{1});
+  y{0} = b.s;
+  y{1} = b.d;
+}
+
+comp Fft4[#W]<G:1>(x[4]: [G, G+1] #W) -> (y[4]: [G+2, G+3] #W) {
+  // Stage 1: span-2 butterflies.
+  b0 := new Bfly[#W]<G>(x{0}, x{2});
+  b1 := new Bfly[#W]<G>(x{1}, x{3});
+  // Stage 2: span-1 butterflies on the stage-1 results.
+  c0 := new Bfly[#W]<G+1>(b0.s, b1.s);
+  c1 := new Bfly[#W]<G+1>(b0.d, b1.d);
+  y{0} = c0.s;
+  y{1} = c0.d;
+  y{2} = c1.s;
+  y{3} = c1.d;
+}
+
+comp Fft8[#W]<G:1>(x[8]: [G, G+1] #W) -> (y[8]: [G+3, G+4] #W) {
+  bundle<#i> lo[4]: [G+1, G+2] #W;
+  bundle<#i> hi[4]: [G+1, G+2] #W;
+  for #k in 0..4 {
+    b := new Bfly[#W]<G>(x{#k}, x{#k+4});
+    lo{#k} = b.s;
+    hi{#k} = b.d;
+  }
+  L := new Fft4[#W];
+  H := new Fft4[#W];
+  fl := L<G+1>(lo);
+  fh := H<G+1>(hi);
+  for #k in 0..4 {
+    y{#k} = fl.y{#k};
+    y{#k+4} = fh.y{#k};
+  }
+}
+
+comp Fft16[#W]<G:1>(x[16]: [G, G+1] #W) -> (y[16]: [G+4, G+5] #W) {
+  bundle<#i> lo[8]: [G+1, G+2] #W;
+  bundle<#i> hi[8]: [G+1, G+2] #W;
+  for #k in 0..8 {
+    b := new Bfly[#W]<G>(x{#k}, x{#k+8});
+    lo{#k} = b.s;
+    hi{#k} = b.d;
+  }
+  L := new Fft8[#W];
+  H := new Fft8[#W];
+  fl := L<G+1>(lo);
+  fh := H<G+1>(hi);
+  for #k in 0..8 {
+    y{#k} = fl.y{#k};
+    y{#k+8} = fh.y{#k};
+  }
+}
+"""
+
+FFT_FLOPOCO = """
+gen "flopoco" comp FPAdd[#W]<G:1>(
+    l: [G, G+1] #W, r: [G, G+1] #W
+) -> (o: [G+#L, G+#L+1] #W) with { some #L where #L > 0; };
+
+// Butterfly on FloPoCo cores: latency is the adder's choice.  The
+// subtraction reuses the adder core on negated input (two's complement
+// via xor + increment handled inside a second adder), keeping both
+// outputs aligned at Add::#L.
+comp FBfly[#W]<G:1>(a: [G, G+1] #W, b: [G, G+1] #W)
+    -> (s: [G+#L, G+#L+1] #W, d: [G+#L, G+#L+1] #W)
+    with { some #L where #L >= 1; } {
+  As := new FPAdd[#W];
+  Ad := new FPAdd[#W];
+  nb := new NotGate[#W]<G>(b);
+  one := new ConstVal[#W, 1]<G>();
+  nb1 := new Add[#W]<G>(nb.out, one.out);
+  sum := As<G>(a, b);
+  dif := Ad<G>(a, nb1.out);
+  s = sum.o;
+  d = dif.o;
+  #L := As::#L;
+}
+
+comp FloFft4[#W]<G:1>(x[4]: [G, G+1] #W)
+    -> (y[4]: [G+#L, G+#L+1] #W) with { some #L where #L >= 2; } {
+  B0 := new FBfly[#W];
+  B1 := new FBfly[#W];
+  b0 := B0<G>(x{0}, x{2});
+  b1 := B1<G>(x{1}, x{3});
+  let #S = B0::#L;
+  C0 := new FBfly[#W];
+  C1 := new FBfly[#W];
+  c0 := C0<G+#S>(b0.s, b1.s);
+  c1 := C1<G+#S>(b0.d, b1.d);
+  y{0} = c0.s;
+  y{1} = c0.d;
+  y{2} = c1.s;
+  y{3} = c1.d;
+  #L := #S + C0::#L;
+}
+
+comp FloFft16[#W]<G:1>(x[16]: [G, G+1] #W)
+    -> (y[16]: [G+#L, G+#L+1] #W) with { some #L where #L >= 4; } {
+  bundle<#i> s1lo[8]: [G+#S1, G+#S1+1] #W;
+  bundle<#i> s1hi[8]: [G+#S1, G+#S1+1] #W;
+  B := new FBfly[#W];
+  let #S1 = B::#L;
+  b0 := B<G>(x{0}, x{8});
+  s1lo{0} = b0.s; s1hi{0} = b0.d;
+  for #k in 1..8 {
+    bk := new FBfly[#W]<G>(x{#k}, x{#k+8});
+    s1lo{#k} = bk.s;
+    s1hi{#k} = bk.d;
+  }
+  bundle<#i> s2a[4]: [G+#S2, G+#S2+1] #W;
+  bundle<#i> s2b[4]: [G+#S2, G+#S2+1] #W;
+  bundle<#i> s2c[4]: [G+#S2, G+#S2+1] #W;
+  bundle<#i> s2d[4]: [G+#S2, G+#S2+1] #W;
+  B2 := new FBfly[#W];
+  let #S2 = #S1 + B2::#L;
+  b2 := B2<G+#S1>(s1lo{0}, s1lo{4});
+  s2a{0} = b2.s; s2b{0} = b2.d;
+  for #k in 1..4 {
+    b2k := new FBfly[#W]<G+#S1>(s1lo{#k}, s1lo{#k+4});
+    s2a{#k} = b2k.s;
+    s2b{#k} = b2k.d;
+  }
+  for #k in 0..4 {
+    b2h := new FBfly[#W]<G+#S1>(s1hi{#k}, s1hi{#k+4});
+    s2c{#k} = b2h.s;
+    s2d{#k} = b2h.d;
+  }
+  // Two levels of FloPoCo Fft4 finish each quarter.
+  Q0 := new FloFft4[#W];
+  Q1 := new FloFft4[#W];
+  Q2 := new FloFft4[#W];
+  Q3 := new FloFft4[#W];
+  q0 := Q0<G+#S2>(s2a);
+  q1 := Q1<G+#S2>(s2b);
+  q2 := Q2<G+#S2>(s2c);
+  q3 := Q3<G+#S2>(s2d);
+  for #k in 0..4 {
+    y{#k} = q0.y{#k};
+    y{#k+4} = q1.y{#k};
+    y{#k+8} = q2.y{#k};
+    y{#k+12} = q3.y{#k};
+  }
+  #L := #S2 + Q0::#L;
+}
+"""
+
+
+def fft_lilac_program():
+    return stdlib_program(FFT_LILAC)
+
+
+def fft_flopoco_program():
+    return stdlib_program(FFT_FLOPOCO)
+
+
+def elaborate_fft16(width: int = 16) -> ElabResult:
+    registry = GeneratorRegistry().register(FloPoCoGenerator())
+    return Elaborator(fft_lilac_program(), registry).elaborate(
+        "Fft16", {"#W": width}
+    )
+
+
+def elaborate_flofft16(frequency_mhz: int = 400, width: int = 32) -> ElabResult:
+    registry = GeneratorRegistry().register(FloPoCoGenerator(frequency_mhz))
+    return Elaborator(fft_flopoco_program(), registry).elaborate(
+        "FloFft16", {"#W": width}
+    )
+
+
+def golden_wht(values: List[int], width: int) -> List[int]:
+    """Walsh--Hadamard transform with the butterfly ordering used above."""
+    mask = (1 << width) - 1
+    data = list(values)
+    size = len(data)
+    span = size // 2
+    while span >= 1:
+        nxt = [0] * size
+        for base in range(0, size, span * 2):
+            for offset in range(span):
+                i, j = base + offset, base + offset + span
+                nxt[i] = (data[i] + data[j]) & mask
+                nxt[j] = (data[i] - data[j]) & mask
+        data = nxt
+        span //= 2
+    return data

@@ -1,0 +1,5 @@
+"""Evaluation harness: regenerates every table and figure in the paper."""
+
+from . import figure8, figure13, table1, table2, table3
+
+__all__ = ["figure8", "figure13", "table1", "table2", "table3"]

@@ -1,0 +1,81 @@
+"""Figure 8: type-checker performance over the six evaluation designs.
+
+Paper rows (lines of Lilac, type-check wall time)::
+
+    RISC 3-stage Base          480   160 ms
+    Gaussian Blur Pyramid      595   205 ms
+    FFT (Lilac only)          1207   403 ms
+    FFT (using FloPoCo)       1221   442 ms
+    Lilac's standard library  1310   900 ms
+    BLAS Level 1 Kernels      1346  1295 ms
+
+We measure our own checker (pure Python + the bundled SMT solver, so
+absolute times are larger than the paper's Rust + Z3) over the same six
+designs.  Line counts are of the Lilac sources in this repository.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, NamedTuple
+
+from ..designs.blas import BLAS_SOURCE, blas_program
+from ..designs.fft import FFT_FLOPOCO, FFT_LILAC, fft_flopoco_program, fft_lilac_program
+from ..designs.gbp_la import GBP_SOURCE, gbp_program
+from ..designs.risc import RISC_SOURCE, risc_program
+from ..lilac.stdlib import STDLIB_SOURCE, standard_library
+from ..lilac.typecheck import check_program
+from ..synth import format_table
+
+
+class Figure8Row(NamedTuple):
+    design: str
+    lines: int
+    millis: float
+    ok: bool
+
+
+def _count_lines(source: str) -> int:
+    return sum(
+        1
+        for line in source.splitlines()
+        if line.strip() and not line.strip().startswith("//")
+    )
+
+
+DESIGNS: List = [
+    ("RISC 3-stage Base", RISC_SOURCE, risc_program),
+    ("Gaussian Blur Pyramid", GBP_SOURCE, gbp_program),
+    ("FFT (Lilac only)", FFT_LILAC, fft_lilac_program),
+    ("FFT (using FloPoCo)", FFT_FLOPOCO, fft_flopoco_program),
+    ("Lilac's standard library", STDLIB_SOURCE, lambda: standard_library()),
+    ("BLAS Level 1 Kernels", BLAS_SOURCE, blas_program),
+]
+
+
+def build_rows(designs=None) -> List[Figure8Row]:
+    rows: List[Figure8Row] = []
+    for name, source, program_fn in designs or DESIGNS:
+        program = program_fn()
+        start = time.perf_counter()
+        reports = check_program(program, raise_on_error=False)
+        elapsed = (time.perf_counter() - start) * 1000
+        ok = all(r.ok for r in reports)
+        rows.append(Figure8Row(name, _count_lines(source), elapsed, ok))
+    return rows
+
+
+def render(rows: List[Figure8Row]) -> str:
+    return format_table(
+        ["Design", "Lines", "Time (ms)", "Status"],
+        [
+            [row.design, row.lines, f"{row.millis:.0f}", "ok" if row.ok else "ERROR"]
+            for row in rows
+        ],
+    )
+
+
+def check_shape(rows: List[Figure8Row]) -> None:
+    for row in rows:
+        assert row.ok, f"{row.design} failed to type check"
+        assert row.lines > 20, f"{row.design} suspiciously small"

@@ -1,0 +1,29 @@
+"""Concrete Filament IR (elaboration target) and its well-formedness check."""
+
+from .ir import (
+    ConstRef,
+    FConnect,
+    FilamentError,
+    FInvoke,
+    FModule,
+    FPort,
+    InputRef,
+    InvokeOutRef,
+    PackRef,
+    Ref,
+)
+from .wellformed import check_module
+
+__all__ = [
+    "ConstRef",
+    "FConnect",
+    "FilamentError",
+    "FInvoke",
+    "FModule",
+    "FPort",
+    "InputRef",
+    "InvokeOutRef",
+    "PackRef",
+    "Ref",
+    "check_module",
+]

@@ -1,0 +1,17 @@
+"""Hardware generator stand-ins (section 6 of the paper)."""
+
+from .base import (
+    GeneratedModule,
+    Generator,
+    GeneratorError,
+    GeneratorRegistry,
+    default_registry,
+)
+
+__all__ = [
+    "GeneratedModule",
+    "Generator",
+    "GeneratorError",
+    "GeneratorRegistry",
+    "default_registry",
+]

@@ -1,0 +1,150 @@
+"""Aetherling stand-in (section 7 and Figure 10 of the paper).
+
+Aetherling [Durst et al. 2020] generates stream-processing hardware and
+exposes area--performance trade-offs by varying the number of multipliers.
+For the 4x4 convolution used in the Gaussian Blur Pyramid evaluation:
+
+* the tool chooses the input chunk size ``#N`` (a factor of 16) — the
+  parent must adapt its serialization to whatever the tool picked;
+* it reports latency ``#L``, initiation interval ``#II`` and the number
+  of cycles ``#H`` the input must be held stable (partially-pipelined
+  multipliers) — the features that make this the most demanding interface
+  in Table 3 (in-dep, out-dep, ii-gt-1, multi).
+
+Stand-in semantics (documented in DESIGN.md): per invocation the module
+shifts ``#N`` new pixels into a 16-pixel window and emits the Gaussian
+16-tap dot product of the window (replicated across the ``out[#N]``
+lanes).  Structure: one 16-multiplier MAC tree with constant weights plus
+a window shift register — multiplier count is constant in ``#N``, while
+upstream serialization shrinks as ``#N`` grows, reproducing the
+Figure 13 resource trend.
+
+Timing model::
+
+    #N  = parallelism (generator knob, factor of 16)
+    #H  = 1 if #N == 16 else 2   (partially-pipelined multipliers)
+    #II = #H                     (a new chunk every #H cycles)
+    #L  = 8 - log2(#N)           (more parallelism -> shallower pipeline)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .base import GeneratedModule, Generator, GeneratorError
+from ..rtl import Module
+
+# 4x4 Gaussian kernel (integer weights summing to 256).
+GAUSS_4X4 = [
+    1, 7, 7, 1,
+    7, 49, 49, 7,
+    7, 49, 49, 7,
+    1, 7, 7, 1,
+]
+_WEIGHT_SUM_SHIFT = 8  # divide by 256
+
+VALID_PARALLELISM = (1, 2, 4, 8, 16)
+
+
+def conv_timing(parallelism: int) -> Dict[str, int]:
+    if parallelism not in VALID_PARALLELISM:
+        raise GeneratorError(
+            f"aetherling: parallelism must be a factor of 16, got {parallelism}"
+        )
+    hold = 1 if parallelism == 16 else 2
+    return {
+        "#N": parallelism,
+        "#II": hold,
+        "#H": hold,
+        "#L": 8 - parallelism.bit_length() + 1,
+    }
+
+
+def golden_conv(window: List[int], width: int) -> int:
+    """Reference model: Gaussian dot product over a 16-pixel window."""
+    total = sum(w * x for w, x in zip(GAUSS_4X4, window))
+    return (total >> _WEIGHT_SUM_SHIFT) & ((1 << width) - 1)
+
+
+class AetherlingGenerator(Generator):
+    name = "aetherling"
+
+    def __init__(self, parallelism: int = 16):
+        if parallelism not in VALID_PARALLELISM:
+            raise GeneratorError(
+                f"aetherling: parallelism must be one of {VALID_PARALLELISM}"
+            )
+        self.parallelism = parallelism
+
+    def generate(self, comp_name: str, params: Dict[str, int]) -> GeneratedModule:
+        if comp_name != "AethConv":
+            raise GeneratorError(f"aetherling: unknown program {comp_name!r}")
+        width = params.get("#W", 0)
+        if width < 1:
+            raise GeneratorError("aetherling: #W must be >= 1")
+        timing = conv_timing(self.parallelism)
+        module = self._build(width, timing)
+        report = (
+            "Aetherling type-directed scheduler (reproduction stand-in)\n"
+            f"  conv4x4 throughput={timing['#N']}px/txn "
+            f"II={timing['#II']} latency={timing['#L']} hold={timing['#H']}"
+        )
+        return GeneratedModule(module, out_params=timing, report=report)
+
+    def _build(self, width: int, timing: Dict[str, int]) -> Module:
+        n = timing["#N"]
+        latency = timing["#L"]
+        m = Module(f"AethConv_W{width}_N{n}")
+        val_i = m.add_input("val_i", 1)
+        packed_in = m.add_input("in", n * width)
+        packed_out = m.add_output("out", n * width)
+        elements = [
+            m.unop("slice", packed_in, width=width, lsb=i * width)
+            for i in range(n)
+        ]
+        # 16-pixel window shifting by n on each valid transaction: new
+        # elements enter positions 0..n-1, older pixels shift up.
+        regs = [m.fresh_net(width, f"win{i}") for i in range(16)]
+        for i in range(16):
+            if i < n:
+                d = elements[i]
+            else:
+                d = regs[i - n]
+            m.add_cell(
+                "regen", {"d": d, "en": val_i, "q": regs[i]}, name=f"winreg{i}"
+            )
+        # MAC tree: constant-weight multiplies then a pairwise adder tree,
+        # pipelined the way the real tool would (a register after the
+        # multiply stage and after every two adder levels).
+        acc_width = width + 10
+        products = []
+        for i, weight in enumerate(GAUSS_4X4):
+            w_net = m.constant(weight, acc_width)
+            widened = m.unop("slice", regs[i], width=acc_width, lsb=0)
+            products.append(m.register(m.binop("mul", w_net, widened, acc_width)))
+        level = products
+        comb_levels = 0
+        pipeline_cuts = 1  # the multiply-stage register above
+        while len(level) > 1:
+            nxt = []
+            for i in range(0, len(level), 2):
+                nxt.append(m.binop("add", level[i], level[i + 1], acc_width))
+            comb_levels += 1
+            if comb_levels == 2 and len(nxt) > 1:
+                nxt = [m.register(net) for net in nxt]
+                pipeline_cuts += 1
+                comb_levels = 0
+            level = nxt
+        scaled = m.unop("shr", level[0], width=acc_width, amount=_WEIGHT_SUM_SHIFT)
+        result = m.unop("slice", scaled, width=width, lsb=0)
+        # Window valid one cycle after val_i, plus the pipeline cuts;
+        # align the remainder to the declared latency.
+        aligned = m.delay_chain(result, latency - 1 - pipeline_cuts)
+        # Replicate across the n output lanes.
+        packed = aligned
+        for _ in range(n - 1):
+            widened = m.fresh_net(packed.width + width, "rep")
+            m.add_cell("concat", {"a": packed, "b": aligned, "out": widened})
+            packed = widened
+        m.add_cell("slice", {"a": packed, "out": packed_out}, {"lsb": 0})
+        return m

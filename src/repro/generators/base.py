@@ -1,0 +1,127 @@
+"""Generator interface: how the elaborator invokes external tools.
+
+Section 5 of the paper: "Each generator provides a configuration file that
+defines the modules it produces and the mechanism to extract bindings for
+output parameters for each module (reading the command-line output, looking
+for a file, etc.)."
+
+Our generator stand-ins produce real RTL netlists plus a textual report in
+the style of the tool they simulate; output-parameter bindings are
+extracted from the report via the generator's ``binding_patterns`` (regular
+expressions), or returned directly when a generator opts out of the
+report mechanism.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Optional
+
+from ..rtl import Module
+
+
+class GeneratorError(Exception):
+    pass
+
+
+class GeneratedModule:
+    """What a generator hands back to the elaborator."""
+
+    def __init__(
+        self,
+        module: Module,
+        out_params: Optional[Dict[str, int]] = None,
+        report: str = "",
+    ):
+        self.module = module
+        self.out_params = dict(out_params or {})
+        self.report = report
+
+
+class Generator:
+    """Base class for tool stand-ins.
+
+    Subclasses implement :meth:`generate`, returning a
+    :class:`GeneratedModule`.  If ``binding_patterns`` is non-empty the
+    registry extracts output parameters from the textual report instead of
+    (or in addition to) the ``out_params`` dict — mirroring how the real
+    Lilac compiler scrapes FloPoCo's command-line output.
+    """
+
+    #: tool name used in ``gen "<name>" comp ...`` declarations.
+    name: str = "abstract"
+
+    #: out-param name -> regex with one capture group, matched on report.
+    binding_patterns: Dict[str, str] = {}
+
+    def generate(self, comp_name: str, params: Dict[str, int]) -> GeneratedModule:
+        raise NotImplementedError
+
+
+class GeneratorRegistry:
+    def __init__(self):
+        self._generators: Dict[str, Generator] = {}
+
+    def register(self, generator: Generator) -> "GeneratorRegistry":
+        self._generators[generator.name] = generator
+        return self
+
+    def get(self, name: str) -> Generator:
+        generator = self._generators.get(name)
+        if generator is None:
+            raise GeneratorError(f"no generator registered for tool {name!r}")
+        return generator
+
+    def has(self, name: str) -> bool:
+        return name in self._generators
+
+    def run(
+        self, tool: str, comp_name: str, params: Dict[str, int]
+    ) -> GeneratedModule:
+        """Invoke a generator and extract output-parameter bindings."""
+        generator = self.get(tool)
+        result = generator.generate(comp_name, params)
+        for out_name, pattern in generator.binding_patterns.items():
+            match = re.search(pattern, result.report)
+            if match is None:
+                if out_name in result.out_params:
+                    continue
+                raise GeneratorError(
+                    f"{tool}: could not extract {out_name} from report"
+                )
+            result.out_params[out_name] = int(match.group(1))
+        return result
+
+
+def default_registry(
+    flopoco_mhz: int = 400,
+    aetherling_parallelism: int = 16,
+    spiral_streaming_width: int = 4,
+    fft_target: str = "artix7",
+) -> GeneratorRegistry:
+    """Registry with every bundled generator stand-in installed.
+
+    The keyword arguments are the tools' *performance goals* — the knobs
+    the paper turns to change timing behaviour without touching designs.
+    """
+    from .flopoco import FloPoCoGenerator
+    from .vivado_mult import VivadoMultGenerator
+    from .vivado_div import VivadoDividerGenerator
+    from .vivado_fft import VivadoFftGenerator
+    from .aetherling import AetherlingGenerator
+    from .pipelinec import PipelineCGenerator
+    from .serializer import SerializerGenerator
+    from .xls import XlsGenerator
+    from .spiral import SpiralFftGenerator
+
+    registry = GeneratorRegistry()
+    registry.register(FloPoCoGenerator(flopoco_mhz))
+    registry.register(VivadoMultGenerator())
+    registry.register(VivadoDividerGenerator())
+    registry.register(VivadoFftGenerator(fft_target))
+    registry.register(AetherlingGenerator(aetherling_parallelism))
+    registry.register(PipelineCGenerator())
+    registry.register(SerializerGenerator())
+    registry.register(XlsGenerator())
+    registry.register(SpiralFftGenerator(spiral_streaming_width))
+    return registry

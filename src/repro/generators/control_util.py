@@ -1,0 +1,26 @@
+"""Shared control helpers for generator RTL (phase counters etc.)."""
+
+from __future__ import annotations
+
+from math import ceil, log2
+
+from ..rtl import Module, Net
+
+
+def phase_counter(m: Module, restart: Net, limit: int) -> Net:
+    """A saturating cycle counter reset by ``restart``.
+
+    During the cycle after ``restart`` is high the counter reads 0, then
+    1, 2, ... up to ``limit`` (where it saturates until the next restart).
+    """
+    width = max(1, ceil(log2(limit + 2)))
+    state = m.fresh_net(width, "phase")
+    one = m.constant(1, width)
+    bumped = m.binop("add", state, one, width)
+    limit_net = m.constant(limit, width)
+    at_limit = m.binop("eq", state, limit_net, 1)
+    advanced = m.mux(at_limit, state, bumped)
+    zero = m.constant(0, width)
+    next_state = m.mux(restart, zero, advanced)
+    m.add_cell("reg", {"d": next_state, "q": state}, {"init": 0})
+    return state

@@ -1,0 +1,134 @@
+"""Latency-abstract Lilac interfaces for every supported generator.
+
+These are the ``gen`` declarations the paper shows in Figures 4, 9 and
+10a, written in our concrete syntax.  Table 3's feature taxonomy is
+annotated on each entry:
+
+* ``in-dep``   — input parameters affect timing behaviour
+* ``out-dep``  — output parameters needed to describe timing
+* ``ii-gt-1``  — initiation interval can exceed one
+* ``multi``    — inputs must be held over multi-cycle intervals
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet
+
+# FloPoCo (Figure 4): out-dep.  Frequency goals change #L unpredictably.
+FLOPOCO_INTERFACES = """
+gen "flopoco" comp FPAdd[#W]<G:1>(
+    l: [G, G+1] #W, r: [G, G+1] #W
+) -> (o: [G+#L, G+#L+1] #W) with { some #L where #L > 0; };
+
+gen "flopoco" comp FPMul[#W]<G:1>(
+    l: [G, G+1] #W, r: [G, G+1] #W
+) -> (o: [G+#L, G+#L+1] #W) with { some #L where #L > 0; };
+"""
+
+# Vivado multiplier (section 6.1): in-dep.  The user chooses #L.
+VIVADO_MULT_INTERFACE = """
+gen "vivado-mult" comp Mult[#W, #L]<G:1>(
+    a: [G, G+1] #W, b: [G, G+1] #W
+) -> (o: [G+#L, G+#L+1] #W) where #L >= 1;
+"""
+
+# Vivado dividers (Figure 9).
+VIVADO_DIV_INTERFACES = """
+// LutMult (Figure 9a): fixed latency-sensitive timing.
+gen "vivado-div" comp LutMult[#W]<G:1>(
+    n: [G, G+1] #W, d: [G, G+1] #W
+) -> (q: [G+8, G+9] #W) where #W < 12;
+
+// Radix-2 (Figure 9b): input-parameter-dependent timing.  The where
+// clause publishes the closed-form latency formula, so parents can
+// reason about the concrete value.
+gen "vivado-div" comp Rad2[#W, #II, #Fr]<G:#II>(
+    n: [G, G+1] #W, d: [G, G+1] #W
+) -> (q: [G+#L, G+#L+1] #W) with {
+    some #L where
+        (#Fr > 0 & #II > 1 ? #L == #W+5 :
+        (#Fr > 0 & #II <= 1 ? #L == #W+4 :
+        (#II > 1 ? #L == #W+3 : #L == #W+2)));
+} where #II >= 1, #II < 9, #II % 2 == 1, #W < 16;
+
+// High-radix (Figure 9c): latency only known via the datasheet table —
+// fully latency-abstract.
+gen "vivado-div" comp HighRad[#W]<G:1>(
+    n: [G, G+1] #W, d: [G, G+1] #W
+) -> (q: [G+#L, G+#L+1] #W) with { some #L where #L > 0; }
+  where #W >= 16;
+"""
+
+# Vivado FFT (section 6.1): out-dep, table-driven latency.
+VIVADO_FFT_INTERFACE = """
+gen "vivado-fft" comp XFft[#LogN, #W]<G:1>(
+    x: [G, G+1] #W * exp2(#LogN)
+) -> (y: [G+#L, G+#L+1] #W * exp2(#LogN)) with { some #L where #L > 0; };
+"""
+
+# Aetherling convolution (Figure 10a): every feature at once.
+AETHERLING_INTERFACE = """
+gen "aetherling" comp AethConv[#W]<G:#II>(
+    val_i: interface[G],
+    in[#N]: [G, G+#H] #W
+) -> (out[#N]: [G+#L, G+#L+1] #W) with {
+    some #H where #H > 0;
+    some #N where 16 % #N == 0, #N > 0;
+    some #L where #L > 0;
+    some #II where #II >= #H, #II > 0;
+};
+"""
+
+# PipelineC: in-dep, user-specified latency.
+PIPELINEC_INTERFACES = """
+gen "pipelinec" comp PipeAdd[#W, #L]<G:1>(
+    l: [G, G+1] #W, r: [G, G+1] #W
+) -> (o: [G+#L, G+#L+1] #W) where #L >= 1;
+
+gen "pipelinec" comp PipeMul[#W, #L]<G:1>(
+    l: [G, G+1] #W, r: [G, G+1] #W
+) -> (o: [G+#L, G+#L+1] #W) where #L >= 1;
+"""
+
+# XLS: in-dep + ii-gt-1 (partially pipelined blocks).  The latency
+# formula is deterministic in #II, so it appears directly in the
+# interface (no output parameter needed — Table 3's XLS row).
+XLS_INTERFACE = """
+gen "xls" comp XlsMac[#W, #II]<G:#II>(
+    a: [G, G+1] #W, b: [G, G+1] #W, c: [G, G+1] #W
+) -> (o: [G+#II+2, G+#II+3] #W) where #II >= 1;
+"""
+
+# Spiral FFT: in-dep, out-dep, ii-gt-1.
+SPIRAL_INTERFACE = """
+gen "spiral" comp SpiralFft[#LogN, #W]<G:#II>(
+    x: [G, G+1] #W * exp2(#LogN)
+) -> (y: [G+#L, G+#L+1] #W * exp2(#LogN)) with {
+    some #L where #L > 0;
+    some #II where #II > 0;
+} where #LogN >= 1;
+"""
+
+ALL_INTERFACES = "\n".join(
+    [
+        FLOPOCO_INTERFACES,
+        VIVADO_MULT_INTERFACE,
+        VIVADO_DIV_INTERFACES,
+        VIVADO_FFT_INTERFACE,
+        AETHERLING_INTERFACE,
+        PIPELINEC_INTERFACES,
+        XLS_INTERFACE,
+        SPIRAL_INTERFACE,
+    ]
+)
+
+# Table 3 of the paper: generator -> features needed to capture its
+# interface.  Recomputed programmatically by repro.evalx.table3 and
+# cross-checked against this expectation in the benchmark.
+TABLE3_FEATURES: Dict[str, FrozenSet[str]] = {
+    "PipelineC": frozenset({"in-dep"}),
+    "FloPoCo": frozenset({"in-dep", "out-dep"}),
+    "XLS": frozenset({"in-dep", "ii-gt-1"}),
+    "Spiral FFT": frozenset({"in-dep", "out-dep", "ii-gt-1"}),
+    "Aetherling": frozenset({"in-dep", "out-dep", "ii-gt-1", "multi"}),
+}

@@ -1,0 +1,43 @@
+"""PipelineC stand-in (Table 3: *in-dep*).
+
+PipelineC [Kemmerer 2022] lets the user request an exact pipeline latency
+for a C-like function; the tool inserts the registers.  The Lilac
+interface is therefore fully determined by input parameters — the
+simplest generator class in Table 3.
+
+Supported cores: ``PipeAdd``, ``PipeMul`` — ``[#W, #L]`` with the
+requested latency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .base import GeneratedModule, Generator, GeneratorError
+from .datapath import delayed_block
+
+
+class PipelineCGenerator(Generator):
+    name = "pipelinec"
+
+    CORES = {"PipeAdd": "add", "PipeMul": "mul"}
+
+    def generate(self, comp_name: str, params: Dict[str, int]) -> GeneratedModule:
+        op = self.CORES.get(comp_name)
+        if op is None:
+            raise GeneratorError(f"pipelinec: unknown function {comp_name!r}")
+        width = params.get("#W", 0)
+        latency = params.get("#L", 0)
+        if width < 1:
+            raise GeneratorError("pipelinec: #W must be >= 1")
+        if latency < 1:
+            raise GeneratorError("pipelinec: #L must be >= 1")
+        module = delayed_block(
+            f"{comp_name}_W{width}_L{latency}", width, op, latency
+        )
+        report = (
+            "PipelineC (reproduction stand-in)\n"
+            f"  func={comp_name} width={width} requested_latency={latency}\n"
+            f"  inserted {latency} register stages"
+        )
+        return GeneratedModule(module, report=report)

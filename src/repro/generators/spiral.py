@@ -1,0 +1,58 @@
+"""Spiral FFT stand-in (Table 3: *in-dep*, *out-dep*, *ii-gt-1*).
+
+Spiral [Milder et al. 2012] generates streaming linear-transform
+datapaths; the streaming width is a quality knob that trades area for
+initiation interval, and latency is reported by the tool.
+
+Core: ``SpiralFft[#LogN, #W]`` — an N-point transform over a packed array
+port.  The generator's streaming-width knob sets ``#II = N /
+streaming_width`` and a latency of ``log2(N) + II + 1``.
+
+The datapath is a pipelined butterfly network with unity twiddles (a
+Walsh--Hadamard transform); see DESIGN.md on why this preserves the
+pipeline structure the evaluation cares about.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .base import GeneratedModule, Generator, GeneratorError
+from .datapath import butterfly_network
+
+
+class SpiralFftGenerator(Generator):
+    name = "spiral"
+    binding_patterns = {
+        "#L": r"latency = (\d+)",
+        "#II": r"gap = (\d+)",
+    }
+
+    def __init__(self, streaming_width: int = 4):
+        if streaming_width < 1 or streaming_width & (streaming_width - 1):
+            raise GeneratorError("spiral: streaming width must be a power of two")
+        self.streaming_width = streaming_width
+
+    def generate(self, comp_name: str, params: Dict[str, int]) -> GeneratedModule:
+        if comp_name != "SpiralFft":
+            raise GeneratorError(f"spiral: unknown transform {comp_name!r}")
+        log_n = params.get("#LogN", 0)
+        width = params.get("#W", 0)
+        if log_n < 1 or width < 1:
+            raise GeneratorError("spiral: need #LogN >= 1 and #W >= 1")
+        points = 1 << log_n
+        ii = max(1, points // self.streaming_width)
+        latency = log_n + ii + 1
+        module = butterfly_network(
+            f"SpiralFft_N{points}_W{width}_S{self.streaming_width}",
+            points,
+            width,
+            extra_latency=latency - log_n,
+        )
+        report = (
+            "Spiral DFT generator (reproduction stand-in)\n"
+            f"  size={points} width={width} streaming={self.streaming_width}\n"
+            f"  latency = {latency}\n"
+            f"  gap = {ii}"
+        )
+        return GeneratedModule(module, report=report)

@@ -1,0 +1,123 @@
+"""Vivado LogiCORE Divider Generator stand-in (Figure 9 of the paper).
+
+The divider generator offers three microarchitectures with very different
+timing contracts:
+
+* **LutMult** (recommended for ``#W < 12``) — fully pipelined, fixed
+  eight-cycle latency (Figure 9a, latency-sensitive interface).
+* **Radix-2** (recommended for ``#W < 16``) — one quotient bit per stage;
+  the initiation interval ``#II`` is an input parameter (odd, < 9) and the
+  latency follows a published closed-form formula that depends on ``#II``
+  and on whether a fractional remainder is requested (Figure 9b,
+  input-parameter-dependent timing).
+* **High-radix** (``#W >= 16``) — four bits per stage; the latency comes
+  from a table in the user guide with *no closed form* (Figure 9c, fully
+  latency-abstract: only an output parameter can describe it).
+
+Latency formulas implemented (the paper quotes the first two)::
+
+    Radix-2:    Fr and II > 1  ->  W + 5
+                Fr and II == 1 ->  W + 4
+                !Fr and II > 1 ->  W + 3
+                !Fr and II == 1->  W + 2
+    High-radix: table lookup on W (interpolated upward between entries)
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .base import GeneratedModule, Generator, GeneratorError
+from .datapath import pipelined_divider
+
+# The user-guide style latency table for the high-radix core.  Keys are
+# the smallest bitwidth the row applies to.
+HIGH_RADIX_LATENCY_TABLE = {
+    16: 12,
+    20: 14,
+    24: 15,
+    28: 17,
+    32: 18,
+    40: 21,
+    48: 24,
+    56: 27,
+    64: 30,
+}
+
+
+def radix2_latency(width: int, ii: int, fractional: bool) -> int:
+    if fractional:
+        return width + 5 if ii > 1 else width + 4
+    return width + 3 if ii > 1 else width + 2
+
+
+def high_radix_latency(width: int) -> int:
+    best = None
+    for threshold in sorted(HIGH_RADIX_LATENCY_TABLE):
+        if width >= threshold:
+            best = HIGH_RADIX_LATENCY_TABLE[threshold]
+    if best is None:
+        raise GeneratorError(
+            f"vivado-div: high-radix table has no entry for width {width}"
+        )
+    return best
+
+
+class VivadoDividerGenerator(Generator):
+    name = "vivado-div"
+
+    def generate(self, comp_name: str, params: Dict[str, int]) -> GeneratedModule:
+        width = params.get("#W", 0)
+        if width < 1:
+            raise GeneratorError("vivado-div: #W must be >= 1")
+        if comp_name == "LutMult":
+            if width >= 12:
+                raise GeneratorError(
+                    "vivado-div: LutMult only supports widths below 12"
+                )
+            latency = 8
+            module = pipelined_divider(
+                f"DivLutMult_W{width}", width,
+                bits_per_stage=max(1, -(-width // 8)),
+                total_latency=latency,
+            )
+            report = self._report("LutMult", width, latency, 1)
+            return GeneratedModule(module, report=report)
+        if comp_name == "Rad2":
+            ii = params.get("#II", 1)
+            fractional = bool(params.get("#Fr", 0))
+            if ii < 1 or ii >= 9 or ii % 2 == 0:
+                raise GeneratorError(
+                    "vivado-div: Radix-2 #II must be odd and below 9"
+                )
+            latency = radix2_latency(width, ii, fractional)
+            module = pipelined_divider(
+                f"DivRad2_W{width}_II{ii}_Fr{int(fractional)}", width,
+                bits_per_stage=1, total_latency=latency,
+            )
+            report = self._report("Radix2", width, latency, ii)
+            return GeneratedModule(
+                module, out_params={"#L": latency}, report=report
+            )
+        if comp_name == "HighRad":
+            if width < 16:
+                raise GeneratorError(
+                    "vivado-div: High-radix requires widths of 16 and above"
+                )
+            latency = high_radix_latency(width)
+            module = pipelined_divider(
+                f"DivHighRad_W{width}", width,
+                bits_per_stage=4, total_latency=latency,
+            )
+            report = self._report("HighRadix", width, latency, 1)
+            return GeneratedModule(
+                module, out_params={"#L": latency}, report=report
+            )
+        raise GeneratorError(f"vivado-div: unknown microarchitecture {comp_name!r}")
+
+    def _report(self, arch: str, width: int, latency: int, ii: int) -> str:
+        return (
+            "Xilinx LogiCORE Divider Generator v5.1 (reproduction stand-in)\n"
+            f"  Algorithm={arch} DividendWidth={width} DivisorWidth={width}\n"
+            f"  Latency={latency} ThroughputCycles={ii}"
+        )

@@ -1,0 +1,67 @@
+"""Vivado LogiCORE FFT stand-in (section 6.1).
+
+"Vivado's FFT generator, similar to High-radix, defines a table that uses
+the FPGA target and input parameter values to determine the module's
+latency" — an *out-dep* interface with table-driven, closed-form-free
+timing.
+
+Core: ``XFft[#LogN, #W]``; latency from a per-target table.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .base import GeneratedModule, Generator, GeneratorError
+from .datapath import butterfly_network
+
+# (target, log2(size)) -> latency, in the style of the datasheet tables.
+FFT_LATENCY_TABLE = {
+    ("artix7", 3): 25,
+    ("artix7", 4): 33,
+    ("artix7", 5): 47,
+    ("artix7", 6): 77,
+    ("kintex7", 3): 21,
+    ("kintex7", 4): 28,
+    ("kintex7", 5): 40,
+    ("kintex7", 6): 66,
+    ("virtex6", 3): 23,
+    ("virtex6", 4): 30,
+    ("virtex6", 5): 43,
+    ("virtex6", 6): 70,
+}
+
+
+class VivadoFftGenerator(Generator):
+    name = "vivado-fft"
+
+    def __init__(self, target: str = "artix7"):
+        self.target = target
+
+    def generate(self, comp_name: str, params: Dict[str, int]) -> GeneratedModule:
+        if comp_name != "XFft":
+            raise GeneratorError(f"vivado-fft: unknown core {comp_name!r}")
+        log_n = params.get("#LogN", 0)
+        width = params.get("#W", 0)
+        key = (self.target, log_n)
+        if key not in FFT_LATENCY_TABLE:
+            raise GeneratorError(
+                f"vivado-fft: no table entry for target={self.target} "
+                f"log2(size)={log_n}"
+            )
+        if width < 1:
+            raise GeneratorError("vivado-fft: #W must be >= 1")
+        latency = FFT_LATENCY_TABLE[key]
+        points = 1 << log_n
+        module = butterfly_network(
+            f"XFft_N{points}_W{width}_{self.target}",
+            points,
+            width,
+            extra_latency=latency - log_n,
+        )
+        report = (
+            "Xilinx LogiCORE FFT v9.1 (reproduction stand-in)\n"
+            f"  target={self.target} size={points} width={width}\n"
+            f"  Latency={latency}"
+        )
+        return GeneratedModule(module, out_params={"#L": latency}, report=report)

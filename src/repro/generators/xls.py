@@ -1,0 +1,56 @@
+"""Google XLS stand-in (Table 3: *in-dep* + *ii-gt-1*).
+
+XLS can emit partially pipelined blocks whose initiation interval exceeds
+one; the II may be requested via input parameters while the resulting
+latency is reported by the tool (abstract to the user).
+
+Core: ``XlsMac[#W, #II]`` — a multiply-accumulate ``o = a*b + c`` whose
+pipeline registers are shared across ``#II`` issue slots.  Latency is the
+tool's choice: ``#L = #II + 2``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .base import GeneratedModule, Generator, GeneratorError
+from ..rtl import Module
+
+
+def xls_latency(ii: int) -> int:
+    return ii + 2
+
+
+class XlsGenerator(Generator):
+    name = "xls"
+    binding_patterns = {"#L": r"worst-case latency: (\d+) cycles"}
+
+    def generate(self, comp_name: str, params: Dict[str, int]) -> GeneratedModule:
+        if comp_name != "XlsMac":
+            raise GeneratorError(f"xls: unknown block {comp_name!r}")
+        width = params.get("#W", 0)
+        ii = params.get("#II", 0)
+        if width < 1:
+            raise GeneratorError("xls: #W must be >= 1")
+        if ii < 1:
+            raise GeneratorError("xls: #II must be >= 1")
+        latency = xls_latency(ii)
+        module = self._build(width, ii, latency)
+        report = (
+            "XLS[cc] block generator (reproduction stand-in)\n"
+            f"  proc XlsMac width={width} initiation_interval={ii}\n"
+            f"  worst-case latency: {latency} cycles"
+        )
+        return GeneratedModule(module, report=report)
+
+    def _build(self, width: int, ii: int, latency: int) -> Module:
+        m = Module(f"XlsMac_W{width}_II{ii}")
+        a = m.add_input("a", width)
+        b = m.add_input("b", width)
+        c = m.add_input("c", width)
+        o = m.add_output("o", width)
+        product = m.binop("mul", a, b, width)
+        total = m.binop("add", product, c, width)
+        delayed = m.delay_chain(total, latency)
+        m.add_cell("slice", {"a": delayed, "out": o}, {"lsb": 0})
+        return m

@@ -1,0 +1,27 @@
+"""Latency-insensitive substrate: handshakes, credits, LS->LI wrapping."""
+
+from .control import (
+    bit_and,
+    bit_not,
+    bit_or,
+    counter_width,
+    credit_counter,
+    spacing_guard,
+    up_counter,
+    valid_chain,
+)
+from .wrapper import LIDriver, LIWrapped, wrap_latency_sensitive
+
+__all__ = [
+    "bit_and",
+    "bit_not",
+    "bit_or",
+    "counter_width",
+    "credit_counter",
+    "spacing_guard",
+    "up_counter",
+    "valid_chain",
+    "LIDriver",
+    "LIWrapped",
+    "wrap_latency_sensitive",
+]

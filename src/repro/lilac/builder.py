@@ -1,0 +1,329 @@
+"""A Python eDSL for constructing Lilac components.
+
+The textual frontend (``repro.lilac.parser``) is the primary surface, but
+programmatic construction is convenient for generators, the standard
+library, and tests::
+
+    fpu = ComponentBuilder("FPU", params=["#W"], delay=1)
+    fpu.input("op", width=1)
+    fpu.input("l", width="#W")
+    out = fpu.some("#L", where=[P("#L") >= 1])
+    add = fpu.new("Add", "FPAdd", ["#W"])
+    inv = fpu.invoke("add", "Add", at=0, args=[fpu.port("l"), fpu.port("r")])
+    fpu.connect(fpu.port("o"), inv.out("o"))
+    component = fpu.build()
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+from ..params import Constraint, P, PExpr, wrap
+from .ast import (
+    Access,
+    Arg,
+    Cmd,
+    CmdAssert,
+    CmdAssume,
+    CmdBundle,
+    CmdConnect,
+    CmdFor,
+    CmdIf,
+    CmdInst,
+    CmdInvoke,
+    CmdLet,
+    CmdOutBind,
+    COMP,
+    Component,
+    ConstSig,
+    EventDef,
+    EXTERN,
+    GEN,
+    Interval,
+    LilacError,
+    OutParamDef,
+    ParamDef,
+    PortDef,
+    Signature,
+)
+
+
+class InvocationHandle:
+    """Returned by ``invoke``; provides access to the invocation's ports."""
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def out(self, port: str = "out") -> Access:
+        return Access(self.name, field=port)
+
+    def port(self, port: str, *indices) -> Access:
+        return Access(self.name, field=port, indices=indices)
+
+
+class _BodyScope:
+    """Collects commands; nested scopes implement for/if bodies."""
+
+    def __init__(self):
+        self.cmds: List[Cmd] = []
+
+
+class ComponentBuilder:
+    def __init__(
+        self,
+        name: str,
+        params: Sequence[str] = (),
+        event: str = "G",
+        delay: Union[int, PExpr] = 1,
+        kind: str = COMP,
+        gen_tool: Optional[str] = None,
+    ):
+        self._sig = Signature(
+            name,
+            params=[ParamDef(p) for p in params],
+            event=EventDef(event, delay),
+            kind=kind,
+            gen_tool=gen_tool,
+        )
+        self._scopes: List[_BodyScope] = [_BodyScope()]
+
+    # ------------------------------------------------------------------
+    # Signature construction.
+
+    def input(
+        self,
+        name: str,
+        width: Union[int, str, PExpr],
+        avail: Sequence[Union[int, str, PExpr]] = (0, 1),
+        size: Optional[Union[int, str, PExpr]] = None,
+    ) -> "ComponentBuilder":
+        interval = Interval(wrap(avail[0]), wrap(avail[1]))
+        self._sig.inputs.append(PortDef(name, interval, wrap(width), size=size))
+        return self
+
+    def interface_port(self, name: str = "val_i") -> "ComponentBuilder":
+        self._sig.inputs.append(
+            PortDef(name, Interval(0, 1), 1, interface=True)
+        )
+        return self
+
+    def output(
+        self,
+        name: str,
+        width: Union[int, str, PExpr],
+        avail: Sequence[Union[int, str, PExpr]],
+        size: Optional[Union[int, str, PExpr]] = None,
+    ) -> "ComponentBuilder":
+        interval = Interval(wrap(avail[0]), wrap(avail[1]))
+        self._sig.outputs.append(PortDef(name, interval, wrap(width), size=size))
+        return self
+
+    def some(
+        self, name: str, where: Sequence[Constraint] = ()
+    ) -> "ComponentBuilder":
+        """Declare an output parameter (``with { some #L where ... }``)."""
+        self._sig.out_params.append(OutParamDef(name, where))
+        return self
+
+    def where(self, *constraints: Constraint) -> "ComponentBuilder":
+        self._sig.where.extend(constraints)
+        return self
+
+    # ------------------------------------------------------------------
+    # Access helpers.
+
+    def port(self, name: str, *indices) -> Access:
+        """Reference one of this component's own ports."""
+        return Access(name, indices=indices)
+
+    def bundle_at(self, name: str, *indices) -> Access:
+        return Access(name, indices=indices)
+
+    @staticmethod
+    def const(value: int, width: Union[int, PExpr] = 32) -> ConstSig:
+        return ConstSig(value, width)
+
+    # ------------------------------------------------------------------
+    # Body commands.
+
+    def _emit(self, cmd: Cmd) -> Cmd:
+        self._scopes[-1].cmds.append(cmd)
+        return cmd
+
+    def new(
+        self, name: str, comp: str, args: Sequence[Union[int, str, PExpr]] = ()
+    ) -> str:
+        """``name := new comp[args]``; returns the instance name."""
+        self._emit(CmdInst(name, comp, [wrap(a) for a in args]))
+        return name
+
+    def invoke(
+        self,
+        name: str,
+        instance: str,
+        at: Union[int, str, PExpr],
+        args: Sequence[Arg] = (),
+    ) -> InvocationHandle:
+        self._emit(CmdInvoke(name, instance, wrap(at), list(args)))
+        return InvocationHandle(name)
+
+    def new_invoke(
+        self,
+        name: str,
+        comp: str,
+        params: Sequence[Union[int, str, PExpr]],
+        at: Union[int, str, PExpr],
+        args: Sequence[Arg] = (),
+    ) -> InvocationHandle:
+        """The paper's combined form ``mx := new Mux[#W]<G>(...)``."""
+        inst = f"{name}!inst"
+        self.new(inst, comp, params)
+        return self.invoke(name, inst, at, args)
+
+    def connect(self, dst: Access, src: Arg) -> "ComponentBuilder":
+        self._emit(CmdConnect(dst, src))
+        return self
+
+    def let(self, name: str, expr: Union[int, str, PExpr]) -> PExpr:
+        self._emit(CmdLet(name, wrap(expr)))
+        return P(name)
+
+    def bind_out(self, name: str, expr: Union[int, str, PExpr]) -> "ComponentBuilder":
+        self._emit(CmdOutBind(name, wrap(expr)))
+        return self
+
+    def bundle(
+        self,
+        name: str,
+        index_vars: Sequence[str],
+        sizes: Sequence[Union[int, str, PExpr]],
+        avail: Sequence[Union[int, str, PExpr]],
+        width: Union[int, str, PExpr],
+    ) -> str:
+        interval = Interval(wrap(avail[0]), wrap(avail[1]))
+        self._emit(
+            CmdBundle(name, index_vars, [wrap(s) for s in sizes], interval, wrap(width))
+        )
+        return name
+
+    def assume(self, constraint: Constraint) -> "ComponentBuilder":
+        self._emit(CmdAssume(constraint))
+        return self
+
+    def check(self, constraint: Constraint) -> "ComponentBuilder":
+        self._emit(CmdAssert(constraint))
+        return self
+
+    # Structured scopes ---------------------------------------------------
+
+    def for_loop(self, var: str, lo, hi) -> "_ForContext":
+        return _ForContext(self, var, wrap(lo), wrap(hi))
+
+    def if_block(self, cond: Constraint) -> "_IfContext":
+        return _IfContext(self, cond)
+
+    # ------------------------------------------------------------------
+
+    def build(self) -> Component:
+        if len(self._scopes) != 1:
+            raise LilacError("unclosed for/if scope in builder")
+        return Component(self._sig, self._scopes[0].cmds)
+
+
+class _ForContext:
+    def __init__(self, builder: ComponentBuilder, var: str, lo: PExpr, hi: PExpr):
+        self.builder = builder
+        self.var = var
+        self.lo = lo
+        self.hi = hi
+
+    def __enter__(self) -> PExpr:
+        self.builder._scopes.append(_BodyScope())
+        return P(self.var)
+
+    def __exit__(self, exc_type, exc, tb):
+        scope = self.builder._scopes.pop()
+        if exc_type is None:
+            self.builder._emit(CmdFor(self.var, self.lo, self.hi, scope.cmds))
+        return False
+
+
+class _IfContext:
+    def __init__(self, builder: ComponentBuilder, cond: Constraint):
+        self.builder = builder
+        self.cond = cond
+        self.then_cmds: Optional[List[Cmd]] = None
+
+    def __enter__(self) -> "_IfContext":
+        self.builder._scopes.append(_BodyScope())
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        scope = self.builder._scopes.pop()
+        if exc_type is None:
+            if self.then_cmds is None:
+                self.builder._emit(CmdIf(self.cond, scope.cmds))
+            else:
+                self.builder._emit(CmdIf(self.cond, self.then_cmds, scope.cmds))
+        return False
+
+    def otherwise(self) -> "_IfContext":
+        """Close the then-branch and open the else-branch::
+
+            with fpu.if_block(c) as blk:
+                ...then commands...
+                blk = blk.otherwise()
+                ...else commands...
+        """
+        scope = self.builder._scopes.pop()
+        self.then_cmds = scope.cmds
+        self.builder._scopes.append(_BodyScope())
+        return self
+
+
+def extern_component(
+    name: str,
+    params: Sequence[str] = (),
+    delay: Union[int, PExpr] = 1,
+    inputs: Sequence[PortDef] = (),
+    outputs: Sequence[PortDef] = (),
+    out_params: Sequence[OutParamDef] = (),
+    where: Sequence[Constraint] = (),
+) -> Component:
+    """Declare an external (Verilog-backed) component."""
+    sig = Signature(
+        name,
+        params=[ParamDef(p) for p in params],
+        event=EventDef("G", delay),
+        inputs=list(inputs),
+        outputs=list(outputs),
+        out_params=list(out_params),
+        where=list(where),
+        kind=EXTERN,
+    )
+    return Component(sig)
+
+
+def gen_component(
+    tool: str,
+    name: str,
+    params: Sequence[str] = (),
+    delay: Union[int, PExpr] = 1,
+    inputs: Sequence[PortDef] = (),
+    outputs: Sequence[PortDef] = (),
+    out_params: Sequence[OutParamDef] = (),
+    where: Sequence[Constraint] = (),
+) -> Component:
+    """Declare a generator-produced component (``gen "tool" comp ...``)."""
+    sig = Signature(
+        name,
+        params=[ParamDef(p) for p in params],
+        event=EventDef("G", delay),
+        inputs=list(inputs),
+        outputs=list(outputs),
+        out_params=list(out_params),
+        where=list(where),
+        kind=GEN,
+        gen_tool=tool,
+    )
+    return Component(sig)

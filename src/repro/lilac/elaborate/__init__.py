@@ -1,0 +1,12 @@
+"""Elaboration: parameterized Lilac -> concrete Filament -> RTL."""
+
+from .elaborator import ElabError, ElabResult, Elaborator
+from .lower import build_extern_module, lower_module
+
+__all__ = [
+    "ElabError",
+    "ElabResult",
+    "Elaborator",
+    "build_extern_module",
+    "lower_module",
+]

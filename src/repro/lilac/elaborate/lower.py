@@ -1,0 +1,356 @@
+"""Lowering: concrete Filament modules -> RTL netlists.
+
+Because every schedule is static (the type checker proved window
+containment for all reads), lowering is purely structural: signals are
+wires, invocations are submodule instances, and no handshaking logic is
+generated — this is precisely the efficiency argument of the paper's
+latency-sensitive/latency-abstract designs.
+
+Two pieces of control logic *are* generated, both part of any real LS
+design:
+
+* a **pulse chain** delaying the module's ``go`` event, used to drive the
+  interface (valid) pins of children that need them (generated modules,
+  hold registers);
+* **time-multiplexing muxes** when several invocations share one instance
+  (explicit resource reuse): the instance's inputs are selected by the
+  pulse phase of each invocation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ...filament import (
+    ConstRef,
+    FilamentError,
+    FInvoke,
+    FModule,
+    FPort,
+    InputRef,
+    InvokeOutRef,
+    PackRef,
+    Ref,
+)
+from ...rtl import Module, Net
+
+
+def _buffer(module: Module, src: Net, dst: Net) -> None:
+    """Drive ``dst`` from ``src`` (slice-at-0 acts as a zero-cost buffer)."""
+    module.add_cell("slice", {"a": src, "out": dst}, {"lsb": 0})
+
+
+def build_extern_module(
+    name: str,
+    prim: str,
+    params: Dict[str, int],
+    inputs: List[FPort],
+    outputs: List[FPort],
+) -> Module:
+    """Materialize an extern component as a tiny RTL module."""
+    module = Module(name)
+    nets: Dict[str, Net] = {}
+    for port in inputs:
+        nets[port.name] = module.add_input(
+            port.name, port.width * (port.size or 1)
+        )
+    for port in outputs:
+        nets[port.name] = module.add_output(
+            port.name, port.width * (port.size or 1)
+        )
+    if prim == "reg":
+        module.add_cell("reg", {"d": nets["in"], "q": nets["out"]})
+    elif prim == "reg_hold":
+        module.add_cell(
+            "regen", {"d": nets["in"], "en": nets["en_i"], "q": nets["out"]}
+        )
+    elif prim == "delay_buf":
+        _build_delay_buf(module, nets, params)
+    elif prim == "mux":
+        module.add_cell(
+            "mux",
+            {"sel": nets["sel"], "a": nets["a"], "b": nets["b"], "out": nets["out"]},
+        )
+    elif prim in ("add", "sub", "mul", "and", "or", "xor", "eq", "lt"):
+        module.add_cell(prim, {"a": nets["a"], "b": nets["b"], "out": nets["out"]})
+    elif prim == "not":
+        module.add_cell("not", {"a": nets["a"], "out": nets["out"]})
+    elif prim in ("shl", "shr"):
+        module.add_cell(
+            prim, {"a": nets["a"], "out": nets["out"]},
+            {"amount": params.get("#S", 0)},
+        )
+    elif prim == "slice":
+        module.add_cell(
+            "slice", {"a": nets["a"], "out": nets["out"]},
+            {"lsb": params.get("#LSB", 0)},
+        )
+    elif prim == "concat":
+        module.add_cell(
+            "concat", {"a": nets["a"], "b": nets["b"], "out": nets["out"]}
+        )
+    elif prim == "const":
+        module.add_cell(
+            "const", {"out": nets["out"]}, {"value": params.get("#V", 0)}
+        )
+    else:
+        raise FilamentError(f"unknown extern primitive {prim!r}")
+    return module
+
+
+def _build_delay_buf(module: Module, nets: Dict[str, Net], params: Dict[str, int]) -> None:
+    """Two alternating register banks + a phase bit delayed by #T.
+
+    The bank written at transaction time holds its value for two
+    initiation intervals, so the output can be read #T cycles later as
+    long as at most two transactions are in flight.
+    """
+    delay = params["#T"]
+    en = nets["en_i"]
+    data = nets["in"]
+    out = nets["out"]
+    phase = module.fresh_net(1, "phase")
+    flipped = module.unop("not", phase, width=1)
+    next_phase = module.mux(en, flipped, phase)
+    module.add_cell("reg", {"d": next_phase, "q": phase}, {"init": 0})
+    write_a = module.binop("and", en, flipped, 1)  # phase 0 writes bank A
+    write_b = module.binop("and", en, phase, 1)
+    bank_a = module.fresh_net(data.width, "bank_a")
+    bank_b = module.fresh_net(data.width, "bank_b")
+    module.add_cell("regen", {"d": data, "en": write_a, "q": bank_a})
+    module.add_cell("regen", {"d": data, "en": write_b, "q": bank_b})
+    # Which bank was written `delay` cycles ago: the phase value at the
+    # write instant, delayed.
+    read_sel = module.delay_chain(phase, delay)
+    selected = module.mux(read_sel, bank_b, bank_a)
+    module.add_cell("slice", {"a": selected, "out": out}, {"lsb": 0})
+
+
+class _Lowerer:
+    def __init__(self, fmodule: FModule):
+        self.fm = fmodule
+        self.module = Module(fmodule.name)
+        self.go: Optional[Net] = None
+        self.go_name = "go"
+        self.pulses: List[Net] = []
+        self.input_nets: Dict[str, Net] = {}
+        self.input_slices: Dict[Tuple[str, int], Net] = {}
+        self.group_outputs: Dict[str, Dict[str, Net]] = {}
+        self.invoke_group: Dict[str, str] = {}
+        self.output_elements: Dict[str, Dict[int, Net]] = {}
+
+    def lower(self) -> Module:
+        self._create_ports()
+        groups = self._group_invokes()
+        for key, invokes in groups.items():
+            self._allocate_group_outputs(key, invokes)
+        for key, invokes in groups.items():
+            self._build_group(key, invokes)
+        self._drive_outputs()
+        return self.module
+
+    # ------------------------------------------------------------------
+
+    def _create_ports(self) -> None:
+        for port in self.fm.inputs:
+            if port.interface:
+                self.go_name = port.name
+                self.go = self.module.add_input(port.name, 1)
+            else:
+                self.input_nets[port.name] = self.module.add_input(
+                    port.name, port.width * (port.size or 1)
+                )
+        if self.go is None:
+            self.go = self.module.add_input("go", 1)
+        for port in self.fm.outputs:
+            self.input_nets[f"!out:{port.name}"] = self.module.add_output(
+                port.name, port.width * (port.size or 1)
+            )
+
+    def _pulse(self, time: int) -> Net:
+        """The go pulse delayed by ``time`` cycles (shared register chain)."""
+        if time < 0:
+            raise FilamentError(f"{self.fm.name}: negative schedule time {time}")
+        while len(self.pulses) <= time:
+            if not self.pulses:
+                self.pulses.append(self.go)
+            else:
+                self.pulses.append(self.module.register(self.pulses[-1]))
+        return self.pulses[time]
+
+    def _group_invokes(self) -> Dict[str, List[FInvoke]]:
+        groups: Dict[str, List[FInvoke]] = {}
+        for invoke in self.fm.invokes:
+            key = getattr(invoke, "_instance_key", invoke.name)
+            groups.setdefault(key, []).append(invoke)
+            self.invoke_group[invoke.name] = key
+        return groups
+
+    def _allocate_group_outputs(self, key: str, invokes: List[FInvoke]) -> None:
+        child = invokes[0].child
+        outs: Dict[str, Net] = {}
+        for port in child.outputs:
+            if port.interface:
+                continue
+            outs[port.name] = self.module.fresh_net(
+                port.width * (port.size or 1), f"{key}.{port.name}"
+            )
+        self.group_outputs[key] = outs
+
+    def _build_group(self, key: str, invokes: List[FInvoke]) -> None:
+        child = invokes[0].child
+        data_ports = [p for p in child.inputs if not p.interface]
+        pins: Dict[str, Net] = {}
+        for index, port in enumerate(data_ports):
+            want = port.width * (port.size or 1)
+            if len(invokes) == 1:
+                pins[port.name] = self._ref_net(invokes[0].args[index], want)
+            else:
+                pins[port.name] = self._mux_shared_input(
+                    invokes, index, port, want
+                )
+        child_go = self._child_go_pin(child)
+        if child_go is not None:
+            pins[child_go] = self._or_pulses([inv.time for inv in invokes])
+        for port_name, net in self.group_outputs[key].items():
+            pins[port_name] = net
+        self.module.add_submodule(child.module, pins, name=f"i${key}")
+
+    def _child_go_pin(self, child) -> Optional[str]:
+        go_port = child.go_port
+        if go_port is not None:
+            return go_port
+        if "go" in child.module.ports and child.module.port_dirs["go"] == "in":
+            return "go"
+        return None
+
+    def _or_pulses(self, times: List[int]) -> Net:
+        nets = [self._pulse(t) for t in sorted(set(times))]
+        acc = nets[0]
+        for net in nets[1:]:
+            acc = self.module.binop("or", acc, net, 1)
+        return acc
+
+    def _mux_shared_input(
+        self, invokes: List[FInvoke], arg_index: int, port: FPort, want: int
+    ) -> Net:
+        """Time-multiplex a shared instance's input across invocations.
+
+        The select pulses are mutually exclusive (the type system proved
+        invocation spacing), so a balanced one-hot mux tree is used.
+        """
+        from ...rtl.netlist import onehot_mux
+
+        cases = []
+        for invoke in invokes:
+            arg_net = self._ref_net(invoke.args[arg_index], want)
+            window = range(invoke.time + port.start, invoke.time + port.end)
+            select = self._or_pulses(list(window))
+            cases.append((select, arg_net))
+        return onehot_mux(self.module, cases, want)
+
+    def _ref_net(self, ref: Ref, want_width: int) -> Net:
+        if isinstance(ref, ConstRef):
+            width = ref.width or want_width
+            return self.module.constant(ref.value, width)
+        if isinstance(ref, PackRef):
+            element_width = want_width // max(1, len(ref.elements))
+            nets = [self._ref_net(e, element_width) for e in ref.elements]
+            packed = nets[-1]
+            for net in reversed(nets[:-1]):
+                widened = self.module.fresh_net(
+                    packed.width + net.width, "argpack"
+                )
+                self.module.add_cell(
+                    "concat", {"a": packed, "b": net, "out": widened}
+                )
+                packed = widened
+            return packed
+        if isinstance(ref, InputRef):
+            port = self.fm.input(ref.port)
+            net = self.input_nets[ref.port]
+            if ref.index is None:
+                return net
+            return self._element(net, ref.port, ref.index, port.width)
+        if isinstance(ref, InvokeOutRef):
+            group = self.invoke_group[ref.invoke]
+            net = self.group_outputs[group][ref.port]
+            if ref.index is None:
+                return net
+            child = None
+            for invoke in self.fm.invokes:
+                if invoke.name == ref.invoke:
+                    child = invoke.child
+                    break
+            width = child.output(ref.port).width
+            return self._element(net, f"{group}.{ref.port}", ref.index, width)
+        raise FilamentError(f"cannot lower ref {ref!r}")
+
+    def _element(self, net: Net, label: str, index: int, width: int) -> Net:
+        key = (label, index)
+        cached = self.input_slices.get(key)
+        if cached is not None:
+            return cached
+        out = self.module.fresh_net(width, f"{label}[{index}]")
+        self.module.add_cell(
+            "slice", {"a": net, "out": out}, {"lsb": index * width}
+        )
+        self.input_slices[key] = out
+        return out
+
+    def _drive_outputs(self) -> None:
+        scalar_srcs: Dict[str, Net] = {}
+        for connect in self.fm.connects:
+            port = self.fm.output(connect.port)
+            want = port.width if connect.index is not None or port.size is None else port.width * (port.size or 1)
+            src = self._ref_net(connect.src, want)
+            if connect.index is None and port.size is None:
+                scalar_srcs[connect.port] = src
+            elif connect.index is None and port.size is not None:
+                # Whole-array connect.
+                scalar_srcs[connect.port] = src
+            else:
+                self.output_elements.setdefault(connect.port, {})[
+                    connect.index
+                ] = src
+        for port in self.fm.outputs:
+            if port.interface:
+                continue
+            out_net = self.input_nets[f"!out:{port.name}"]
+            if port.name in scalar_srcs:
+                _buffer(self.module, scalar_srcs[port.name], out_net)
+                continue
+            elements = self.output_elements.get(port.name)
+            if elements is None:
+                raise FilamentError(
+                    f"{self.fm.name}: output {port.name!r} undriven at lowering"
+                )
+            packed = self._pack_elements(elements, port)
+            _buffer(self.module, packed, out_net)
+
+    def _pack_elements(self, elements: Dict[int, Net], port: FPort) -> Net:
+        size = port.size or 1
+        acc: Optional[Net] = None
+        for index in range(size - 1, -1, -1):
+            if index not in elements:
+                raise FilamentError(
+                    f"{self.fm.name}: output element {port.name}[{index}] "
+                    "undriven at lowering"
+                )
+            element = elements[index]
+            if acc is None:
+                acc = element
+            else:
+                out = self.module.fresh_net(
+                    acc.width + element.width, f"{port.name}.pack"
+                )
+                self.module.add_cell(
+                    "concat", {"a": acc, "b": element, "out": out}
+                )
+                acc = out
+        return acc
+
+
+def lower_module(fmodule: FModule) -> Module:
+    """Lower a concrete Filament module to an RTL netlist."""
+    return _Lowerer(fmodule).lower()

@@ -1,0 +1,14 @@
+"""Textual frontend for Lilac (lexer + recursive-descent parser)."""
+
+from .lexer import LexError, Token, tokenize
+from .parser import ParseError, Parser, parse_component, parse_program
+
+__all__ = [
+    "LexError",
+    "Token",
+    "tokenize",
+    "ParseError",
+    "Parser",
+    "parse_component",
+    "parse_program",
+]

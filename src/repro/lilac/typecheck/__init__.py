@@ -1,0 +1,12 @@
+"""Lilac's SMT-backed type system (section 4 of the paper)."""
+
+from .check import ComponentChecker, check_component, check_program
+from .diagnostics import CheckReport, TypeCheckError
+
+__all__ = [
+    "ComponentChecker",
+    "check_component",
+    "check_program",
+    "CheckReport",
+    "TypeCheckError",
+]

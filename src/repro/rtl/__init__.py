@@ -1,0 +1,25 @@
+"""RTL substrate: netlists, cycle-accurate simulation, Verilog emission."""
+
+from .netlist import (
+    Cell,
+    COMBINATIONAL_KINDS,
+    Module,
+    Net,
+    NetlistError,
+    SEQUENTIAL_KINDS,
+    flatten,
+)
+from .simulate import Simulator
+from .verilog import emit_verilog
+
+__all__ = [
+    "Cell",
+    "COMBINATIONAL_KINDS",
+    "Module",
+    "Net",
+    "NetlistError",
+    "SEQUENTIAL_KINDS",
+    "flatten",
+    "Simulator",
+    "emit_verilog",
+]

@@ -1,0 +1,251 @@
+"""Cycle-accurate two-phase simulator for RTL netlists.
+
+Each cycle:
+
+1. input ports are poked;
+2. combinational logic is evaluated in topological order;
+3. outputs can be sampled;
+4. on ``tick`` the sequential cells (registers, FIFOs) latch.
+
+Combinational loops are rejected at construction.  Values are Python ints
+masked to net widths (two's-complement-free: all arithmetic is unsigned
+modulo 2^width, like Verilog's unsigned semantics).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional
+
+from .netlist import Cell, Module, Net, NetlistError, flatten
+
+
+def _mask(value: int, width: int) -> int:
+    return value & ((1 << width) - 1)
+
+
+class _FifoState:
+    __slots__ = ("queue", "depth")
+
+    def __init__(self, depth: int):
+        self.queue: deque = deque()
+        self.depth = depth
+
+
+class Simulator:
+    """Simulates a (hierarchical) module; hierarchy is flattened first."""
+
+    def __init__(self, module: Module):
+        self.module = flatten(module)
+        self.module.validate()
+        self.values: Dict[Net, int] = {
+            net: 0 for net in self.module.nets.values()
+        }
+        self.reg_state: Dict[str, int] = {}
+        self.fifo_state: Dict[str, _FifoState] = {}
+        self.cycle = 0
+        for cell in self.module.cells.values():
+            if cell.kind in ("reg", "regen"):
+                self.reg_state[cell.name] = int(cell.params.get("init", 0))
+            elif cell.kind == "fifo":
+                self.fifo_state[cell.name] = _FifoState(
+                    int(cell.params.get("depth", 2))
+                )
+        self._comb_order = self._topological_comb_order()
+
+    # ------------------------------------------------------------------
+
+    def _topological_comb_order(self) -> List[Cell]:
+        """Topologically sort combinational cells by net dependencies."""
+        comb_cells = [
+            c for c in self.module.cells.values() if not c.is_sequential()
+        ]
+        producers: Dict[Net, Cell] = {}
+        for cell in comb_cells:
+            for pin in cell.output_pins():
+                net = cell.pins.get(pin)
+                if net is not None:
+                    producers[net] = cell
+        # Edges: producer -> consumer when consumer reads producer's net.
+        indegree: Dict[str, int] = {c.name: 0 for c in comb_cells}
+        consumers: Dict[str, List[Cell]] = {c.name: [] for c in comb_cells}
+        for cell in comb_cells:
+            for pin in cell.input_pins():
+                net = cell.pins.get(pin)
+                producer = producers.get(net)
+                if producer is not None and producer.name != cell.name:
+                    consumers[producer.name].append(cell)
+                    indegree[cell.name] += 1
+        ready = deque(c for c in comb_cells if indegree[c.name] == 0)
+        order: List[Cell] = []
+        while ready:
+            cell = ready.popleft()
+            order.append(cell)
+            for consumer in consumers[cell.name]:
+                indegree[consumer.name] -= 1
+                if indegree[consumer.name] == 0:
+                    ready.append(consumer)
+        if len(order) != len(comb_cells):
+            cyclic = [c.name for c in comb_cells if indegree[c.name] > 0]
+            raise NetlistError(
+                f"{self.module.name}: combinational loop through {cyclic[:5]}"
+            )
+        return order
+
+    # ------------------------------------------------------------------
+
+    def poke(self, inputs: Dict[str, int]) -> None:
+        for name, value in inputs.items():
+            net = self.module.ports.get(name)
+            if net is None or self.module.port_dirs.get(name) != "in":
+                raise NetlistError(f"{self.module.name}: no input port {name!r}")
+            self.values[net] = _mask(int(value), net.width)
+
+    def evaluate(self) -> None:
+        """Drive sequential outputs from state, then evaluate comb logic."""
+        values = self.values
+        for cell in self.module.cells.values():
+            if cell.kind in ("reg", "regen"):
+                q = cell.pins["q"]
+                values[q] = _mask(self.reg_state[cell.name], q.width)
+            elif cell.kind == "fifo":
+                self._drive_fifo_outputs(cell)
+        for cell in self._comb_order:
+            self._eval_comb(cell)
+
+    def peek(self, name: str) -> int:
+        net = self.module.ports.get(name)
+        if net is None:
+            raise NetlistError(f"{self.module.name}: no port {name!r}")
+        return self.values[net]
+
+    def peek_net(self, net_name: str) -> int:
+        net = self.module.nets.get(net_name)
+        if net is None:
+            raise NetlistError(f"{self.module.name}: no net {net_name!r}")
+        return self.values[net]
+
+    def tick(self) -> None:
+        """Clock edge: latch registers and FIFOs from current net values."""
+        updates: Dict[str, int] = {}
+        for cell in self.module.cells.values():
+            if cell.kind == "reg":
+                updates[cell.name] = self.values[cell.pins["d"]]
+            elif cell.kind == "regen":
+                if self.values[cell.pins["en"]] & 1:
+                    updates[cell.name] = self.values[cell.pins["d"]]
+            elif cell.kind == "fifo":
+                self._tick_fifo(cell)
+        self.reg_state.update(updates)
+        self.cycle += 1
+
+    def step(self, inputs: Optional[Dict[str, int]] = None) -> Dict[str, int]:
+        """Poke, evaluate, sample all outputs, then tick.  Returns outputs."""
+        if inputs:
+            self.poke(inputs)
+        self.evaluate()
+        outputs = {name: self.values[net] for name, net in self.module.outputs()}
+        self.tick()
+        return outputs
+
+    def run(self, input_stream: List[Dict[str, int]]) -> List[Dict[str, int]]:
+        """Feed a sequence of input maps; collect outputs for each cycle."""
+        return [self.step(inputs) for inputs in input_stream]
+
+    # ------------------------------------------------------------------
+
+    def _drive_fifo_outputs(self, cell: Cell) -> None:
+        state = self.fifo_state[cell.name]
+        values = self.values
+        in_ready = cell.pins["in_ready"]
+        out_valid = cell.pins["out_valid"]
+        out_data = cell.pins["out_data"]
+        values[in_ready] = 1 if len(state.queue) < state.depth else 0
+        if state.queue:
+            values[out_valid] = 1
+            values[out_data] = _mask(state.queue[0], out_data.width)
+        else:
+            values[out_valid] = 0
+            values[out_data] = 0
+
+    def _tick_fifo(self, cell: Cell) -> None:
+        state = self.fifo_state[cell.name]
+        values = self.values
+        popped = (
+            state.queue
+            and values[cell.pins["out_ready"]] & 1
+            and values[cell.pins["out_valid"]] & 1
+        )
+        pushed = (
+            values[cell.pins["in_valid"]] & 1
+            and values[cell.pins["in_ready"]] & 1
+        )
+        if popped:
+            state.queue.popleft()
+        if pushed:
+            state.queue.append(values[cell.pins["in_data"]])
+
+    def _eval_comb(self, cell: Cell) -> None:
+        values = self.values
+        kind = cell.kind
+        pins = cell.pins
+        if kind == "const":
+            out = pins["out"]
+            values[out] = _mask(int(cell.params["value"]), out.width)
+            return
+        out = pins.get("out")
+        if kind in ("add", "sub", "mul", "div", "mod", "and", "or", "xor", "eq", "lt"):
+            a = values[pins["a"]]
+            b = values[pins["b"]]
+            if kind == "add":
+                result = a + b
+            elif kind == "sub":
+                result = a - b
+            elif kind == "mul":
+                result = a * b
+            elif kind == "div":
+                result = a // b if b else 0
+            elif kind == "mod":
+                result = a % b if b else 0
+            elif kind == "and":
+                result = a & b
+            elif kind == "or":
+                result = a | b
+            elif kind == "xor":
+                result = a ^ b
+            elif kind == "eq":
+                result = 1 if a == b else 0
+            else:  # lt
+                result = 1 if a < b else 0
+            values[out] = _mask(result, out.width)
+            return
+        if kind == "not":
+            values[out] = _mask(~values[pins["a"]], out.width)
+            return
+        if kind == "shl":
+            values[out] = _mask(
+                values[pins["a"]] << int(cell.params["amount"]), out.width
+            )
+            return
+        if kind == "shr":
+            values[out] = _mask(
+                values[pins["a"]] >> int(cell.params["amount"]), out.width
+            )
+            return
+        if kind == "mux":
+            sel = values[pins["sel"]] & 1
+            values[out] = _mask(
+                values[pins["a"]] if sel else values[pins["b"]], out.width
+            )
+            return
+        if kind == "slice":
+            lsb = int(cell.params["lsb"])
+            values[out] = _mask(values[pins["a"]] >> lsb, out.width)
+            return
+        if kind == "concat":
+            b_net = pins["b"]
+            values[out] = _mask(
+                (values[pins["a"]] << b_net.width) | values[b_net], out.width
+            )
+            return
+        raise NetlistError(f"cannot evaluate cell kind {kind!r}")

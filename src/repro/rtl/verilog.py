@@ -1,0 +1,125 @@
+"""Structural Verilog emission for RTL netlists.
+
+The paper's compiler produces Verilog; we emit equivalent structural text
+so designs can be inspected (and, outside this sandbox, synthesized).  The
+emitter works on flattened modules.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .netlist import Cell, Module, flatten
+
+
+def _vname(name: str) -> str:
+    out = []
+    for char in name:
+        if char.isalnum() or char == "_":
+            out.append(char)
+        else:
+            out.append("_")
+    text = "".join(out)
+    if text and text[0].isdigit():
+        text = "n" + text
+    return text
+
+
+def _range(width: int) -> str:
+    return f"[{width - 1}:0] " if width > 1 else ""
+
+
+def emit_verilog(module: Module) -> str:
+    """Emit synthesizable structural Verilog for a module."""
+    flat = flatten(module)
+    lines: List[str] = []
+    port_decls = ["input wire clk"]
+    for name, net in flat.inputs():
+        port_decls.append(f"input wire {_range(net.width)}{_vname(name)}")
+    for name, net in flat.outputs():
+        port_decls.append(f"output wire {_range(net.width)}{_vname(name)}")
+    lines.append(f"module {_vname(flat.name)} (")
+    lines.append("  " + ",\n  ".join(port_decls))
+    lines.append(");")
+    port_nets = set(flat.ports.values())
+    for net in flat.nets.values():
+        if net in port_nets:
+            continue
+        lines.append(f"  wire {_range(net.width)}{_vname(net.name)};")
+    regs: List[str] = []
+    for cell in flat.cells.values():
+        lines.extend(_emit_cell(cell, regs))
+    if regs:
+        lines.append("  always @(posedge clk) begin")
+        lines.extend(f"    {stmt}" for stmt in regs)
+        lines.append("  end")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def _emit_cell(cell: Cell, regs: List[str]) -> List[str]:
+    pins = {pin: _vname(net.name) for pin, net in cell.pins.items()}
+    kind = cell.kind
+    if kind == "const":
+        width = cell.pins["out"].width
+        return [f"  assign {pins['out']} = {width}'d{cell.params['value'] & ((1 << width) - 1)};"]
+    binops = {
+        "add": "+",
+        "sub": "-",
+        "mul": "*",
+        "div": "/",
+        "mod": "%",
+        "and": "&",
+        "or": "|",
+        "xor": "^",
+        "eq": "==",
+        "lt": "<",
+    }
+    if kind in binops:
+        return [
+            f"  assign {pins['out']} = {pins['a']} {binops[kind]} {pins['b']};"
+        ]
+    if kind == "not":
+        return [f"  assign {pins['out']} = ~{pins['a']};"]
+    if kind == "shl":
+        return [f"  assign {pins['out']} = {pins['a']} << {cell.params['amount']};"]
+    if kind == "shr":
+        return [f"  assign {pins['out']} = {pins['a']} >> {cell.params['amount']};"]
+    if kind == "mux":
+        return [
+            f"  assign {pins['out']} = {pins['sel']} ? {pins['a']} : {pins['b']};"
+        ]
+    if kind == "slice":
+        lsb = int(cell.params["lsb"])
+        msb = lsb + cell.pins["out"].width - 1
+        return [f"  assign {pins['out']} = {pins['a']}[{msb}:{lsb}];"]
+    if kind == "concat":
+        return [f"  assign {pins['out']} = {{{pins['a']}, {pins['b']}}};"]
+    if kind == "reg":
+        # Declared as wire; model the register in the always block via a
+        # shadow reg and continuous assignment.
+        shadow = f"{pins['q']}_r"
+        regs.append(f"{shadow} <= {pins['d']};")
+        return [
+            f"  reg {_range(cell.pins['q'].width)}{shadow};",
+            f"  assign {pins['q']} = {shadow};",
+        ]
+    if kind == "regen":
+        shadow = f"{pins['q']}_r"
+        regs.append(f"if ({pins['en']}) {shadow} <= {pins['d']};")
+        return [
+            f"  reg {_range(cell.pins['q'].width)}{shadow};",
+            f"  assign {pins['q']} = {shadow};",
+        ]
+    if kind == "fifo":
+        depth = int(cell.params.get("depth", 2))
+        width = cell.pins["in_data"].width
+        name = _vname(cell.name)
+        return [
+            f"  // FIFO {name}: depth {depth}, width {width}",
+            f"  lilac_fifo #(.DEPTH({depth}), .WIDTH({width})) {name} (",
+            f"    .clk(clk), .in_data({pins['in_data']}), .in_valid({pins['in_valid']}),",
+            f"    .in_ready({pins['in_ready']}), .out_data({pins['out_data']}),",
+            f"    .out_valid({pins['out_valid']}), .out_ready({pins['out_ready']}));",
+        ]
+    raise ValueError(f"cannot emit cell kind {kind!r}")

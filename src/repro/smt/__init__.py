@@ -1,0 +1,93 @@
+"""A self-contained QF_UFLIA SMT solver.
+
+This package replaces the paper's use of Z3: the Lilac type checker issues
+quantifier-free queries over linear integer arithmetic extended with
+uninterpreted functions (output parameters, log2/exp2, abstracted products).
+
+Public surface::
+
+    from repro.smt import Int, IntVal, And, Or, Not, Implies, Eq, Ne,
+        Le, Lt, Ge, Gt, Plus, Minus, Times, Div, Mod, App, Ite,
+        Solver, check_sat, prove, SAT, UNSAT
+"""
+
+from .terms import (
+    Term,
+    INT,
+    BOOL,
+    Int,
+    Bool,
+    IntVal,
+    BoolVal,
+    TRUE,
+    FALSE,
+    App,
+    Plus,
+    Minus,
+    Neg,
+    Times,
+    Div,
+    Mod,
+    Eq,
+    Ne,
+    Le,
+    Lt,
+    Ge,
+    Gt,
+    Not,
+    And,
+    Or,
+    Implies,
+    Ite,
+    free_vars,
+    apps,
+    substitute,
+    subterms,
+)
+from .lia import LinExpr, NonLinearError, linexpr_of_term, solve_system
+from .solver import Result, Solver, SolverError, check_sat, prove, SAT, UNSAT
+
+__all__ = [
+    "Term",
+    "INT",
+    "BOOL",
+    "Int",
+    "Bool",
+    "IntVal",
+    "BoolVal",
+    "TRUE",
+    "FALSE",
+    "App",
+    "Plus",
+    "Minus",
+    "Neg",
+    "Times",
+    "Div",
+    "Mod",
+    "Eq",
+    "Ne",
+    "Le",
+    "Lt",
+    "Ge",
+    "Gt",
+    "Not",
+    "And",
+    "Or",
+    "Implies",
+    "Ite",
+    "free_vars",
+    "apps",
+    "substitute",
+    "subterms",
+    "LinExpr",
+    "NonLinearError",
+    "linexpr_of_term",
+    "solve_system",
+    "Result",
+    "Solver",
+    "SolverError",
+    "check_sat",
+    "prove",
+    "SAT",
+    "UNSAT",
+]

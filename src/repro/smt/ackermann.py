@@ -1,0 +1,68 @@
+"""Ackermann reduction: eliminate uninterpreted functions.
+
+Output parameters are encoded as uninterpreted functions over a component's
+input parameters (section 4.2 of the paper): ``Max[#A,#B]::#O`` becomes
+``(Max_O A B)``.  The queries the type checker builds are quantifier-free
+with few distinct applications, so Ackermann's reduction — replace each
+application with a fresh variable and add pairwise functional-consistency
+implications — is a simple, complete way to reach pure linear arithmetic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .terms import Term, And, Eq, Implies, Int, apps, substitute
+
+
+def ackermannize(formula: Term) -> Tuple[Term, List[Term], Dict[Term, Term]]:
+    """Remove all uninterpreted applications from ``formula``.
+
+    Returns ``(reduced_formula, consistency_constraints, mapping)`` where
+    ``mapping`` sends each original application term to its fresh variable
+    (useful for reporting models in terms of output parameters).
+    """
+    mapping: Dict[Term, Term] = {}
+    order: List[Term] = []
+    counter = [0]
+
+    def fresh_for(app: Term) -> Term:
+        counter[0] += 1
+        return Int(f"@{app.name}!{counter[0]}")
+
+    current = formula
+    # Innermost-first rounds: nested applications (log2(exp2(x))) need their
+    # arguments rewritten before the outer application is keyed.
+    while True:
+        remaining = [a for a in apps(current) if not apps_in_args(a)]
+        if not remaining:
+            if apps(current):
+                # Only nested apps remain whose args still contain apps —
+                # impossible since we remove innermost each round.
+                raise AssertionError("ackermannization failed to converge")
+            break
+        round_map = {}
+        for app in sorted(remaining, key=lambda t: t.sexpr()):
+            if app not in mapping:
+                var = fresh_for(app)
+                mapping[app] = var
+                order.append(app)
+            round_map[app] = mapping[app]
+        current = substitute(current, round_map)
+
+    constraints: List[Term] = []
+    for i, first in enumerate(order):
+        for second in order[i + 1 :]:
+            if first.name != second.name or len(first.args) != len(second.args):
+                continue
+            args_equal = And(
+                *[Eq(a, b) for a, b in zip(first.args, second.args)]
+            )
+            constraints.append(
+                Implies(args_equal, Eq(mapping[first], mapping[second]))
+            )
+    return current, constraints, mapping
+
+
+def apps_in_args(app: Term) -> bool:
+    return any(apps(arg) for arg in app.args)

@@ -1,0 +1,446 @@
+"""Linear integer arithmetic: normalization and an Omega-style decision
+procedure with model extraction.
+
+The Lilac type checker emits constraints over symbolic parameters (latencies,
+initiation intervals, bundle indices).  After uninterpreted functions are
+removed by Ackermann reduction, every theory atom is a linear constraint over
+integer variables.  This module decides satisfiability of conjunctions of
+such constraints *exactly* and produces integer models (used to build the
+counterexample parameterizations the paper shows in section 3.2).
+
+The algorithm follows Pugh's Omega test:
+
+* equalities are eliminated with unimodular changes of variables (a
+  Euclidean reduction that preserves integer solution sets bijectively);
+* inequalities are eliminated with Fourier--Motzkin using the *dark shadow*
+  for completeness, falling back to splinter enumeration in the rare case
+  the dark shadow is strictly smaller than the real shadow.
+
+Models are rebuilt by back-substitution through the recorded eliminations.
+"""
+
+from __future__ import annotations
+
+from math import gcd
+from typing import Dict, List, Optional, Tuple
+
+from .terms import Term, Int
+
+Model = Dict[Term, int]
+
+
+class NonLinearError(Exception):
+    """Raised when a term cannot be expressed as a linear expression."""
+
+
+class LinExpr:
+    """A linear expression ``sum(coeff * var) + const`` over Term variables."""
+
+    __slots__ = ("coeffs", "const")
+
+    def __init__(self, coeffs: Optional[Dict[Term, int]] = None, const: int = 0):
+        self.coeffs: Dict[Term, int] = {}
+        if coeffs:
+            for var, coeff in coeffs.items():
+                if coeff != 0:
+                    self.coeffs[var] = coeff
+        self.const = const
+
+    @staticmethod
+    def constant(value: int) -> "LinExpr":
+        return LinExpr(const=value)
+
+    @staticmethod
+    def of_var(var: Term, coeff: int = 1) -> "LinExpr":
+        return LinExpr({var: coeff})
+
+    def copy(self) -> "LinExpr":
+        return LinExpr(dict(self.coeffs), self.const)
+
+    def add(self, other: "LinExpr") -> "LinExpr":
+        out = self.copy()
+        for var, coeff in other.coeffs.items():
+            new = out.coeffs.get(var, 0) + coeff
+            if new:
+                out.coeffs[var] = new
+            else:
+                out.coeffs.pop(var, None)
+        out.const += other.const
+        return out
+
+    def scale(self, factor: int) -> "LinExpr":
+        if factor == 0:
+            return LinExpr()
+        return LinExpr(
+            {var: coeff * factor for var, coeff in self.coeffs.items()},
+            self.const * factor,
+        )
+
+    def sub(self, other: "LinExpr") -> "LinExpr":
+        return self.add(other.scale(-1))
+
+    def is_const(self) -> bool:
+        return not self.coeffs
+
+    def coeff(self, var: Term) -> int:
+        return self.coeffs.get(var, 0)
+
+    def without(self, var: Term) -> "LinExpr":
+        out = self.copy()
+        out.coeffs.pop(var, None)
+        return out
+
+    def substitute(self, var: Term, replacement: "LinExpr") -> "LinExpr":
+        coeff = self.coeffs.get(var)
+        if coeff is None:
+            return self
+        out = self.without(var)
+        return out.add(replacement.scale(coeff))
+
+    def evaluate(self, model: Model) -> int:
+        total = self.const
+        for var, coeff in self.coeffs.items():
+            total += coeff * model[var]
+        return total
+
+    def variables(self):
+        return self.coeffs.keys()
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, LinExpr):
+            return NotImplemented
+        return self.coeffs == other.coeffs and self.const == other.const
+
+    def __hash__(self):
+        return hash((frozenset(self.coeffs.items()), self.const))
+
+    def __repr__(self) -> str:
+        parts = [f"{c}*{v.sexpr()}" for v, c in self.coeffs.items()]
+        parts.append(str(self.const))
+        return " + ".join(parts)
+
+
+def linexpr_of_term(term: Term) -> LinExpr:
+    """Convert an integer term into a LinExpr.
+
+    Variables and uninterpreted applications become atomic variables.
+    Multiplication is only allowed when at most one factor is non-constant;
+    anything else raises :class:`NonLinearError` (the solver abstracts
+    non-linear products before reaching this point).
+    """
+    op = term.op
+    if op == "intval":
+        return LinExpr.constant(term.value)
+    if op in ("var", "app"):
+        return LinExpr.of_var(term)
+    if op == "+":
+        out = LinExpr()
+        for arg in term.args:
+            out = out.add(linexpr_of_term(arg))
+        return out
+    if op == "neg":
+        return linexpr_of_term(term.args[0]).scale(-1)
+    if op == "*":
+        const = 1
+        base: Optional[LinExpr] = None
+        for arg in term.args:
+            sub = linexpr_of_term(arg)
+            if sub.is_const():
+                const *= sub.const
+            elif base is None:
+                base = sub
+            else:
+                raise NonLinearError(term.sexpr())
+        if base is None:
+            return LinExpr.constant(const)
+        return base.scale(const)
+    raise NonLinearError(term.sexpr())
+
+
+def _normalize_ineq(expr: LinExpr) -> Optional[LinExpr]:
+    """Normalize ``expr <= 0`` by dividing through the coefficient gcd.
+
+    Returns None when the constraint is trivially true, and an expression
+    with const > 0 and no variables means trivially false (caller checks).
+    Integer tightening: ``g*sum <= -c`` becomes ``sum <= floor(-c/g)``.
+    """
+    if expr.is_const():
+        return expr
+    g = 0
+    for coeff in expr.coeffs.values():
+        g = gcd(g, abs(coeff))
+    if g > 1:
+        bound = -expr.const
+        tightened = bound // g  # floor division: sum <= floor(bound/g)
+        expr = LinExpr(
+            {var: coeff // g for var, coeff in expr.coeffs.items()},
+            -tightened,
+        )
+    return expr
+
+
+def _pick_equality_var(expr: LinExpr) -> Term:
+    return min(expr.coeffs, key=lambda v: (abs(expr.coeffs[v]), v.sexpr()))
+
+
+class _FreshVars:
+    """Source of fresh integer variables used during elimination."""
+
+    def __init__(self):
+        self.counter = 0
+
+    def make(self, hint: str) -> Term:
+        self.counter += 1
+        return Int(f"$lia{self.counter}_{hint}")
+
+
+def solve_system(
+    equalities: List[LinExpr],
+    inequalities: List[LinExpr],
+    max_splinter_depth: int = 24,
+) -> Optional[Model]:
+    """Decide ``/\\ eq == 0  /\\  ineq <= 0`` over the integers.
+
+    Returns a model (dict mapping variable Terms to ints) when satisfiable
+    and None when unsatisfiable.
+    """
+    fresh = _FreshVars()
+    return _solve(
+        [e.copy() for e in equalities],
+        [i.copy() for i in inequalities],
+        fresh,
+        max_splinter_depth,
+    )
+
+
+def _solve(
+    eqs: List[LinExpr],
+    ineqs: List[LinExpr],
+    fresh: _FreshVars,
+    depth: int,
+) -> Optional[Model]:
+    substitutions: List[Tuple[Term, LinExpr]] = []
+    result = _eliminate_equalities(eqs, ineqs, substitutions)
+    if result is None:
+        return None
+    ineqs = result
+    model = _solve_inequalities(ineqs, fresh, depth)
+    if model is None:
+        return None
+    # Rebuild eliminated variables in reverse order of substitution.
+    for var, expr in reversed(substitutions):
+        model[var] = _eval_default(expr, model)
+    return model
+
+
+def _eval_default(expr: LinExpr, model: Model) -> int:
+    """Evaluate, defaulting variables the reduced system left free to 0."""
+    for var in expr.coeffs:
+        model.setdefault(var, 0)
+    return expr.evaluate(model)
+
+
+def _eliminate_equalities(
+    eqs: List[LinExpr],
+    ineqs: List[LinExpr],
+    substitutions: List[Tuple[Term, LinExpr]],
+) -> Optional[List[LinExpr]]:
+    """Remove all equalities, recording variable definitions.
+
+    Uses gcd feasibility checks plus Euclidean unimodular rewrites so that a
+    unit-coefficient variable always eventually appears.
+    """
+    eqs = list(eqs)
+    ineqs = list(ineqs)
+    while eqs:
+        eq = eqs.pop()
+        if eq.is_const():
+            if eq.const != 0:
+                return None
+            continue
+        g = 0
+        for coeff in eq.coeffs.values():
+            g = gcd(g, abs(coeff))
+        if eq.const % g != 0:
+            return None
+        if g > 1:
+            eq = LinExpr(
+                {var: coeff // g for var, coeff in eq.coeffs.items()},
+                eq.const // g,
+            )
+        var = _pick_equality_var(eq)
+        coeff = eq.coeffs[var]
+        if abs(coeff) == 1:
+            # var = -sign(coeff) * (eq - coeff*var)
+            rest = eq.without(var).scale(-1 if coeff > 0 else 1)
+            substitutions.append((var, rest))
+            eqs = [e.substitute(var, rest) for e in eqs]
+            ineqs = [i.substitute(var, rest) for i in ineqs]
+            continue
+        # Euclidean reduction: substitute var := var' - sum(q_i * x_i) where
+        # q_i = round-to-floor quotient of other coefficients by |coeff|.
+        # This is unimodular, so integer solution sets are preserved.
+        replacement = LinExpr.of_var(var)
+        changed = False
+        for other, other_coeff in list(eq.coeffs.items()):
+            if other is var:
+                continue
+            quotient = other_coeff // coeff
+            if quotient:
+                replacement = replacement.add(LinExpr.of_var(other, -quotient))
+                changed = True
+        const_quotient = eq.const // coeff
+        if const_quotient:
+            # Fold part of the constant into the variable as well.
+            replacement = replacement.add(LinExpr.constant(-const_quotient))
+            changed = True
+        if not changed:
+            # Unreachable: ``var`` has the minimum absolute coefficient, so
+            # every other coefficient has |a_i| >= |coeff| and a non-zero
+            # floor quotient; with a single variable the gcd division above
+            # already forced |coeff| == 1.
+            raise AssertionError("equality elimination made no progress")
+        substitutions.append((var, replacement))
+        eq2 = eq.substitute(var, replacement)
+        eqs.append(eq2)
+        ineqs = [i.substitute(var, replacement) for i in ineqs]
+    return ineqs
+
+
+def _solve_inequalities(
+    ineqs: List[LinExpr],
+    fresh: _FreshVars,
+    depth: int,
+) -> Optional[Model]:
+    # Normalize, drop trivial, fail fast on constant violations.
+    work: List[LinExpr] = []
+    for ineq in ineqs:
+        norm = _normalize_ineq(ineq)
+        if norm.is_const():
+            if norm.const > 0:
+                return None
+            continue
+        work.append(norm)
+    if not work:
+        return {}
+
+    variables = set()
+    for ineq in work:
+        variables.update(ineq.variables())
+
+    # Unconstrained-direction elimination: a variable with only lower bounds
+    # or only upper bounds can always be satisfied; peel those first.
+    for var in sorted(variables, key=lambda v: v.sexpr()):
+        lowers = [i for i in work if i.coeff(var) < 0]
+        uppers = [i for i in work if i.coeff(var) > 0]
+        if lowers and uppers:
+            continue
+        rest = [i for i in work if i.coeff(var) == 0]
+        model = _solve_inequalities(rest, fresh, depth)
+        if model is None:
+            return None
+        _assign_free_var(model, var, lowers, uppers)
+        return model
+
+    # Pick the variable minimizing the number of generated constraints.
+    def cost(var: Term) -> Tuple[int, str]:
+        lows = sum(1 for i in work if i.coeff(var) < 0)
+        ups = sum(1 for i in work if i.coeff(var) > 0)
+        return (lows * ups, var.sexpr())
+
+    var = min(variables, key=cost)
+    lowers = []  # (a, b): b <= a * var, a > 0
+    uppers = []  # (c, d): c * var <= d, c > 0
+    rest = []
+    for ineq in work:
+        coeff = ineq.coeff(var)
+        if coeff < 0:
+            # rest - a*var <= 0  ==>  rest <= a*var  with a = -coeff.
+            lowers.append((-coeff, ineq.without(var)))
+        elif coeff > 0:
+            # rest + c*var <= 0  ==>  c*var <= -rest.
+            uppers.append((coeff, ineq.without(var).scale(-1)))
+        else:
+            rest.append(ineq)
+
+    exact = all(a == 1 for a, _ in lowers) or all(c == 1 for c, _ in uppers)
+
+    # Dark shadow (equals the real shadow when exact).
+    shadow = list(rest)
+    for a, b in lowers:
+        for c, d in uppers:
+            # real: c*b <= a*d ; dark adds (a-1)(c-1) slack requirement.
+            expr = b.scale(c).sub(d.scale(a))
+            if not exact:
+                expr = expr.add(LinExpr.constant((a - 1) * (c - 1)))
+            shadow.append(expr)
+    model = _solve_inequalities(shadow, fresh, depth)
+    if model is not None:
+        value = _choose_between_bounds(model, lowers, uppers)
+        if value is not None:
+            model[var] = value
+            return model
+        # Dark shadow satisfiable but rounding failed (cannot happen for the
+        # exact case); fall through to splinters.
+    if exact:
+        return None
+    if depth <= 0:
+        return None
+
+    # Splinter enumeration: integer solutions missed by the dark shadow must
+    # satisfy a*var = b + k for some lower bound (a, b) and small k.
+    c_max = max(c for c, _ in uppers)
+    for a, b in lowers:
+        limit = (a * c_max - a - c_max) // c_max
+        for k in range(limit + 1):
+            # a*var - b - k == 0 together with the original system.
+            eq = LinExpr.of_var(var, a).sub(b).add(LinExpr.constant(-k))
+            model = _solve([eq], list(work), fresh, depth - 1)
+            if model is not None:
+                return model
+    return None
+
+
+def _assign_free_var(model: Model, var: Term, lowers, uppers) -> None:
+    """Assign a variable constrained only from one side (or not at all)."""
+    value = 0
+    if lowers:
+        # lowers are LinExpr with coeff(var) < 0: b_expr - a*var <= 0.
+        bounds = []
+        for ineq in lowers:
+            a = -ineq.coeff(var)
+            b = ineq.without(var)
+            bval = _eval_default(b, model)
+            bounds.append(-(-bval // a))  # ceil(bval / a)
+        value = max(bounds + [0])
+    elif uppers:
+        bounds = []
+        for ineq in uppers:
+            c = ineq.coeff(var)
+            d = ineq.without(var).scale(-1)
+            dval = _eval_default(d, model)
+            bounds.append(dval // c)  # floor(dval / c)
+        value = min(bounds + [0])
+    model[var] = value
+
+
+def _choose_between_bounds(model: Model, lowers, uppers) -> Optional[int]:
+    lo = None
+    for a, b in lowers:
+        bval = _eval_default(b, model)
+        candidate = -(-bval // a)  # ceil
+        lo = candidate if lo is None else max(lo, candidate)
+    hi = None
+    for c, d in uppers:
+        dval = _eval_default(d, model)
+        candidate = dval // c  # floor
+        hi = candidate if hi is None else min(hi, candidate)
+    if lo is None and hi is None:
+        return 0
+    if lo is None:
+        return hi
+    if hi is None:
+        return lo
+    if lo <= hi:
+        return lo
+    return None

@@ -1,0 +1,277 @@
+"""Preprocessing passes that reduce full parameter arithmetic to QF_UFLIA.
+
+Two constructs in the paper's parameter grammar fall outside plain linear
+integer arithmetic:
+
+* ``div``/``mod`` — eliminated by introducing fresh quotient/remainder
+  variables with their defining constraints (exact for positive divisors,
+  which is the only case Lilac designs use);
+* non-linear products of parameters — abstracted with the uninterpreted
+  function ``@mul`` plus sign/unit axioms, mirroring how the paper treats
+  complex computations as uninterpreted functions with helper equalities.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .terms import (
+    Term,
+    And,
+    App,
+    Eq,
+    Ge,
+    Implies,
+    Int,
+    IntVal,
+    Le,
+    Or,
+    Plus,
+    Times,
+    rebuild,
+    OP_DIV,
+    OP_MOD,
+    OP_MUL,
+    OP_INTVAL,
+    OP_ITE,
+)
+
+
+class _Fresh:
+    def __init__(self, prefix: str):
+        self.prefix = prefix
+        self.count = 0
+
+    def make(self) -> Term:
+        self.count += 1
+        return Int(f"{self.prefix}{self.count}")
+
+
+def eliminate_divmod(formula: Term) -> Tuple[Term, List[Term]]:
+    """Replace div/mod terms with fresh variables plus defining constraints.
+
+    For ``div(a, c)`` / ``mod(a, c)`` we introduce ``q``/``r`` with
+
+        c >= 1  =>  a == c*q + r  and  0 <= r <= c - 1
+
+    The same (a, c) pair shares one quotient/remainder, so both operators
+    stay consistent.  When the divisor can be non-positive the definition is
+    vacuous and the fresh variables are unconstrained, which can only make
+    the query easier to satisfy (a conservative direction for a checker that
+    reports SAT results as counterexamples).
+    """
+    fresh_q = _Fresh("$q")
+    fresh_r = _Fresh("$r")
+    table: Dict[Tuple[Term, Term], Tuple[Term, Term]] = {}
+    side: List[Term] = []
+
+    def lookup(num: Term, den: Term) -> Tuple[Term, Term]:
+        key = (num, den)
+        hit = table.get(key)
+        if hit is not None:
+            return hit
+        quotient, remainder = fresh_q.make(), fresh_r.make()
+        table[key] = (quotient, remainder)
+        definition = And(
+            Eq(num, Plus(Times(den, quotient), remainder)),
+            Ge(remainder, 0),
+            Le(remainder, Plus(den, IntVal(-1))),
+        )
+        if den.op == OP_INTVAL and den.value >= 1:
+            side.append(definition)
+        else:
+            side.append(Implies(Ge(den, 1), definition))
+        return quotient, remainder
+
+    def walk(term: Term) -> Term:
+        if not term.args:
+            return term
+        new_args = tuple(walk(a) for a in term.args)
+        if term.op == OP_DIV:
+            quotient, _ = lookup(new_args[0], new_args[1])
+            return quotient
+        if term.op == OP_MOD:
+            _, remainder = lookup(new_args[0], new_args[1])
+            return remainder
+        return rebuild(term, new_args)
+
+    return walk(formula), side
+
+
+def eliminate_ite(formula: Term) -> Tuple[Term, List[Term]]:
+    """Replace integer ``ite`` terms with fresh variables plus definitions."""
+    fresh = _Fresh("$ite")
+    side: List[Term] = []
+    cache: Dict[Term, Term] = {}
+
+    def walk(term: Term) -> Term:
+        if not term.args:
+            return term
+        new_args = tuple(walk(a) for a in term.args)
+        if term.op == OP_ITE:
+            rebuilt = rebuild(term, new_args)
+            hit = cache.get(rebuilt)
+            if hit is not None:
+                return hit
+            var = fresh.make()
+            cond, then, other = new_args
+            side.append(Implies(cond, Eq(var, then)))
+            side.append(Or(cond, Eq(var, other)))
+            cache[rebuilt] = var
+            return var
+        return rebuild(term, new_args)
+
+    return walk(formula), side
+
+
+def abstract_nonlinear(formula: Term) -> Tuple[Term, List[Term]]:
+    """Replace products of two or more non-constant factors with ``@mul``.
+
+    The @mul application is later Ackermannized like any uninterpreted
+    function; the axioms below recover the facts Lilac designs rely on
+    (signs, units, zero annihilation).
+    """
+    axioms: List[Term] = []
+    seen: Dict[Term, List[Term]] = {}
+
+    def walk(term: Term) -> Term:
+        if not term.args:
+            return term
+        new_args = tuple(walk(a) for a in term.args)
+        if term.op == OP_MUL:
+            const = 1
+            factors = []
+            for arg in new_args:
+                if arg.op == OP_INTVAL:
+                    const *= arg.value
+                else:
+                    factors.append(arg)
+            if len(factors) >= 2:
+                factors.sort(key=lambda t: t.sexpr())
+                product = App("@mul", *factors)
+                if product not in seen:
+                    seen[product] = factors
+                    axioms.extend(_mul_axioms(product, factors))
+                return Times(IntVal(const), product)
+        return rebuild(term, new_args)
+
+    reduced = walk(formula)
+    axioms.extend(_shared_factor_axioms(seen))
+    axioms.extend(_distributivity_axioms(seen))
+    return reduced, axioms
+
+
+def _distributivity_axioms(seen: Dict[Term, List[Term]]) -> List[Term]:
+    """Exact linear relations between products sharing a factor.
+
+    When @mul(a, b1), @mul(a, b2) and @mul(a, b3) all occur and the
+    *co-factors* satisfy b3 == b1 - b2 (or b1 + b2) as linear
+    expressions, emit the corresponding equality — this is the
+    distributivity the type checker's pipeline-balancing proofs need
+    (e.g. ``CI*(NC-1-k) == CI*(NC-1) - CI*k``).
+    """
+    from .lia import LinExpr, NonLinearError, linexpr_of_term
+
+    axioms: List[Term] = []
+    pairs = [(p, f) for p, f in seen.items() if len(f) == 2]
+    linized: Dict[Term, Optional[object]] = {}
+
+    def lin(term: Term):
+        if term not in linized:
+            try:
+                linized[term] = linexpr_of_term(term)
+            except NonLinearError:
+                linized[term] = None
+        return linized[term]
+
+    # Group by shared factor.
+    by_factor: Dict[Term, List[Tuple[Term, Term]]] = {}
+    for product, factors in pairs:
+        for index in (0, 1):
+            by_factor.setdefault(factors[index], []).append(
+                (product, factors[1 - index])
+            )
+    for shared, group in by_factor.items():
+        if len(group) < 3:
+            continue
+        cofactor_lin = [(prod, co, lin(co)) for prod, co in group]
+        for i, (p1, c1, l1) in enumerate(cofactor_lin):
+            if l1 is None:
+                continue
+            for j, (p2, c2, l2) in enumerate(cofactor_lin):
+                if i == j or l2 is None:
+                    continue
+                diff = l1.sub(l2)
+                total = l1.add(l2)
+                for p3, c3, l3 in cofactor_lin:
+                    if l3 is None or p3 is p1 or p3 is p2:
+                        continue
+                    if l3 == diff:
+                        axioms.append(Eq(p3, Plus(p1, Times(IntVal(-1), p2))))
+                    if l3 == total and i < j:
+                        axioms.append(Eq(p3, Plus(p1, p2)))
+    return axioms
+
+
+def _shared_factor_axioms(seen: Dict[Term, List[Term]]) -> List[Term]:
+    """Pairwise monotonicity for products sharing a factor.
+
+    For @mul(a, b1) and @mul(a, b2):  a >= 0 and b1 >= b2 implies
+    mul1 >= mul2, and a >= 0 and b1 >= b2 + 1 implies mul1 >= mul2 + a.
+    These linear instances let the solver prove loop-schedule spacing
+    (``C*k1 - C*k2 >= C`` for distinct iterations) without non-linear
+    arithmetic.
+    """
+    axioms: List[Term] = []
+    products = list(seen.items())
+    for i, (prod1, factors1) in enumerate(products):
+        for prod2, factors2 in products[i + 1 :]:
+            if len(factors1) != 2 or len(factors2) != 2:
+                continue
+            for shared in factors1:
+                if shared not in factors2:
+                    continue
+                other1 = factors1[1] if factors1[0] == shared else factors1[0]
+                other2 = factors2[1] if factors2[0] == shared else factors2[0]
+                nonneg = Ge(shared, 0)
+                axioms.append(
+                    Implies(And(nonneg, Ge(other1, other2)), Ge(prod1, prod2))
+                )
+                axioms.append(
+                    Implies(And(nonneg, Ge(other2, other1)), Ge(prod2, prod1))
+                )
+                axioms.append(
+                    Implies(
+                        And(nonneg, Ge(other1, Plus(other2, IntVal(1)))),
+                        Ge(prod1, Plus(prod2, shared)),
+                    )
+                )
+                axioms.append(
+                    Implies(
+                        And(nonneg, Ge(other2, Plus(other1, IntVal(1)))),
+                        Ge(prod2, Plus(prod1, shared)),
+                    )
+                )
+    return axioms
+
+
+def _mul_axioms(product: Term, factors: List[Term]) -> List[Term]:
+    all_nonneg = And(*[Ge(f, 0) for f in factors])
+    all_pos = And(*[Ge(f, 1) for f in factors])
+    axioms = [Implies(all_nonneg, Ge(product, 0))]
+    for factor in factors:
+        axioms.append(Implies(all_pos, Ge(product, factor)))
+        axioms.append(Implies(Eq(factor, 0), Eq(product, 0)))
+    if len(factors) == 2:
+        left, right = factors
+        axioms.append(Implies(Eq(left, 1), Eq(product, right)))
+        axioms.append(Implies(Eq(right, 1), Eq(product, left)))
+        # Mixed signs: one non-negative and one non-positive factor give a
+        # non-positive product (needed to bound quotients from below).
+        axioms.append(
+            Implies(And(Ge(left, 0), Le(right, 0)), Le(product, 0))
+        )
+        axioms.append(
+            Implies(And(Le(left, 0), Ge(right, 0)), Le(product, 0))
+        )
+    return axioms

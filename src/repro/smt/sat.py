@@ -1,0 +1,139 @@
+"""A small DPLL SAT solver used as the boolean core of the lazy SMT loop.
+
+Clauses are tuples of non-zero integer literals.  The solver supports
+incremental clause addition (the DPLL(T) loop adds theory conflict clauses
+between calls) and returns full assignments as ``{var: bool}`` dicts.
+
+The implementation uses iterative DPLL with unit propagation over occurrence
+lists and chronological backtracking; the formulas produced by the Lilac
+type checker are small (hundreds of clauses), so this is plenty.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+Clause = Tuple[int, ...]
+
+
+class SatSolver:
+    def __init__(self, num_vars: int = 0):
+        self.num_vars = num_vars
+        self.clauses: List[Clause] = []
+        self._occurrences: Dict[int, List[int]] = {}
+
+    def ensure_vars(self, num_vars: int) -> None:
+        self.num_vars = max(self.num_vars, num_vars)
+
+    def add_clause(self, clause: Clause) -> None:
+        clause = tuple(dict.fromkeys(clause))  # dedup, keep order
+        if any(-lit in clause for lit in clause):
+            return  # tautology
+        index = len(self.clauses)
+        self.clauses.append(clause)
+        for lit in clause:
+            self.num_vars = max(self.num_vars, abs(lit))
+            self._occurrences.setdefault(lit, []).append(index)
+
+    def add_clauses(self, clauses) -> None:
+        for clause in clauses:
+            self.add_clause(clause)
+
+    def solve(self, theory_hook=None) -> Optional[Dict[int, bool]]:
+        """Return a satisfying assignment, or None if unsatisfiable.
+
+        ``theory_hook(assignment)`` is called after each successful round
+        of unit propagation (DPLL(T)-style early pruning).  It returns
+        None when the partial assignment is theory-consistent, or a
+        conflict clause (tuple of literals, all false under the current
+        assignment) which is learned before backtracking.
+        """
+        assignment: Dict[int, bool] = {}
+        trail: List[int] = []
+        # decisions[i] is the index into trail where decision level i starts,
+        # paired with the decided literal so we can flip on backtrack.
+        decision_stack: List[Tuple[int, int, bool]] = []
+
+        def value_of(lit: int) -> Optional[bool]:
+            val = assignment.get(abs(lit))
+            if val is None:
+                return None
+            return val if lit > 0 else not val
+
+        def assign(lit: int) -> None:
+            assignment[abs(lit)] = lit > 0
+            trail.append(lit)
+
+        def propagate() -> bool:
+            """Exhaustive unit propagation; False on conflict."""
+            changed = True
+            while changed:
+                changed = False
+                for clause in self.clauses:
+                    unassigned = None
+                    satisfied = False
+                    unit_count = 0
+                    for lit in clause:
+                        val = value_of(lit)
+                        if val is True:
+                            satisfied = True
+                            break
+                        if val is None:
+                            unit_count += 1
+                            unassigned = lit
+                            if unit_count > 1:
+                                break
+                    if satisfied:
+                        continue
+                    if unit_count == 0:
+                        return False
+                    if unit_count == 1:
+                        assign(unassigned)
+                        changed = True
+            return True
+
+        def backtrack() -> bool:
+            """Undo to the last decision with an untried polarity."""
+            while decision_stack:
+                level_start, var, flipped = decision_stack.pop()
+                while len(trail) > level_start:
+                    lit = trail.pop()
+                    assignment.pop(abs(lit), None)
+                if not flipped:
+                    # The decision tried the positive polarity first; now
+                    # retry with the negative literal.
+                    decision_stack.append((level_start, var, True))
+                    assign(-var)
+                    return True
+            return False
+
+        # Empty clause check.
+        if any(len(c) == 0 for c in self.clauses):
+            return None
+
+        while True:
+            if not propagate():
+                if not backtrack():
+                    return None
+                continue
+            if theory_hook is not None:
+                conflict = theory_hook(assignment)
+                if conflict is not None:
+                    self.add_clause(conflict)
+                    # The learned clause is false under the current
+                    # assignment; re-propagating detects the conflict and
+                    # triggers a backtrack.
+                    if not propagate():
+                        if not backtrack():
+                            return None
+                        continue
+            # Pick an unassigned variable.
+            decision = None
+            for var in range(1, self.num_vars + 1):
+                if var not in assignment:
+                    decision = var
+                    break
+            if decision is None:
+                return dict(assignment)
+            decision_stack.append((len(trail), decision, False))
+            assign(decision)

@@ -1,0 +1,271 @@
+"""Lazy DPLL(T) solver for QF_UFLIA — the engine behind Lilac's type system.
+
+Pipeline (section 4.2 of the paper, with Z3 replaced by this module):
+
+1.  div/mod and integer ``ite`` elimination (fresh definitions);
+2.  non-linear product abstraction (``@mul`` + axioms);
+3.  log2/exp2 axiom instantiation;
+4.  Ackermann reduction of all uninterpreted applications;
+5.  Tseitin CNF conversion;
+6.  DPLL enumeration of propositional models, each checked against the
+    integer theory with the Omega-style procedure in :mod:`repro.smt.lia`;
+    theory conflicts are greedily minimized and returned as blocking
+    clauses.
+
+`check` returns SAT with an integer model (used to build counterexample
+parameterizations) or UNSAT (the design obligation holds for *every*
+parameterization).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .ackermann import ackermannize
+from .axioms import instantiate_axioms
+from .cnf import AtomTable, CnfBuilder
+from .lia import LinExpr, linexpr_of_term, solve_system
+from .prep import abstract_nonlinear, eliminate_divmod, eliminate_ite
+from .sat import SatSolver
+from .terms import (
+    Term,
+    And,
+    BoolVal,
+    IntVal,
+    Not,
+    TRUE,
+    free_vars,
+    OP_EQ,
+    OP_LE,
+    OP_LT,
+    OP_VAR,
+    BOOL,
+)
+
+SAT = "sat"
+UNSAT = "unsat"
+
+
+class SolverError(Exception):
+    """Raised when the solver exceeds its iteration budget."""
+
+
+class Result:
+    """Outcome of a `check` call."""
+
+    def __init__(self, status: str, model: Optional[Dict[str, int]] = None):
+        self.status = status
+        self.model = model
+
+    @property
+    def is_sat(self) -> bool:
+        return self.status == SAT
+
+    @property
+    def is_unsat(self) -> bool:
+        return self.status == UNSAT
+
+    def __repr__(self) -> str:
+        return f"Result({self.status}, model={self.model})"
+
+
+class Solver:
+    """One-shot satisfiability checker over a set of assertions."""
+
+    def __init__(self, max_iterations: int = 5000):
+        self.assertions: List[Term] = []
+        self.max_iterations = max_iterations
+
+    def add(self, *terms: Term) -> "Solver":
+        for term in terms:
+            if term.sort != BOOL:
+                raise TypeError(f"assertion must be boolean: {term.sexpr()}")
+            self.assertions.append(term)
+        return self
+
+    def check(self) -> Result:
+        formula = And(*self.assertions) if self.assertions else TRUE
+        if formula.op == "boolval":
+            if formula.value:
+                return Result(SAT, {})
+            return Result(UNSAT)
+
+        original_vars = {
+            v.name for v in free_vars(formula) if v.sort != BOOL
+        }
+
+        formula, ite_side = eliminate_ite(formula)
+        formula = And(formula, *ite_side)
+        formula, div_side = eliminate_divmod(formula)
+        formula = And(formula, *div_side)
+        formula, mul_axioms = abstract_nonlinear(formula)
+        formula = And(formula, *mul_axioms)
+        axioms = instantiate_axioms(formula)
+        formula = And(formula, *axioms)
+        formula, congruence, app_map = ackermannize(formula)
+        formula = And(formula, *congruence)
+
+        if formula.op == "boolval":
+            return Result(SAT, {}) if formula.value else Result(UNSAT)
+
+        atoms = AtomTable()
+        builder = CnfBuilder(atoms)
+        builder.add_formula(formula)
+        sat = SatSolver(atoms.num_vars)
+        sat.add_clauses(builder.clauses)
+        theory_atoms = atoms.theory_atoms()
+
+        # DPLL(T) with early pruning: the hook checks the integer theory on
+        # every propagation-complete partial assignment and learns a
+        # minimized conflict clause on inconsistency.
+        state = {"last": None, "model": None, "budget": self.max_iterations}
+
+        def hook(assignment):
+            literals: List[Tuple[int, Term, bool]] = []
+            for var, atom in theory_atoms.items():
+                value = assignment.get(var)
+                if value is None:
+                    continue
+                literals.append((var, atom, value))
+            key = frozenset((var, val) for var, _, val in literals)
+            if key == state["last"]:
+                return None
+            state["last"] = key
+            model = _theory_check([(atom, val) for _, atom, val in literals])
+            if model is not None:
+                state["model"] = model
+                return None
+            state["budget"] -= 1
+            if state["budget"] <= 0:
+                raise SolverError("DPLL(T) conflict budget exhausted")
+            core = _minimize_core(literals)
+            return tuple((-var if value else var) for var, _, value in core)
+
+        assignment = sat.solve(theory_hook=hook)
+        if assignment is None:
+            return Result(UNSAT)
+        # The final assignment passed the hook; its model was stashed.
+        model = state["model"]
+        if model is None:
+            # No theory atoms were assigned at all.
+            model = {}
+        return Result(SAT, _project_model(model, original_vars, app_map))
+
+
+def check_sat(*terms: Term) -> Result:
+    """Convenience: check satisfiability of the conjunction of ``terms``."""
+    return Solver().add(*terms).check()
+
+
+def prove(goal: Term, *assumptions: Term) -> Result:
+    """Check validity of ``assumptions => goal``.
+
+    Returns UNSAT when the implication is valid; a SAT result carries a
+    counterexample model.
+    """
+    return Solver().add(*assumptions, Not(goal)).check()
+
+
+def _atom_constraints(atom: Term, value: bool):
+    """Translate an assigned atom into (equalities, inequalities, diseqs)."""
+    lhs = linexpr_of_term(atom.args[0])
+    rhs = linexpr_of_term(atom.args[1])
+    diff = lhs.sub(rhs)  # atom relates diff to 0
+    if atom.op == OP_EQ:
+        if value:
+            return [diff], [], []
+        return [], [], [diff]
+    if atom.op == OP_LE:
+        if value:
+            return [], [diff], []
+        # not (diff <= 0)  ==  diff >= 1  ==  -diff + 1 <= 0
+        return [], [diff.scale(-1).add(LinExpr.constant(1))], []
+    if atom.op == OP_LT:
+        if value:
+            # diff < 0  ==  diff + 1 <= 0
+            return [], [diff.add(LinExpr.constant(1))], []
+        return [], [diff.scale(-1)], []
+    raise ValueError(f"not a theory atom: {atom.sexpr()}")
+
+
+def _theory_check(literals) -> Optional[Dict[Term, int]]:
+    """Check a conjunction of assigned theory literals; return model or None."""
+    equalities: List[LinExpr] = []
+    inequalities: List[LinExpr] = []
+    disequalities: List[LinExpr] = []
+    for atom, value in literals:
+        eqs, ineqs, diseqs = _atom_constraints(atom, value)
+        equalities.extend(eqs)
+        inequalities.extend(ineqs)
+        disequalities.extend(diseqs)
+    return _solve_with_diseqs(equalities, inequalities, disequalities)
+
+
+def _solve_with_diseqs(
+    equalities, inequalities, disequalities
+) -> Optional[Dict[Term, int]]:
+    """Lazy disequality handling.
+
+    Solve the equality/inequality core first; only branch on a
+    disequality the candidate model actually violates.  Eager splitting
+    is exponential in the number of false equality literals (which
+    Ackermann congruence produces in bulk); lazy splitting is almost
+    always linear because models rarely make unrelated terms equal.
+    """
+    model = solve_system(equalities, inequalities)
+    if model is None:
+        return None
+    for index, diseq in enumerate(disequalities):
+        for var in diseq.coeffs:
+            model.setdefault(var, 0)
+        if diseq.evaluate(model) != 0:
+            continue
+        rest = disequalities[:index] + disequalities[index + 1 :]
+        # diseq != 0: branch on diseq <= -1 or diseq >= 1.
+        low = inequalities + [diseq.add(LinExpr.constant(1))]
+        branched = _solve_with_diseqs(equalities, low, rest)
+        if branched is not None:
+            return branched
+        high = inequalities + [diseq.scale(-1).add(LinExpr.constant(1))]
+        return _solve_with_diseqs(equalities, high, rest)
+    return model
+
+
+def _minimize_core(literals):
+    """Shrink an unsatisfiable set of theory literals by chunked deletion.
+
+    Deletion in halving chunk sizes (QuickXplain-style) needs
+    O(k log(n/k)) theory checks for a core of size k instead of O(n),
+    which dominates solver time on larger components.
+    """
+    core = list(literals)
+    chunk = max(1, len(core) // 2)
+    while True:
+        index = 0
+        while index < len(core):
+            candidate = core[:index] + core[index + chunk :]
+            if candidate and _theory_check(
+                [(atom, val) for _, atom, val in candidate]
+            ) is None:
+                core = candidate
+            else:
+                index += chunk
+        if chunk == 1:
+            break
+        chunk //= 2
+    return core
+
+
+def _project_model(model, original_vars, app_map) -> Dict[str, int]:
+    """Keep only user-visible variables; report UF apps by their s-expr."""
+    out: Dict[str, int] = {}
+    by_name = {}
+    for var, value in model.items():
+        if var.op == OP_VAR:
+            by_name[var.name] = value
+    for name in original_vars:
+        out[name] = by_name.get(name, 0)
+    for app, fresh in app_map.items():
+        if fresh.name in by_name:
+            out[app.sexpr()] = by_name[fresh.name]
+    return out

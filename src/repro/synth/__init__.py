@@ -1,0 +1,20 @@
+"""Synthesis cost model: the reproduction's Vivado stand-in."""
+
+from .area import AreaReport, area, luts_of_cell, registers_of_cell
+from .report import SynthReport, format_table, geomean, synthesize
+from .timing import TimingReport, logic_delay, routing_delay, timing
+
+__all__ = [
+    "AreaReport",
+    "area",
+    "luts_of_cell",
+    "registers_of_cell",
+    "SynthReport",
+    "format_table",
+    "geomean",
+    "synthesize",
+    "TimingReport",
+    "logic_delay",
+    "routing_delay",
+    "timing",
+]

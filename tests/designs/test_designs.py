@@ -1,0 +1,261 @@
+"""Functional tests for the evaluated designs (FPU, GBP, FFT, RISC, BLAS)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.designs.blas import (
+    elaborate_kernel,
+    golden_axpy,
+    golden_dot,
+    golden_iamax,
+)
+from repro.designs.fft import (
+    elaborate_fft16,
+    elaborate_flofft16,
+    golden_wht,
+)
+from repro.designs.fpu import LiFpu, elaborate_fpu_ls
+from repro.designs.gbp_la import (
+    elaborate_blur,
+    elaborate_gbp,
+    golden_blur_chunked,
+    golden_gbp,
+)
+from repro.designs.gbp_li import LiGbpDriver, build_li_gbp
+from repro.designs.risc import (
+    elaborate_risc,
+    encode_instr,
+    golden_alu,
+)
+from repro.lilac.run import TransactionRunner
+
+
+# ---------------------------------------------------------------------------
+# FPU (Table 1 designs).
+
+
+@pytest.mark.parametrize("frequency", [100, 400])
+def test_fpu_ls_computes(frequency):
+    elab = elaborate_fpu_ls(frequency)
+    runner = TransactionRunner(elab)
+    results = runner.run(
+        [
+            {"op": 1, "l": 123456, "r": 7890},
+            {"op": 0, "l": 123, "r": 456},
+        ]
+    )
+    assert results[0]["o"] == 131346
+    assert results[1]["o"] == 123 * 456
+
+
+@pytest.mark.parametrize("frequency", [100, 400])
+def test_fpu_li_computes(frequency):
+    fpu = LiFpu(frequency)
+    cases = [
+        {"op": 1, "l": 11, "r": 31},
+        {"op": 0, "l": 11, "r": 31},
+        {"op": 1, "l": 1, "r": 1},
+        {"op": 0, "l": 250, "r": 4},
+    ]
+    assert fpu.run(cases) == [42, 341, 2, 1000]
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    op=st.integers(0, 1),
+    l=st.integers(0, 2**31),
+    r=st.integers(0, 2**31),
+)
+def test_fpu_ls_li_agree(op, l, r):
+    """Both implementations compute the same function (mod 2^32)."""
+    ls = TransactionRunner(elaborate_fpu_ls(400))
+    li = LiFpu(400)
+    ls_out = ls.run([{"op": op, "l": l, "r": r}])[0]["o"]
+    li_out = li.run([{"op": op, "l": l, "r": r}])[0]
+    assert ls_out == li_out
+
+
+# ---------------------------------------------------------------------------
+# Gaussian Blur Pyramid (Figure 13 designs).
+
+
+@pytest.mark.parametrize("parallelism", [1, 2, 4, 8, 16])
+def test_blur_la_matches_golden(parallelism):
+    blur = elaborate_blur(parallelism)
+    tile = [(i * 13 + 5) % 200 for i in range(16)]
+    out = TransactionRunner(blur).run([{"px": tile}])[0]["out"]
+    assert out == golden_blur_chunked(tile, parallelism, 16)
+
+
+def test_blur_la_multi_tile_state():
+    """The conv window carries across transactions, matching hardware."""
+    blur = elaborate_blur(4)
+    tiles = [list(range(16)), list(range(100, 116))]
+    results = TransactionRunner(blur).run([{"px": t} for t in tiles])
+    window = [0] * 16
+    for tile, result in zip(tiles, results):
+        assert result["out"] == golden_blur_chunked(tile, 4, 16, window)
+
+
+@pytest.mark.parametrize("parallelism", [4, 16])
+def test_gbp_la_matches_golden(parallelism):
+    gbp = elaborate_gbp(parallelism)
+    tile = [(i * 37 + 11) % 251 for i in range(16)]
+    out = TransactionRunner(gbp).run([{"img": tile}])[0]["out"]
+    assert out == golden_gbp(tile, parallelism, 16)
+
+
+@pytest.mark.parametrize("parallelism", [4, 16])
+def test_gbp_li_matches_golden(parallelism):
+    module = build_li_gbp(parallelism)
+    driver = LiGbpDriver(module, 16)
+    tile = [(i * 37 + 11) % 251 for i in range(16)]
+    out = driver.run([tile])[0]
+    assert out == golden_gbp(tile, parallelism, 16)
+
+
+def test_gbp_la_li_agree():
+    la = elaborate_gbp(8)
+    li = LiGbpDriver(build_li_gbp(8), 16)
+    tile = [(7 * i + 3) % 199 for i in range(16)]
+    la_out = TransactionRunner(la).run([{"img": tile}])[0]["out"]
+    li_out = li.run([tile])[0]
+    assert la_out == li_out
+
+
+# ---------------------------------------------------------------------------
+# FFT designs (Figure 8 rows).
+
+
+def test_fft16_lilac_matches_wht():
+    elab = elaborate_fft16(width=16)
+    assert elab.latency == 4
+    xs = [(i * 7 + 1) % 100 for i in range(16)]
+    out = TransactionRunner(elab).run([{"x": xs}])[0]["y"]
+    assert out == golden_wht(xs, 16)
+
+
+def test_fft16_pipelined_throughput():
+    elab = elaborate_fft16(width=16)
+    assert elab.delay == 1
+    runner = TransactionRunner(elab)
+    vectors = [[(i + t) % 64 for i in range(16)] for t in range(5)]
+    results = runner.run([{"x": v} for v in vectors])
+    for vector, result in zip(vectors, results):
+        assert result["y"] == golden_wht(vector, 16)
+
+
+@pytest.mark.parametrize("frequency", [100, 400])
+def test_flofft16_balances_any_frequency(frequency):
+    """The FloPoCo FFT rebalances for any adder latency choice."""
+    elab = elaborate_flofft16(frequency, width=32)
+    from repro.generators.flopoco import adder_depth
+
+    per_stage = adder_depth(32, frequency)
+    assert elab.out_params["#L"] == 4 * per_stage
+    xs = [(i * 3 + 2) % 1000 for i in range(16)]
+    out = TransactionRunner(elab).run([{"x": xs}])[0]["y"]
+    assert out == golden_wht(xs, 32)
+
+
+# ---------------------------------------------------------------------------
+# RISC (Figure 8 row).
+
+
+def test_risc_single_instruction():
+    elab = elaborate_risc()
+    assert elab.latency == 3
+    runner = TransactionRunner(elab)
+    result = runner.run(
+        [{"instr": encode_instr(0, 5), "acc": 10}]
+    )[0]["result"]
+    assert result == golden_alu(0, 10, 5) == 15
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    op=st.integers(0, 7),
+    acc=st.integers(0, 255),
+    imm=st.integers(0, 255),
+)
+def test_risc_matches_golden_alu(op, acc, imm):
+    elab = elaborate_risc()
+    runner = TransactionRunner(elab)
+    result = runner.run(
+        [{"instr": encode_instr(op, imm), "acc": acc}]
+    )[0]["result"]
+    assert result == golden_alu(op, acc, imm)
+
+
+def test_risc_pipelined():
+    elab = elaborate_risc()
+    assert elab.delay == 1
+    runner = TransactionRunner(elab)
+    cases = [
+        {"instr": encode_instr(0, i), "acc": i} for i in range(6)
+    ]
+    results = runner.run(cases)
+    for i, result in enumerate(results):
+        assert result["result"] == (2 * i) & 0xFF
+
+
+# ---------------------------------------------------------------------------
+# BLAS kernels (Figure 8 row).
+
+
+def test_blas_scal():
+    elab = elaborate_kernel("Scal", {"#W": 16, "#ML": 2})
+    x = list(range(1, 9))
+    out = TransactionRunner(elab).run([{"alpha": 3, "x": x}])[0]["y"]
+    assert out == [3 * v for v in x]
+
+
+def test_blas_axpy():
+    elab = elaborate_kernel("Axpy", {"#W": 16, "#ML": 3})
+    assert elab.out_params["#L"] == 4
+    x = [1, 2, 3, 4, 5, 6, 7, 8]
+    y = [10] * 8
+    out = TransactionRunner(elab).run(
+        [{"alpha": 2, "x": x, "y": y}]
+    )[0]["r"]
+    assert out == golden_axpy(2, x, y, 16)
+
+
+@pytest.mark.parametrize("mult_latency", [1, 2, 4])
+def test_blas_dot_any_multiplier_latency(mult_latency):
+    elab = elaborate_kernel("Dot", {"#W": 16, "#ML": mult_latency})
+    assert elab.out_params["#L"] == mult_latency + 3
+    x = [1, 2, 3, 4, 5, 6, 7, 8]
+    y = [8, 7, 6, 5, 4, 3, 2, 1]
+    out = TransactionRunner(elab).run([{"x": x, "y": y}])[0]["s"]
+    assert out == golden_dot(x, y, 16)
+
+
+def test_blas_asum():
+    elab = elaborate_kernel("Asum", {"#W": 16})
+    x = [10, 20, 30, 40, 1, 2, 3, 4]
+    out = TransactionRunner(elab).run([{"x": x}])[0]["s"]
+    assert out == sum(x)
+
+
+def test_blas_nrm2sq():
+    elab = elaborate_kernel("Nrm2Sq", {"#W": 32, "#ML": 2})
+    x = [1, 2, 3, 4, 5, 6, 7, 8]
+    out = TransactionRunner(elab).run([{"x": x}])[0]["s"]
+    assert out == sum(v * v for v in x)
+
+
+def test_blas_iamax():
+    elab = elaborate_kernel("Iamax", {"#W": 16})
+    x = [5, 9, 2, 9, 1, 0, 30, 7]
+    out = TransactionRunner(elab).run([{"x": x}])[0]["idx"]
+    assert out == golden_iamax(x) == 6
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.integers(0, 60000), min_size=8, max_size=8))
+def test_blas_iamax_property(x):
+    elab = elaborate_kernel("Iamax", {"#W": 16})
+    out = TransactionRunner(elab).run([{"x": x}])[0]["idx"]
+    assert x[out] == max(x)
+    assert out == golden_iamax(x)

@@ -1,0 +1,57 @@
+"""Tests for the evaluation harness (fast subsets of each artifact)."""
+
+from repro.evalx import figure8, figure13, table1, table2, table3
+from repro.synth import format_table
+
+
+def test_table2_matrix():
+    rows = table2.classify()
+    table2.check_shape(rows)
+    text = table2.render(rows)
+    assert "Latency Abstract (LA)" in text
+
+
+def test_table3_features_match_paper():
+    rows = table3.build_rows()
+    table3.check_shape(rows)
+    computed = dict(rows)
+    assert computed["PipelineC"] == "in-dep"
+    assert computed["Aetherling"] == "in-dep, out-dep, ii-gt-1, multi"
+
+
+def test_table3_feature_derivation_details():
+    features = table3.compute_features()
+    assert "out-dep" in features["FloPoCo"]
+    assert "ii-gt-1" not in features["FloPoCo"]
+    assert "multi" in features["Aetherling"]
+    # Vivado divider family needs out-dep (High-radix table timing).
+    assert "out-dep" in features["Vivado Divider"]
+
+
+def test_table1_single_point_shape():
+    """One design point, asserting the LI-overhead direction."""
+    rows = table1.build_rows()
+    li, ls = rows[0].report, rows[1].report
+    assert li.luts > ls.luts
+    assert li.registers > ls.registers
+    assert li.fmax_mhz < ls.fmax_mhz
+
+
+def test_figure13_single_point():
+    rows = figure13.build_rows(parallelisms=(16,))
+    row = rows[0]
+    assert row.rv.registers > row.lilac.registers
+    assert row.rv.luts > row.lilac.luts
+    text = figure13.render(rows)
+    assert "Lilac / RV (16)" in text
+
+
+def test_figure8_subset_runs():
+    rows = figure8.build_rows(designs=figure8.DESIGNS[:1])
+    assert rows[0].ok
+    assert rows[0].lines > 20
+    assert "RISC" in figure8.render(rows)
+
+
+def test_line_counter_ignores_comments():
+    assert figure8._count_lines("// comment\n\ncode;\n") == 1

@@ -1,0 +1,160 @@
+"""Unit tests for the concrete Filament IR and its well-formedness check."""
+
+import pytest
+
+from repro.filament import (
+    ConstRef,
+    FConnect,
+    FilamentError,
+    FInvoke,
+    FModule,
+    FPort,
+    InputRef,
+    InvokeOutRef,
+    PackRef,
+    check_module,
+)
+
+
+class FakeChild:
+    """Minimal stand-in for an ElabResult."""
+
+    def __init__(self, name, delay, inputs, outputs):
+        self.name = name
+        self.delay = delay
+        self.inputs = inputs
+        self.outputs = outputs
+
+    def output(self, name):
+        for port in self.outputs:
+            if port.name == name:
+                return port
+        raise FilamentError(f"no output {name}")
+
+
+def reg_child(width=8):
+    return FakeChild(
+        "Reg", 1,
+        [FPort("in", width, 0, 1)],
+        [FPort("out", width, 1, 2)],
+    )
+
+
+def simple_module():
+    m = FModule(
+        "top", 1,
+        [FPort("a", 8, 0, 1)],
+        [FPort("o", 8, 1, 2)],
+        {},
+    )
+    inv = FInvoke("r@0", reg_child(), 0, [InputRef("a")])
+    m.invokes.append(inv)
+    m.connects.append(FConnect("o", None, InvokeOutRef("r@0", "out")))
+    return m
+
+
+def test_wellformed_passes():
+    check_module(simple_module())
+
+
+def test_late_read_rejected():
+    m = simple_module()
+    # Invoke the register at time 1: its input needs [1,2) but `a` is
+    # only available in [0,1).
+    m.invokes[0].time = 1
+    with pytest.raises(FilamentError, match="available"):
+        check_module(m)
+
+
+def test_output_window_mismatch_rejected():
+    m = simple_module()
+    m.outputs[0] = FPort("o", 8, 5, 6)  # requires cycle 5; reg gives 1
+    with pytest.raises(FilamentError):
+        check_module(m)
+
+
+def test_width_mismatch_rejected():
+    m = simple_module()
+    m.inputs[0] = FPort("a", 16, 0, 1)
+    with pytest.raises(FilamentError, match="width"):
+        check_module(m)
+
+
+def test_undriven_output_rejected():
+    m = simple_module()
+    m.connects.clear()
+    with pytest.raises(FilamentError, match="never driven"):
+        check_module(m)
+
+
+def test_double_drive_rejected():
+    m = simple_module()
+    m.connects.append(FConnect("o", None, ConstRef(0)))
+    with pytest.raises(FilamentError, match="twice"):
+        check_module(m)
+
+
+def test_resource_spacing_rejected():
+    m = FModule("top", 4, [FPort("a", 8, 0, 4)], [FPort("o", 8, 2, 3)], {})
+    child = reg_child()
+    first = FInvoke("r@0", child, 0, [InputRef("a")])
+    second = FInvoke("r@1", child, 0, [InputRef("a")])
+    # Same physical instance, same time: spacing 0 < delay 1.
+    first._instance_key = second._instance_key = "shared"
+    m.invokes.extend([first, second])
+    m.connects.append(FConnect("o", None, ConstRef(1)))
+    with pytest.raises(FilamentError, match="re-invoked"):
+        check_module(m)
+
+
+def test_delay_exceeds_parent_rejected():
+    m = FModule("top", 1, [FPort("a", 8, 0, 1)], [FPort("o", 8, 1, 2)], {})
+    slow = FakeChild(
+        "Slow", 3, [FPort("in", 8, 0, 1)], [FPort("out", 8, 1, 2)]
+    )
+    m.invokes.append(FInvoke("s@0", slow, 0, [InputRef("a")]))
+    m.connects.append(FConnect("o", None, InvokeOutRef("s@0", "out")))
+    with pytest.raises(FilamentError, match="exceeds"):
+        check_module(m)
+
+
+def test_array_index_bounds():
+    m = FModule(
+        "top", 1,
+        [FPort("v", 8, 0, 1, size=4)],
+        [FPort("o", 8, 1, 2)],
+        {},
+    )
+    child = reg_child()
+    m.invokes.append(FInvoke("r@0", child, 0, [InputRef("v", index=7)]))
+    m.connects.append(FConnect("o", None, InvokeOutRef("r@0", "out")))
+    with pytest.raises(FilamentError, match="out of bounds"):
+        check_module(m)
+
+
+def test_packref_window_is_intersection():
+    m = FModule(
+        "top", 2,
+        [FPort("a", 8, 0, 3), FPort("b", 8, 1, 2)],
+        [FPort("o", 8, 2, 3)],
+        {},
+    )
+    vec_child = FakeChild(
+        "V", 1,
+        [FPort("in", 8, 1, 2, size=2)],
+        [FPort("out", 8, 2, 3)],
+    )
+    pack = PackRef([InputRef("a"), InputRef("b")])
+    m.invokes.append(FInvoke("v@0", vec_child, 0, [pack]))
+    m.connects.append(FConnect("o", None, InvokeOutRef("v@0", "out")))
+    check_module(m)  # intersection [1,2) covers requirement [1,2)
+    # Narrow b's window so the intersection misses the requirement.
+    m.inputs[1] = FPort("b", 8, 0, 1)
+    with pytest.raises(FilamentError):
+        check_module(m)
+
+
+def test_const_ref_always_available():
+    m = simple_module()
+    m.invokes[0].args = [ConstRef(42)]
+    check_module(m)

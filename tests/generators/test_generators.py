@@ -1,0 +1,319 @@
+"""Tests for the generator stand-ins: correct datapaths, correct reported
+timing, and integration through their Lilac LA interfaces."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.generators import GeneratorRegistry, GeneratorError, default_registry
+from repro.generators.aetherling import (
+    AetherlingGenerator,
+    GAUSS_4X4,
+    conv_timing,
+    golden_conv,
+)
+from repro.generators.flopoco import FloPoCoGenerator
+from repro.generators.pipelinec import PipelineCGenerator
+from repro.generators.spiral import SpiralFftGenerator
+from repro.generators.vivado_div import (
+    VivadoDividerGenerator,
+    high_radix_latency,
+    radix2_latency,
+)
+from repro.generators.vivado_fft import VivadoFftGenerator
+from repro.generators.vivado_mult import VivadoMultGenerator
+from repro.generators.xls import XlsGenerator, xls_latency
+from repro.lilac.elaborate import Elaborator
+from repro.lilac.run import TransactionRunner, pack_elements, unpack_elements
+from repro.lilac.stdlib import stdlib_program
+from repro.lilac.typecheck import check_program
+from repro.generators.interfaces import (
+    ALL_INTERFACES,
+    AETHERLING_INTERFACE,
+    VIVADO_DIV_INTERFACES,
+)
+from repro.rtl import Simulator
+
+
+def run_module(module, stream):
+    return Simulator(module).run(stream)
+
+
+# ---------------------------------------------------------------------------
+# Vivado multiplier.
+
+
+def test_vivado_mult_exact_latency():
+    registry = GeneratorRegistry().register(VivadoMultGenerator())
+    for latency in (1, 2, 5):
+        generated = registry.run("vivado-mult", "Mult", {"#W": 16, "#L": latency})
+        outs = run_module(
+            generated.module, [{"a": 25, "b": 11}] + [{}] * latency
+        )
+        assert outs[latency]["o"] == 275
+
+
+def test_vivado_mult_rejects_zero_latency():
+    registry = GeneratorRegistry().register(VivadoMultGenerator())
+    with pytest.raises(GeneratorError):
+        registry.run("vivado-mult", "Mult", {"#W": 16, "#L": 0})
+
+
+# ---------------------------------------------------------------------------
+# Vivado dividers (Figure 9).
+
+
+def divide_check(module, latency, n, d, width):
+    outs = run_module(module, [{"n": n, "d": d}] + [{}] * latency)
+    expected = (n // d) & ((1 << width) - 1)
+    assert outs[latency]["q"] == expected, (n, d, outs[latency]["q"], expected)
+
+
+def test_lutmult_divider():
+    registry = GeneratorRegistry().register(VivadoDividerGenerator())
+    generated = registry.run("vivado-div", "LutMult", {"#W": 8})
+    for n, d in [(200, 7), (255, 1), (9, 3), (5, 9)]:
+        divide_check(generated.module, 8, n, d, 8)
+
+
+def test_lutmult_rejects_wide():
+    registry = GeneratorRegistry().register(VivadoDividerGenerator())
+    with pytest.raises(GeneratorError):
+        registry.run("vivado-div", "LutMult", {"#W": 16})
+
+
+def test_radix2_latency_formulas():
+    assert radix2_latency(12, 3, True) == 17
+    assert radix2_latency(12, 1, True) == 16
+    assert radix2_latency(12, 3, False) == 15
+    assert radix2_latency(12, 1, False) == 14
+
+
+def test_radix2_divider_computes():
+    registry = GeneratorRegistry().register(VivadoDividerGenerator())
+    generated = registry.run(
+        "vivado-div", "Rad2", {"#W": 12, "#II": 3, "#Fr": 1}
+    )
+    assert generated.out_params["#L"] == 17
+    for n, d in [(1000, 7), (4095, 63)]:
+        divide_check(generated.module, 17, n, d, 12)
+
+
+def test_radix2_rejects_even_ii():
+    registry = GeneratorRegistry().register(VivadoDividerGenerator())
+    with pytest.raises(GeneratorError):
+        registry.run("vivado-div", "Rad2", {"#W": 12, "#II": 2, "#Fr": 0})
+
+
+def test_high_radix_table():
+    assert high_radix_latency(16) == 12
+    assert high_radix_latency(18) == 12  # rounds down to the 16-row
+    assert high_radix_latency(32) == 18
+    assert high_radix_latency(64) == 30
+
+
+def test_high_radix_divider_computes():
+    registry = GeneratorRegistry().register(VivadoDividerGenerator())
+    generated = registry.run("vivado-div", "HighRad", {"#W": 16})
+    latency = generated.out_params["#L"]
+    assert latency == 12
+    for n, d in [(50000, 123), (65535, 255)]:
+        divide_check(generated.module, latency, n, d, 16)
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=st.integers(0, 255), d=st.integers(1, 255))
+def test_divider_matches_python_division(n, d):
+    registry = GeneratorRegistry().register(VivadoDividerGenerator())
+    generated = registry.run("vivado-div", "LutMult", {"#W": 8})
+    divide_check(generated.module, 8, n, d, 8)
+
+
+# ---------------------------------------------------------------------------
+# Aetherling convolution.
+
+
+def test_conv_timing_model():
+    assert conv_timing(16) == {"#N": 16, "#II": 1, "#H": 1, "#L": 4}
+    assert conv_timing(1) == {"#N": 1, "#II": 2, "#H": 2, "#L": 8}
+    assert conv_timing(4) == {"#N": 4, "#II": 2, "#H": 2, "#L": 6}
+
+
+def test_conv_full_parallel_matches_golden():
+    generated = GeneratorRegistry().register(AetherlingGenerator(16)).run(
+        "aetherling", "AethConv", {"#W": 16}
+    )
+    timing = generated.out_params
+    sim = Simulator(generated.module)
+    pixels = list(range(16, 32))
+    packed = pack_elements(pixels, 16)
+    stream = [{"val_i": 1, "in": packed}] + [{"val_i": 0}] * timing["#L"]
+    outs = sim.run(stream)
+    # Window after the transaction: elements enter at 0..15 reversed order
+    # (element i lands at window position i).
+    result = unpack_elements(outs[timing["#L"]]["out"], 16, 16)
+    expected = golden_conv(pixels, 16)
+    assert all(v == expected for v in result)
+
+
+def test_conv_chunked_window_shift():
+    generated = GeneratorRegistry().register(AetherlingGenerator(4)).run(
+        "aetherling", "AethConv", {"#W": 16}
+    )
+    timing = generated.out_params
+    assert timing["#N"] == 4 and timing["#II"] == 2
+    sim = Simulator(generated.module)
+    chunks = [[1, 2, 3, 4], [5, 6, 7, 8], [9, 10, 11, 12], [13, 14, 15, 16]]
+    stream = []
+    for chunk in chunks:
+        stream.append({"val_i": 1, "in": pack_elements(chunk, 16)})
+        stream.extend({"val_i": 0} for _ in range(timing["#II"] - 1))
+    stream.extend({"val_i": 0} for _ in range(timing["#L"] + 1))
+    outs = sim.run(stream)
+    # After the 4th chunk the window holds [13..16, 9..12, 5..8, 1..4]
+    # (newest at the lowest indices).
+    window = chunks[3] + chunks[2] + chunks[1] + chunks[0]
+    expected = golden_conv(window, 16)
+    sample_cycle = 3 * timing["#II"] + timing["#L"]
+    got = unpack_elements(outs[sample_cycle]["out"], 16, 4)
+    assert all(v == expected for v in got)
+
+
+def test_gauss_kernel_normalized():
+    assert sum(GAUSS_4X4) == 256
+
+
+# ---------------------------------------------------------------------------
+# PipelineC / XLS / Spiral / Vivado FFT.
+
+
+def test_pipelinec_requested_latency():
+    registry = GeneratorRegistry().register(PipelineCGenerator())
+    generated = registry.run("pipelinec", "PipeAdd", {"#W": 8, "#L": 3})
+    outs = run_module(generated.module, [{"l": 40, "r": 2}] + [{}] * 3)
+    assert outs[3]["o"] == 42
+
+
+def test_xls_mac():
+    registry = GeneratorRegistry().register(XlsGenerator())
+    generated = registry.run("xls", "XlsMac", {"#W": 16, "#II": 3})
+    latency = generated.out_params["#L"]
+    assert latency == xls_latency(3) == 5
+    outs = run_module(
+        generated.module, [{"a": 6, "b": 7, "c": 100}] + [{}] * latency
+    )
+    assert outs[latency]["o"] == 142
+
+
+def test_spiral_fft_reports_ii_and_latency():
+    registry = GeneratorRegistry().register(SpiralFftGenerator(streaming_width=4))
+    generated = registry.run("spiral", "SpiralFft", {"#LogN": 4, "#W": 16})
+    assert generated.out_params["#II"] == 4  # 16 points / width 4
+    assert generated.out_params["#L"] == 4 + 4 + 1
+
+
+def test_butterfly_is_walsh_hadamard():
+    registry = GeneratorRegistry().register(SpiralFftGenerator(streaming_width=4))
+    generated = registry.run("spiral", "SpiralFft", {"#LogN": 2, "#W": 16})
+    latency = generated.out_params["#L"]
+    xs = [1, 2, 3, 4]
+    outs = run_module(
+        generated.module,
+        [{"x": pack_elements(xs, 16)}] + [{}] * latency,
+    )
+    got = unpack_elements(outs[latency]["y"], 16, 4)
+    mask = 0xFFFF
+    # 4-point WHT (natural order): [a+b+c+d, a-b+c-d, a+b-c-d, a-b-c+d]
+    a, b, c, d = xs
+    expected = [
+        (a + b + c + d) & mask,
+        (a - b + c - d) & mask,
+        (a + b - c - d) & mask,
+        (a - b - c + d) & mask,
+    ]
+    assert got == expected
+
+
+def test_vivado_fft_table_lookup():
+    registry = GeneratorRegistry().register(VivadoFftGenerator("artix7"))
+    generated = registry.run("vivado-fft", "XFft", {"#LogN": 3, "#W": 16})
+    assert generated.out_params["#L"] == 25
+    registry2 = GeneratorRegistry().register(VivadoFftGenerator("kintex7"))
+    generated2 = registry2.run("vivado-fft", "XFft", {"#LogN": 3, "#W": 16})
+    assert generated2.out_params["#L"] == 21
+
+
+def test_vivado_fft_unknown_target():
+    registry = GeneratorRegistry().register(VivadoFftGenerator("unknown"))
+    with pytest.raises(GeneratorError):
+        registry.run("vivado-fft", "XFft", {"#LogN": 3, "#W": 16})
+
+
+# ---------------------------------------------------------------------------
+# LA interface integration (typecheck + elaborate through the interfaces).
+
+
+def test_all_interfaces_parse_and_typecheck():
+    program = stdlib_program(ALL_INTERFACES)
+    # gen components have no body; checking the program validates any comp
+    # components and the declarations themselves.
+    reports = check_program(program, raise_on_error=False)
+    assert all(r.ok for r in reports)
+
+
+def test_divider_wrapper_elaborates_each_architecture():
+    """Figure 9d: width selects the divider implementation."""
+    source = VIVADO_DIV_INTERFACES + """
+    comp DivWrap[#W]<G:1>(n: [G, G+1] #W, d: [G, G+1] #W)
+        -> (q: [G+#L, G+#L+1] #W) with { some #L where #L > 0; } {
+      if #W < 12 {
+        dv := new LutMult[#W]<G>(n, d);
+        q = dv.q;
+        #L := 8;
+      } else { if #W < 16 {
+        dv := new Rad2[#W, 1, 0]<G>(n, d);
+        q = dv.q;
+        #L := #W + 2;
+      } else {
+        D := new HighRad[#W];
+        dv := D<G>(n, d);
+        q = dv.q;
+        #L := D::#L;
+      } }
+    }
+    """
+    program = stdlib_program(source)
+    elaborator = Elaborator(program, default_registry())
+    for width, expected_latency in [(8, 8), (12, 14), (32, 18)]:
+        elab = elaborator.elaborate("DivWrap", {"#W": width})
+        assert elab.out_params["#L"] == expected_latency
+        runner = TransactionRunner(elab)
+        results = runner.run([{"n": 100, "d": 7}])
+        assert results[0]["q"] == 100 // 7
+
+
+def test_aetherling_through_lilac_interface():
+    program = stdlib_program(AETHERLING_INTERFACE + """
+    comp ConvTop[#W]<G:#II>(
+        px[#N]: [G, G+#H] #W
+    ) -> (blurred: [G+#L, G+#L+1] #W) with {
+        some #N where #N > 0;
+        some #L where #L > 0;
+        some #H where #H > 0;
+        some #II where #II >= #H;
+    } {
+      C := new AethConv[#W];
+      c := C<G>(px);
+      blurred = c.out{0};
+      #N := C::#N; #L := C::#L; #H := C::#H; #II := C::#II;
+    }
+    """)
+    registry = GeneratorRegistry().register(AetherlingGenerator(4))
+    elaborator = Elaborator(program, registry)
+    elab = elaborator.elaborate("ConvTop", {"#W": 16})
+    assert elab.out_params["#N"] == 4
+    assert elab.delay == 2
+    runner = TransactionRunner(elab)
+    chunks = [[1, 2, 3, 4], [5, 6, 7, 8], [9, 10, 11, 12], [13, 14, 15, 16]]
+    results = runner.run([{"px": chunk} for chunk in chunks])
+    window = chunks[3] + chunks[2] + chunks[1] + chunks[0]
+    assert results[3]["blurred"] == golden_conv(window, 16)

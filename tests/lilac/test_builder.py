@@ -1,0 +1,125 @@
+"""Tests for the Python builder eDSL."""
+
+import pytest
+
+from repro.lilac import (
+    CmdFor,
+    CmdIf,
+    CmdInst,
+    CmdInvoke,
+    COMP,
+    EXTERN,
+    GEN,
+    Interval,
+    LilacError,
+    PortDef,
+    Program,
+)
+from repro.lilac.builder import ComponentBuilder, extern_component, gen_component
+from repro.params import P, PInt
+
+
+def test_basic_component():
+    b = ComponentBuilder("FPU", params=["#W"], delay=1)
+    b.input("l", width="#W")
+    b.input("r", width="#W")
+    b.output("o", width="#W", avail=(P("#L"), P("#L") + 1))
+    b.some("#L", where=[P("#L") >= 1])
+    comp = b.build()
+    assert comp.name == "FPU"
+    assert comp.signature.kind == COMP
+    assert comp.signature.param_names() == ["#W"]
+    assert comp.signature.out_param_names() == ["#L"]
+
+
+def test_new_and_invoke():
+    b = ComponentBuilder("T", params=["#W"])
+    b.input("a", width="#W")
+    b.output("o", width="#W", avail=(1, 2))
+    inst = b.new("Add", "FPAdd", ["#W"])
+    inv = b.invoke("add", inst, at=0, args=[b.port("a"), b.port("a")])
+    b.connect(b.port("o"), inv.out("o"))
+    comp = b.build()
+    assert isinstance(comp.body[0], CmdInst)
+    assert isinstance(comp.body[1], CmdInvoke)
+    assert comp.body[1].args[0].base == "a"
+
+
+def test_new_invoke_combined():
+    b = ComponentBuilder("T", params=["#W"])
+    b.input("a", width="#W")
+    b.output("o", width="#W", avail=(0, 1))
+    inv = b.new_invoke("mx", "Mux", ["#W"], at=0, args=[b.port("a")])
+    b.connect(b.port("o"), inv.out())
+    comp = b.build()
+    assert comp.body[0].name == "mx!inst"
+    assert comp.body[1].instance == "mx!inst"
+
+
+def test_for_loop_scope():
+    b = ComponentBuilder("Shift", params=["#W", "#N"])
+    b.input("input", width="#W")
+    b.output("out", width="#W", avail=(P("#N"), P("#N") + 1))
+    b.bundle("w", ["#i"], [P("#N") + 1], avail=(P("#i"), P("#i") + 1), width="#W")
+    with b.for_loop("#k", 0, P("#N")) as k:
+        inst = b.new("R", "Reg", ["#W"])
+        b.invoke("r", inst, at=k, args=[b.bundle_at("w", k)])
+    comp = b.build()
+    loop = comp.body[1]
+    assert isinstance(loop, CmdFor)
+    assert len(loop.body) == 2
+
+
+def test_if_else_scope():
+    b = ComponentBuilder("D", params=["#W"])
+    b.input("a", width="#W")
+    b.output("o", width="#W", avail=(0, 1))
+    with b.if_block(P("#W") < 12) as blk:
+        b.new("DivA", "LutMult", ["#W"])
+        blk.otherwise()
+        b.new("DivB", "HighRad", ["#W"])
+    comp = b.build()
+    cond = comp.body[0]
+    assert isinstance(cond, CmdIf)
+    assert len(cond.then) == 1
+    assert len(cond.otherwise) == 1
+
+
+def test_unclosed_scope_raises():
+    b = ComponentBuilder("T")
+    b._scopes.append(type(b._scopes[0])())
+    with pytest.raises(LilacError):
+        b.build()
+
+
+def test_extern_component():
+    comp = extern_component(
+        "Reg",
+        params=["#W"],
+        inputs=[PortDef("in", Interval(0, 1), P("#W"))],
+        outputs=[PortDef("out", Interval(1, 2), P("#W"))],
+    )
+    assert comp.signature.kind == EXTERN
+
+
+def test_gen_component():
+    comp = gen_component(
+        "flopoco",
+        "FPAdd",
+        params=["#W"],
+        inputs=[PortDef("l", Interval(0, 1), P("#W"))],
+        outputs=[PortDef("o", Interval(P("#L"), P("#L") + 1), P("#W"))],
+    )
+    assert comp.signature.kind == GEN
+    assert comp.signature.gen_tool == "flopoco"
+
+
+def test_program_merge_and_duplicates():
+    a = ComponentBuilder("A").build()
+    b = ComponentBuilder("B").build()
+    prog = Program([a])
+    prog2 = Program([b])
+    merged = prog.merge(prog2)
+    assert merged.has("A") and merged.has("B")
+    with pytest.raises(LilacError):
+        Program([a, ComponentBuilder("A").build()])

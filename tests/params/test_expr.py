@@ -1,0 +1,182 @@
+"""Tests for parameter expressions: construction, evaluation, encoding."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import smt
+from repro.params import (
+    CAnd,
+    CCmp,
+    CNot,
+    COr,
+    P,
+    ParamError,
+    PAccess,
+    PBin,
+    PInstOut,
+    PInt,
+    PIte,
+    PUn,
+    PVar,
+    access,
+    encode,
+    encode_constraint,
+    evaluate,
+    evaluate_constraint,
+    free_params,
+    inst_out,
+    instance_outs,
+    ite,
+    pretty,
+    substitute_params,
+)
+
+
+def test_wrap_and_sugar():
+    expr = P("#W") + 1
+    assert isinstance(expr, PBin)
+    assert expr.op == "+"
+    assert expr.lhs == PVar("#W")
+    assert expr.rhs == PInt(1)
+
+
+def test_comparison_builds_constraints():
+    c = P("#A") <= P("#B")
+    assert isinstance(c, CCmp)
+    assert c.op == "<="
+
+
+def test_evaluate_arithmetic():
+    env = {"#W": 8, "#N": 3}
+    assert evaluate(P("#W") + P("#N"), env) == 11
+    assert evaluate(P("#W") - P("#N"), env) == 5
+    assert evaluate(P("#W") * P("#N"), env) == 24
+    assert evaluate(P("#W") // P("#N"), env) == 2
+    assert evaluate(P("#W") % P("#N"), env) == 2
+
+
+def test_evaluate_log_exp():
+    assert evaluate(PUn("log2", PInt(8)), {}) == 3
+    assert evaluate(PUn("exp2", PInt(5)), {}) == 32
+    assert evaluate(PUn("log2", PInt(9)), {}) == 3  # floor semantics
+
+
+def test_evaluate_unbound_raises():
+    with pytest.raises(ParamError):
+        evaluate(P("#missing"), {})
+
+
+def test_evaluate_div_zero_raises():
+    with pytest.raises(ParamError):
+        evaluate(P("#x") // 0, {"#x": 1})
+
+
+def test_evaluate_ite():
+    expr = ite(P("#A") > P("#B"), P("#A"), P("#B"))
+    assert evaluate(expr, {"#A": 5, "#B": 3}) == 5
+    assert evaluate(expr, {"#A": 2, "#B": 3}) == 3
+
+
+def test_evaluate_constraint_ops():
+    env = {"#A": 2, "#B": 3}
+    assert evaluate_constraint(P("#A") < P("#B"), env)
+    assert not evaluate_constraint(P("#A").eq(P("#B")), env)
+    assert evaluate_constraint(P("#A").ne(P("#B")), env)
+    assert evaluate_constraint(
+        CAnd(P("#A") >= 2, P("#B") <= 3), env
+    )
+    assert evaluate_constraint(COr(P("#A") > 10, P("#B").eq(3)), env)
+    assert evaluate_constraint(CNot(P("#A") > 10), env)
+
+
+def test_access_evaluation_uses_callback():
+    expr = access("Max", [P("#A"), P("#B")], "#Out")
+    calls = []
+
+    def access_fn(node, env):
+        calls.append(node)
+        return max(evaluate(a, env) for a in node.args)
+
+    assert evaluate(expr, {"#A": 4, "#B": 9}, access_fn=access_fn) == 9
+    assert calls[0].comp == "Max"
+
+
+def test_inst_out_evaluation_uses_callback():
+    expr = inst_out("Add", "#L") + 1
+    assert evaluate(expr, {}, inst_out_fn=lambda node: 4) == 5
+
+
+def test_free_params():
+    expr = (P("#A") + P("#B")) * P("#A")
+    assert free_params(expr) == {"#A", "#B"}
+    constraint = CAnd(P("#X") > 0, P("#Y").eq(P("#X")))
+    assert free_params(constraint) == {"#X", "#Y"}
+
+
+def test_instance_outs_collection():
+    expr = inst_out("Add", "#L") + inst_out("Mul", "#L")
+    outs = instance_outs(expr)
+    assert {(o.instance, o.out) for o in outs} == {("Add", "#L"), ("Mul", "#L")}
+
+
+def test_substitute_params():
+    expr = P("#N") + P("#k")
+    out = substitute_params(expr, {"#k": PInt(3)})
+    assert evaluate(out, {"#N": 2}) == 5
+
+
+def test_pretty():
+    assert pretty(P("#W") + 1) == "(#W + 1)"
+    assert pretty(access("Max", [P("#A")], "#O")) == "Max[#A]::#O"
+    assert pretty(inst_out("Add", "#L")) == "Add::#L"
+
+
+def test_encode_to_smt():
+    term = encode(P("#W") + 2, var_fn=smt.Int)
+    assert term == smt.Plus(smt.Int("#W"), smt.IntVal(2))
+
+
+def test_encode_constraint_to_smt():
+    term = encode_constraint(P("#W") >= 1, var_fn=smt.Int)
+    result = smt.check_sat(term)
+    assert result.is_sat
+    assert result.model["#W"] >= 1
+
+
+def test_encode_access_requires_callback():
+    with pytest.raises(ParamError):
+        encode(access("Max", [PInt(1)], "#O"), var_fn=smt.Int)
+
+
+def test_encode_instout_via_callback():
+    term = encode(
+        inst_out("Add", "#L"),
+        var_fn=smt.Int,
+        inst_out_fn=lambda node: smt.App("FPAdd.L", smt.Int("#W")),
+    )
+    assert term.op == "app"
+
+
+def test_encode_log2_as_uf():
+    term = encode(PUn("log2", P("#N")), var_fn=smt.Int)
+    assert term == smt.App("log2", smt.Int("#N"))
+
+
+@given(
+    a=st.integers(0, 100),
+    b=st.integers(1, 100),
+    c=st.integers(0, 50),
+)
+def test_eval_encode_agree(a, b, c):
+    """Concrete evaluation and SMT encoding agree on ground expressions.
+
+    Values are substituted as constants *before* encoding so div/mod see
+    constant divisors (the exact fragment; symbolic divisors go through the
+    conservative @mul abstraction by design).
+    """
+    expr = (P("#a") + P("#b")) * 2 - P("#c") + P("#a") % P("#b")
+    env = {"#a": a, "#b": b, "#c": c}
+    concrete = evaluate(expr, env)
+    ground = substitute_params(expr, {k: PInt(v) for k, v in env.items()})
+    goal = encode(ground, var_fn=smt.Int)
+    assert smt.prove(smt.Eq(goal, concrete)).is_unsat

@@ -1,0 +1,103 @@
+"""Tests for solver preprocessing: div/mod, ite, non-linear abstraction."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.smt import (
+    And,
+    Div,
+    Eq,
+    Ge,
+    Gt,
+    Int,
+    IntVal,
+    Ite,
+    Le,
+    Lt,
+    Mod,
+    Ne,
+    Times,
+    check_sat,
+    prove,
+)
+from repro.smt.prep import abstract_nonlinear, eliminate_divmod, eliminate_ite
+
+x, y, z, k1, k2 = Int("x"), Int("y"), Int("z"), Int("k1"), Int("k2")
+
+
+def test_divmod_shares_quotient_remainder():
+    formula = And(
+        Eq(Div(x, IntVal(4)), y),
+        Eq(Mod(x, IntVal(4)), z),
+    )
+    reduced, side = eliminate_divmod(formula)
+    # One definition (shared q/r) for the (x, 4) pair.
+    assert len(side) == 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(a=st.integers(0, 300), c=st.integers(1, 17))
+def test_divmod_semantics_match_python(a, c):
+    result = check_sat(
+        Eq(x, a),
+        Ne(Div(x, IntVal(c)), a // c),
+    )
+    assert result.is_unsat
+    result = check_sat(Eq(x, a), Ne(Mod(x, IntVal(c)), a % c))
+    assert result.is_unsat
+
+
+def test_ite_elimination_both_branches():
+    term = Ite(Gt(x, 5), IntVal(1), IntVal(2))
+    assert check_sat(Eq(y, term), Gt(x, 5), Ne(y, 1)).is_unsat
+    assert check_sat(Eq(y, term), Le(x, 5), Ne(y, 2)).is_unsat
+
+
+def test_nonlinear_monotonicity_shared_factor():
+    """(c >= 0, k1 >= k2+1)  =>  c*k1 >= c*k2 + c  — the loop-spacing fact."""
+    goal = Ge(Times(z, k1), Times(z, k2) + z)
+    assert prove(goal, Ge(z, 0), Ge(k1, k2 + 1)).is_unsat
+
+
+def test_nonlinear_distributivity_triple():
+    """z*(k1-k2) == z*k1 - z*k2 when all three products occur."""
+    lhs = Times(z, k1 - k2)
+    rhs = Times(z, k1) - Times(z, k2)
+    assert prove(Eq(lhs, rhs)).is_unsat
+
+
+def test_nonlinear_injectivity():
+    """B*i1+j1 == B*i2+j2 with j in [0,B) forces (i1,j1) == (i2,j2) —
+    the serializer write-injectivity proof (Figure 11)."""
+    b, i1, i2, j1, j2 = Int("B"), Int("i1"), Int("i2"), Int("j1"), Int("j2")
+    facts = And(
+        Ge(b, 1),
+        Ge(j1, 0), Lt(j1, b),
+        Ge(j2, 0), Lt(j2, b),
+        Ge(i1, 0), Ge(i2, 0),
+        Eq(Times(b, i1) + j1, Times(b, i2) + j2),
+    )
+    assert prove(Eq(i1, i2), facts).is_unsat
+    assert prove(Eq(j1, j2), facts).is_unsat
+
+
+def test_mixed_sign_product_bound():
+    """x >= 1 and q <= 0 implies x*q <= 0 (quotient lower bounds)."""
+    q = Int("q")
+    assert prove(Le(Times(x, q), 0), Ge(x, 1), Le(q, 0)).is_unsat
+
+
+def test_quotient_positive_when_dividend_large():
+    """16/N >= 1 when 1 <= N <= 16 — the Ser instantiation obligation."""
+    n = Int("N")
+    goal = Ge(Div(IntVal(16), n), 1)
+    assert prove(goal, Ge(n, 1), Le(n, 16)).is_unsat
+
+
+def test_product_zero_annihilation():
+    assert prove(Eq(Times(x, y), 0), Eq(x, 0)).is_unsat
+
+
+def test_abstract_nonlinear_reuses_products():
+    formula = Eq(Times(x, y), Times(y, x))  # same canonical product
+    reduced, axioms = abstract_nonlinear(formula)
+    assert reduced.op == "boolval" and reduced.value  # folded to true

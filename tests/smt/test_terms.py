@@ -1,0 +1,154 @@
+"""Unit tests for the SMT term language and smart constructors."""
+
+from repro.smt import (
+    And,
+    App,
+    BoolVal,
+    Div,
+    Eq,
+    FALSE,
+    Ge,
+    Gt,
+    Implies,
+    Int,
+    IntVal,
+    Le,
+    Lt,
+    Minus,
+    Mod,
+    Ne,
+    Neg,
+    Not,
+    Or,
+    Plus,
+    TRUE,
+    Times,
+    free_vars,
+    apps,
+    substitute,
+)
+
+
+def test_intval_folding():
+    assert Plus(IntVal(2), IntVal(3)).value == 5
+    assert Times(IntVal(2), IntVal(3)).value == 6
+    assert Minus(IntVal(2), IntVal(3)).value == -1
+    assert Neg(IntVal(4)).value == -4
+
+
+def test_plus_flattens_nested_sums():
+    x, y = Int("x"), Int("y")
+    term = Plus(Plus(x, 1), Plus(y, 2))
+    assert term.op == "+"
+    consts = [a.value for a in term.args if a.op == "intval"]
+    assert consts == [3]
+
+
+def test_plus_identity():
+    x = Int("x")
+    assert Plus(x, 0) is x or Plus(x, 0) == x
+    assert Plus(x) == x
+
+
+def test_times_zero_annihilates():
+    x = Int("x")
+    assert Times(x, 0).value == 0
+    assert Times(x, 1) == x
+
+
+def test_neg_involution():
+    x = Int("x")
+    assert Neg(Neg(x)) == x
+
+
+def test_div_mod_constant_folding():
+    assert Div(IntVal(7), IntVal(2)).value == 3
+    assert Mod(IntVal(7), IntVal(2)).value == 1
+    x = Int("x")
+    assert Div(x, 1) == x
+    assert Mod(x, 1).value == 0
+
+
+def test_comparison_folding():
+    assert Le(IntVal(1), IntVal(2)) == TRUE
+    assert Lt(IntVal(2), IntVal(2)) == FALSE
+    assert Ge(IntVal(2), IntVal(2)) == TRUE
+    assert Gt(IntVal(1), IntVal(2)) == FALSE
+    x = Int("x")
+    assert Le(x, x) == TRUE
+    assert Lt(x, x) == FALSE
+    assert Eq(x, x) == TRUE
+
+
+def test_boolean_simplification():
+    x = Int("x")
+    atom = Le(x, IntVal(3))
+    assert And(atom, TRUE) == atom
+    assert And(atom, FALSE) == FALSE
+    assert Or(atom, FALSE) == atom
+    assert Or(atom, TRUE) == TRUE
+    assert Not(Not(atom)) == atom
+    assert Not(TRUE) == FALSE
+    assert Implies(FALSE, atom) == TRUE
+    assert Implies(TRUE, atom) == atom
+
+
+def test_and_dedups():
+    x = Int("x")
+    atom = Le(x, IntVal(3))
+    assert And(atom, atom) == atom
+
+
+def test_ne_is_not_eq():
+    x, y = Int("x"), Int("y")
+    term = Ne(x, y)
+    assert term.op == "not"
+    assert term.args[0].op == "="
+
+
+def test_structural_equality_and_hash():
+    a1 = Plus(Int("x"), IntVal(1))
+    a2 = Plus(Int("x"), IntVal(1))
+    assert a1 == a2
+    assert hash(a1) == hash(a2)
+    assert a1 != Plus(Int("x"), IntVal(2))
+
+
+def test_operator_overloads():
+    x, y = Int("x"), Int("y")
+    assert (x + y) == Plus(x, y)
+    assert (x - 1) == Plus(x, IntVal(-1))
+    assert (2 * x) == Times(IntVal(2), x)
+    assert (-x) == Neg(x)
+    assert (1 + x) == Plus(IntVal(1), x)
+
+
+def test_free_vars_and_apps():
+    x, y = Int("x"), Int("y")
+    term = And(Le(x, App("f", y)), Eq(y, IntVal(2)))
+    names = {v.name for v in free_vars(term)}
+    assert names == {"x", "y"}
+    app_names = {a.name for a in apps(term)}
+    assert app_names == {"f"}
+
+
+def test_substitute():
+    x, y = Int("x"), Int("y")
+    term = Plus(x, Times(IntVal(2), x), y)
+    out = substitute(term, {x: IntVal(3)})
+    # 3 + 6 + y = y + 9
+    assert out == Plus(y, IntVal(9))
+
+
+def test_substitute_inside_app():
+    x, y = Int("x"), Int("y")
+    term = App("f", Plus(x, IntVal(1)))
+    out = substitute(term, {x: y})
+    assert out == App("f", Plus(y, IntVal(1)))
+
+
+def test_sexpr_rendering():
+    x = Int("x")
+    assert Le(x, IntVal(3)).sexpr() == "(<= x 3)"
+    assert App("f", x).sexpr() == "(f x)"
+    assert BoolVal(True).sexpr() == "true"
