@@ -7,10 +7,14 @@ flight, shift-register balancing otherwise) based on the generator's
 reported timing.  This ablation forces the shift-register variant at a
 parallelism where DelayBuf is eligible and measures the register cost of
 losing the adaptation — quantifying what the latency-abstract `if` buys.
+
+Both variants compile through one ``CompileSession``: the forced source
+is a distinct text, so the content-addressed cache keeps the two GBP
+artifacts apart while sharing everything else.
 """
 
 from repro.designs import gbp_la
-from repro.lilac.elaborate import Elaborator
+from repro.driver import CompileSession
 from repro.synth import synthesize
 
 FORCED_SHIFT_GBP = gbp_la.GBP_SOURCE.replace(
@@ -19,14 +23,13 @@ FORCED_SHIFT_GBP = gbp_la.GBP_SOURCE.replace(
 )
 
 
-def build_variants(parallelism=4, width=16):
-    adaptive = gbp_la.elaborate_gbp(parallelism, width)
-    from repro.lilac.stdlib import stdlib_program
-
-    forced_program = stdlib_program(FORCED_SHIFT_GBP)
-    forced = Elaborator(
-        forced_program, gbp_la.gbp_registry(parallelism)
-    ).elaborate("GBP", {"#W": width})
+def build_variants(parallelism=4, width=16, session=None):
+    session = session or CompileSession()
+    registry = gbp_la.gbp_registry(parallelism)
+    adaptive = gbp_la.elaborate_gbp(parallelism, width, session=session)
+    forced = session.elaborate(
+        FORCED_SHIFT_GBP, "GBP", {"#W": width}, registry
+    ).value
     return adaptive, forced
 
 

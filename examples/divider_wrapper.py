@@ -8,11 +8,9 @@ by bitwidth and re-exports a uniform latency-abstract interface.
 Run:  python examples/divider_wrapper.py
 """
 
+from repro.driver import CompileSession
 from repro.generators import default_registry
-from repro.lilac.elaborate import Elaborator
 from repro.lilac.run import TransactionRunner
-from repro.lilac.stdlib import stdlib_program
-from repro.lilac.typecheck import check_component
 from repro.generators.interfaces import VIVADO_DIV_INTERFACES
 
 WRAPPER = VIVADO_DIV_INTERFACES + """
@@ -38,15 +36,18 @@ comp DivWrap[#W]<G:1>(n: [G, G+1] #W, d: [G, G+1] #W)
 
 
 def main():
-    program = stdlib_program(WRAPPER)
-    report = check_component(program, "DivWrap")
-    print(f"DivWrap type check: {'OK' if report.ok else 'FAILED'} "
+    session = CompileSession()
+    check = session.typecheck(WRAPPER, "DivWrap")
+    report = check.value
+    print(f"DivWrap type check: {'OK' if check.ok else 'FAILED'} "
           f"({report.obligations} obligations)\n")
 
-    elaborator = Elaborator(program, default_registry())
+    registry = default_registry()
     cases = [(8, "LutMult"), (12, "Radix-2"), (32, "High-radix")]
     for width, arch in cases:
-        div = elaborator.elaborate("DivWrap", {"#W": width})
+        div = session.elaborate(
+            WRAPPER, "DivWrap", {"#W": width}, registry
+        ).value
         runner = TransactionRunner(div)
         n, d = (200, 7) if width == 8 else (3000, 13) if width == 12 else (
             1_000_000, 997

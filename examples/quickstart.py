@@ -1,4 +1,4 @@
-"""Quickstart: the paper's FPU story end to end.
+"""Quickstart: the paper's FPU story end to end, through the staged driver.
 
 1. Write a latency-abstract FPU against FloPoCo-generated cores whose
    latency is an *output parameter*.
@@ -8,20 +8,16 @@
    parameterization.
 4. Elaborate at two different FloPoCo frequency goals; the same source
    adapts, producing pure latency-sensitive RTL both times.
-5. Simulate, and emit Verilog.
+5. Simulate, emit Verilog, and inspect the per-stage timings and the
+   session's artifact cache.
 
 Run:  python examples/quickstart.py
 """
 
 from repro.designs.fpu import FPU_LA_SOURCE
-from repro.generators import GeneratorRegistry
+from repro.driver import CompileSession
 from repro.generators.flopoco import FloPoCoGenerator
-from repro.lilac import parse_program
-from repro.lilac.elaborate import Elaborator
 from repro.lilac.run import TransactionRunner
-from repro.lilac.stdlib import stdlib_program
-from repro.lilac.typecheck import check_component
-from repro.rtl import emit_verilog
 
 WRONG_FPU = """
 comp BadFPU[#W]<G:1>(
@@ -38,33 +34,37 @@ comp BadFPU[#W]<G:1>(
 
 
 def main():
+    session = CompileSession()
+    source = FPU_LA_SOURCE + WRONG_FPU
+
     print("=" * 70)
     print("1. The erroneous FPU (Figure 5a): reads the adder at cycle 0")
     print("=" * 70)
-    program = stdlib_program(FPU_LA_SOURCE + WRONG_FPU)
-    report = check_component(program, "BadFPU")
-    for error in report.errors[:2]:
-        print(error.render())
+    bad = session.typecheck(source, "BadFPU")
+    for diagnostic in bad.diagnostics[:2]:
+        print(diagnostic.message)
     print()
 
     print("=" * 70)
     print("2. The balanced FPU (Figure 5b) type checks for ALL parameters")
     print("=" * 70)
-    report = check_component(program, "FPU")
-    print(f"FPU: {'OK' if report.ok else 'FAILED'} "
-          f"({report.obligations} proof obligations discharged)\n")
+    good = session.typecheck(source, "FPU")
+    report = good.value
+    print(f"FPU: {'OK' if good.ok else 'FAILED'} "
+          f"({report.obligations} proof obligations discharged, "
+          f"{good.millis:.0f} ms)\n")
 
     for frequency in (100, 400):
         print("=" * 70)
         print(f"3. Elaborate with FloPoCo targeting {frequency} MHz")
         print("=" * 70)
-        registry = GeneratorRegistry().register(FloPoCoGenerator(frequency))
-        elaborator = Elaborator(program, registry)
-        fpu = elaborator.elaborate("FPU", {"#W": 32})
-        print(f"   adder latency  = "
-              f"{elaborator.elaborate('FPAdd', {'#W': 32}).latency}")
-        print(f"   mult. latency  = "
-              f"{elaborator.elaborate('FPMul', {'#W': 32}).latency}")
+        generators = [FloPoCoGenerator(frequency)]
+        fpu = session.elaborate(source, "FPU", {"#W": 32}, generators).value
+        adder = session.elaborate(source, "FPAdd", {"#W": 32}, generators)
+        mult = session.elaborate(source, "FPMul", {"#W": 32}, generators)
+        print(f"   adder latency  = {adder.value.latency} "
+              f"({'cache hit' if adder.from_cache else 'computed'})")
+        print(f"   mult. latency  = {mult.value.latency}")
         print(f"   FPU latency #L = {fpu.out_params['#L']}, II = {fpu.delay}")
         runner = TransactionRunner(fpu)
         results = runner.run(
@@ -76,12 +76,20 @@ def main():
         print(f"   20 + 22 = {results[0]['o']},  6 * 7 = {results[1]['o']}\n")
 
     print("=" * 70)
-    print("4. Structural Verilog (first lines)")
+    print("4. The full pipeline in one call: compile → Verilog + synthesis")
     print("=" * 70)
-    registry = GeneratorRegistry().register(FloPoCoGenerator(400))
-    fpu = Elaborator(program, registry).elaborate("FPU", {"#W": 32})
-    print("\n".join(emit_verilog(fpu.module).splitlines()[:12]))
+    result = session.compile(
+        source, "FPU", {"#W": 32}, [FloPoCoGenerator(400)]
+    )
+    print("\n".join(result.verilog.splitlines()[:12]))
     print("...")
+    synth = result.report
+    print(f"\nsynthesis: {synth.luts} LUTs, {synth.registers} registers, "
+          f"{synth.fmax_mhz:.1f} MHz")
+    print("stage timings (ms):",
+          {k: round(v * 1000, 2) for k, v in result.timings().items()})
+    print()
+    print(session.stats.render())
 
 
 if __name__ == "__main__":

@@ -11,19 +11,30 @@ Subpackages:
 * ``repro.generators`` — hardware generator stand-ins
 * ``repro.li``         — latency-insensitive (ready-valid) substrate
 * ``repro.synth``      — area/timing cost model
+* ``repro.driver``     — staged compiler driver: sessions, artifact
+  cache, parallel evaluation grid, and the ``python -m repro`` CLI
 * ``repro.designs``    — the paper's evaluated designs
 * ``repro.evalx``      — regenerates every table and figure
 
 Quick start::
 
-    from repro.lilac.stdlib import stdlib_program
-    from repro.lilac.typecheck import check_program
-    from repro.lilac.elaborate import Elaborator
+    from repro.driver import CompileSession
     from repro.generators import default_registry
 
-    program = stdlib_program(my_lilac_source)
-    check_program(program)
-    result = Elaborator(program, default_registry()).elaborate("Top", {...})
+    session = CompileSession()
+    result = session.compile(my_lilac_source, "Top", {"#W": 32},
+                             generators=default_registry())
+    result.elab       # the elaborated design (schedule + RTL)
+    result.verilog    # structural Verilog text
+    result.report     # synthesis cost-model report
+    result.timings()  # per-stage wall-clock seconds
+
+Repeated compiles — same source, component, parameter binding and
+generator configuration — are served from the session's
+content-addressed artifact cache.  From the shell::
+
+    python -m repro compile --design fpu --freq 400
+    python -m repro all
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"

@@ -17,12 +17,12 @@ its latency as an output parameter so callers can compose them.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
+from ..driver import CompileSession, default_session
 from ..generators import GeneratorRegistry
 from ..generators.vivado_mult import VivadoMultGenerator
-from ..lilac.elaborate import ElabResult, Elaborator
-from ..lilac.stdlib import stdlib_program
+from ..lilac.elaborate import ElabResult
 
 LANES = 8
 
@@ -150,16 +150,15 @@ comp Iamax[#W]<G:1>(x[8]: [G, G+1] #W) -> (idx: [G+3, G+4] 4) {
 """
 
 
-def blas_program():
-    return stdlib_program(BLAS_SOURCE)
-
-
 def blas_registry() -> GeneratorRegistry:
     return GeneratorRegistry().register(VivadoMultGenerator())
 
 
-def elaborate_kernel(name: str, params) -> ElabResult:
-    return Elaborator(blas_program(), blas_registry()).elaborate(name, params)
+def elaborate_kernel(
+    name: str, params, session: Optional[CompileSession] = None
+) -> ElabResult:
+    session = session or default_session()
+    return session.elaborate(BLAS_SOURCE, name, params, blas_registry()).value
 
 
 def golden_dot(x: List[int], y: List[int], width: int) -> int:

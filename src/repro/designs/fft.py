@@ -20,10 +20,9 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from ..generators import GeneratorRegistry
+from ..driver import CompileSession, default_session
 from ..generators.flopoco import FloPoCoGenerator
-from ..lilac.elaborate import ElabResult, Elaborator
-from ..lilac.stdlib import stdlib_program
+from ..lilac.elaborate import ElabResult
 
 # A registered butterfly: sum and difference, one cycle.
 FFT_COMMON = """
@@ -188,26 +187,24 @@ comp FloFft16[#W]<G:1>(x[16]: [G, G+1] #W)
 """
 
 
-def fft_lilac_program():
-    return stdlib_program(FFT_LILAC)
+def elaborate_fft16(
+    width: int = 16, session: Optional[CompileSession] = None
+) -> ElabResult:
+    session = session or default_session()
+    return session.elaborate(
+        FFT_LILAC, "Fft16", {"#W": width}, [FloPoCoGenerator()]
+    ).value
 
 
-def fft_flopoco_program():
-    return stdlib_program(FFT_FLOPOCO)
-
-
-def elaborate_fft16(width: int = 16) -> ElabResult:
-    registry = GeneratorRegistry().register(FloPoCoGenerator())
-    return Elaborator(fft_lilac_program(), registry).elaborate(
-        "Fft16", {"#W": width}
-    )
-
-
-def elaborate_flofft16(frequency_mhz: int = 400, width: int = 32) -> ElabResult:
-    registry = GeneratorRegistry().register(FloPoCoGenerator(frequency_mhz))
-    return Elaborator(fft_flopoco_program(), registry).elaborate(
-        "FloFft16", {"#W": width}
-    )
+def elaborate_flofft16(
+    frequency_mhz: int = 400,
+    width: int = 32,
+    session: Optional[CompileSession] = None,
+) -> ElabResult:
+    session = session or default_session()
+    return session.elaborate(
+        FFT_FLOPOCO, "FloFft16", {"#W": width}, [FloPoCoGenerator(frequency_mhz)]
+    ).value
 
 
 def golden_wht(values: List[int], width: int) -> List[int]:

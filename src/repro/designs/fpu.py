@@ -19,10 +19,9 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from ..generators import GeneratorRegistry
+from ..driver import CompileSession, default_session
 from ..generators.flopoco import FloPoCoGenerator
-from ..lilac.elaborate import ElabResult, Elaborator
-from ..lilac.stdlib import stdlib_program
+from ..lilac.elaborate import ElabResult
 from ..li import LIDriver, bit_and, wrap_latency_sensitive
 from ..li.wrapper import LIWrapped
 from ..rtl import Module, Simulator
@@ -54,14 +53,18 @@ comp FPU[#W]<G:1>(
 """
 
 
-def fpu_program():
-    return stdlib_program(FPU_LA_SOURCE)
+def fpu_generators(frequency_mhz: int) -> List:
+    return [FloPoCoGenerator(frequency_mhz)]
 
 
-def elaborate_fpu_ls(frequency_mhz: int, width: int = 32) -> ElabResult:
+def elaborate_fpu_ls(
+    frequency_mhz: int, width: int = 32, session: Optional[CompileSession] = None
+) -> ElabResult:
     """Elaborate the LA design into its latency-sensitive implementation."""
-    registry = GeneratorRegistry().register(FloPoCoGenerator(frequency_mhz))
-    return Elaborator(fpu_program(), registry).elaborate("FPU", {"#W": width})
+    session = session or default_session()
+    return session.elaborate(
+        FPU_LA_SOURCE, "FPU", {"#W": width}, fpu_generators(frequency_mhz)
+    ).value
 
 
 class LiFpu:
@@ -74,12 +77,22 @@ class LiFpu:
     selects which result is forwarded.
     """
 
-    def __init__(self, frequency_mhz: int, width: int = 32, fifo_depth: int = None):
+    def __init__(
+        self,
+        frequency_mhz: int,
+        width: int = 32,
+        fifo_depth: int = None,
+        session: Optional[CompileSession] = None,
+    ):
         self.width = width
-        registry = GeneratorRegistry().register(FloPoCoGenerator(frequency_mhz))
-        elaborator = Elaborator(fpu_program(), registry)
-        self.add_core = elaborator.elaborate("FPAdd", {"#W": width})
-        self.mul_core = elaborator.elaborate("FPMul", {"#W": width})
+        session = session or default_session()
+        generators = fpu_generators(frequency_mhz)
+        self.add_core = session.elaborate(
+            FPU_LA_SOURCE, "FPAdd", {"#W": width}, generators
+        ).value
+        self.mul_core = session.elaborate(
+            FPU_LA_SOURCE, "FPMul", {"#W": width}, generators
+        ).value
         self.add_wrapped = wrap_latency_sensitive(
             self.add_core, fifo_depth, name="fpadd_li"
         )

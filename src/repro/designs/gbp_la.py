@@ -23,12 +23,11 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from ..driver import CompileSession, default_session
 from ..generators import GeneratorRegistry
 from ..generators.aetherling import AetherlingGenerator, golden_conv
 from ..generators.serializer import SerializerGenerator
-from ..lilac.ast import Program
-from ..lilac.elaborate import ElabResult, Elaborator
-from ..lilac.stdlib import stdlib_program
+from ..lilac.elaborate import ElabResult
 
 TILE = 16
 
@@ -162,11 +161,6 @@ GBP_SOURCE = (
 )
 
 
-def gbp_program() -> Program:
-    """Standard library + the full LA Gaussian Blur Pyramid."""
-    return stdlib_program(GBP_SOURCE)
-
-
 def gbp_registry(parallelism: int) -> GeneratorRegistry:
     registry = GeneratorRegistry()
     registry.register(AetherlingGenerator(parallelism))
@@ -174,15 +168,23 @@ def gbp_registry(parallelism: int) -> GeneratorRegistry:
     return registry
 
 
-def elaborate_gbp(parallelism: int, width: int = 16) -> ElabResult:
+def elaborate_gbp(
+    parallelism: int, width: int = 16, session: Optional[CompileSession] = None
+) -> ElabResult:
     """Elaborate the LA pyramid for one Aetherling parallelism setting."""
-    elaborator = Elaborator(gbp_program(), gbp_registry(parallelism))
-    return elaborator.elaborate("GBP", {"#W": width})
+    session = session or default_session()
+    return session.elaborate(
+        GBP_SOURCE, "GBP", {"#W": width}, gbp_registry(parallelism)
+    ).value
 
 
-def elaborate_blur(parallelism: int, width: int = 16) -> ElabResult:
-    elaborator = Elaborator(gbp_program(), gbp_registry(parallelism))
-    return elaborator.elaborate("Blur", {"#W": width})
+def elaborate_blur(
+    parallelism: int, width: int = 16, session: Optional[CompileSession] = None
+) -> ElabResult:
+    session = session or default_session()
+    return session.elaborate(
+        GBP_SOURCE, "Blur", {"#W": width}, gbp_registry(parallelism)
+    ).value
 
 
 # ---------------------------------------------------------------------------

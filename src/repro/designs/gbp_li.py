@@ -18,21 +18,26 @@ measure.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
-from ..generators import GeneratorRegistry
+from ..driver import CompileSession, default_session
 from ..generators.aetherling import AetherlingGenerator
-from ..lilac.elaborate import ElabResult, Elaborator
-from ..lilac.stdlib import stdlib_program
+from ..lilac.elaborate import ElabResult
 from ..li import bit_and, bit_not, up_counter, wrap_latency_sensitive
 from ..rtl import Module, Net, Simulator
 from .gbp_la import AETHERLING_CONV_INTERFACE, TILE
 
 
-def elaborate_conv(parallelism: int, width: int) -> ElabResult:
-    program = stdlib_program(AETHERLING_CONV_INTERFACE)
-    registry = GeneratorRegistry().register(AetherlingGenerator(parallelism))
-    return Elaborator(program, registry).elaborate("AethConv", {"#W": width})
+def elaborate_conv(
+    parallelism: int, width: int, session: Optional[CompileSession] = None
+) -> ElabResult:
+    session = session or default_session()
+    return session.elaborate(
+        AETHERLING_CONV_INTERFACE,
+        "AethConv",
+        {"#W": width},
+        [AetherlingGenerator(parallelism)],
+    ).value
 
 
 def build_li_blur(conv: ElabResult, width: int, name: str) -> Module:
@@ -157,9 +162,11 @@ def _rearrange(m: Module, tile: Net, width: int, index_fn) -> Net:
     return packed
 
 
-def build_li_gbp(parallelism: int, width: int = 16) -> Module:
+def build_li_gbp(
+    parallelism: int, width: int = 16, session: Optional[CompileSession] = None
+) -> Module:
     """The full LI pyramid: three serial blur levels plus a bypass FIFO."""
-    conv = elaborate_conv(parallelism, width)
+    conv = elaborate_conv(parallelism, width, session)
     blur0 = build_li_blur(conv, width, f"li_blur0_N{parallelism}")
     blur1 = build_li_blur(conv, width, f"li_blur1_N{parallelism}")
     blur2 = build_li_blur(conv, width, f"li_blur2_N{parallelism}")

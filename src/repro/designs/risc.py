@@ -20,9 +20,8 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from ..generators import GeneratorRegistry
-from ..lilac.elaborate import ElabResult, Elaborator
-from ..lilac.stdlib import stdlib_program
+from ..driver import CompileSession, default_session
+from ..lilac.elaborate import ElabResult
 
 RISC_SOURCE = """
 // Decode stage: slice the instruction word into fields.
@@ -94,12 +93,9 @@ comp Risc3<G:1>(instr: [G, G+1] 16, acc: [G+1, G+2] 8)
 """
 
 
-def risc_program():
-    return stdlib_program(RISC_SOURCE)
-
-
-def elaborate_risc() -> ElabResult:
-    return Elaborator(risc_program(), GeneratorRegistry()).elaborate("Risc3", {})
+def elaborate_risc(session: Optional[CompileSession] = None) -> ElabResult:
+    session = session or default_session()
+    return session.elaborate(RISC_SOURCE, "Risc3", {}).value
 
 
 OP_ADD, OP_SUB, OP_AND, OP_OR = 0, 1, 2, 3

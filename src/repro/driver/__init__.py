@@ -1,0 +1,44 @@
+"""Staged compiler driver: sessions, artifacts, caching, and the grid.
+
+The one front door to the reproduction's pipeline::
+
+    from repro.driver import CompileSession
+
+    session = CompileSession()
+    result = session.compile(MY_LILAC_SOURCE, "Top", {"#W": 32},
+                             generators=[FloPoCoGenerator(400)])
+    result.elab      # the ElabResult (schedule + RTL)
+    result.verilog   # structural Verilog text
+    result.report    # SynthReport from the cost model
+    result.timings() # per-stage wall-clock seconds
+
+Repeated requests — across designs, tables, figures and benchmarks —
+are served from the session's content-addressed artifact cache.  Grids
+of design points fan out over :class:`EvalGrid`.
+"""
+
+from .artifact import CompileResult, Diagnostic, STAGES, StageArtifact
+from .cache import ArtifactCache, CacheStats, freeze_params, source_digest
+from .grid import EvalGrid
+from .session import (
+    CompileSession,
+    DEFAULT_STAGES,
+    default_session,
+    reset_default_session,
+)
+
+__all__ = [
+    "ArtifactCache",
+    "CacheStats",
+    "CompileResult",
+    "CompileSession",
+    "DEFAULT_STAGES",
+    "Diagnostic",
+    "EvalGrid",
+    "STAGES",
+    "StageArtifact",
+    "default_session",
+    "freeze_params",
+    "reset_default_session",
+    "source_digest",
+]

@@ -1,0 +1,151 @@
+"""Content-addressed, in-memory artifact cache with single-flight misses.
+
+Keys are value-based: a source text is identified by its SHA-256 digest,
+a parameter binding by its frozen item tuple, and a generator registry by
+its configuration fingerprint — so two independently constructed but
+identically configured requests share one artifact.  The cache is safe
+under the :class:`repro.driver.EvalGrid`'s thread pool: concurrent
+requests for the same key block on a per-key lock and all but the first
+are served the first computation's artifact (counted as hits).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from typing import Callable, Dict, Sequence, Tuple, Union
+
+from .artifact import StageArtifact
+
+
+def source_digest(source: str) -> str:
+    """Stable content address of a Lilac source text."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()[:16]
+
+
+def freeze_params(params: Union[Dict[str, int], Sequence[int], None]) -> Tuple:
+    """Canonical hashable form of a parameter binding.
+
+    Dict bindings are order-insensitive; positional bindings keep their
+    order (the signature defines it).  The two spellings are distinct
+    keys by design — mapping positions to names would require the parsed
+    signature, which the cache deliberately knows nothing about.
+    """
+    if params is None:
+        return ("kw",)
+    if isinstance(params, dict):
+        return ("kw",) + tuple(sorted((k, int(v)) for k, v in params.items()))
+    return ("pos",) + tuple(int(v) for v in params)
+
+
+class CacheStats:
+    """Hit/miss counters per stage plus free-form work counters."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.hits: Dict[str, int] = {}
+        self.misses: Dict[str, int] = {}
+        self.counters: Dict[str, int] = {}
+
+    def record_hit(self, stage: str) -> None:
+        with self._lock:
+            self.hits[stage] = self.hits.get(stage, 0) + 1
+
+    def record_miss(self, stage: str) -> None:
+        with self._lock:
+            self.misses[stage] = self.misses.get(stage, 0) + 1
+
+    def bump(self, counter: str, amount: int = 1) -> None:
+        with self._lock:
+            self.counters[counter] = self.counters.get(counter, 0) + amount
+
+    def hit_count(self, stage: str = None) -> int:
+        with self._lock:
+            if stage is None:
+                return sum(self.hits.values())
+            return self.hits.get(stage, 0)
+
+    def miss_count(self, stage: str = None) -> int:
+        with self._lock:
+            if stage is None:
+                return sum(self.misses.values())
+            return self.misses.get(stage, 0)
+
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self.counters.get(name, 0)
+
+    def snapshot(self) -> Dict[str, Dict[str, int]]:
+        with self._lock:
+            return {
+                "hits": dict(self.hits),
+                "misses": dict(self.misses),
+                "counters": dict(self.counters),
+            }
+
+    def render(self) -> str:
+        snap = self.snapshot()
+        stages = sorted(set(snap["hits"]) | set(snap["misses"]))
+        lines = ["cache statistics:"]
+        for stage in stages:
+            hits = snap["hits"].get(stage, 0)
+            misses = snap["misses"].get(stage, 0)
+            lines.append(f"  {stage:12s} {hits:4d} hits  {misses:4d} misses")
+        for name, value in sorted(snap["counters"].items()):
+            lines.append(f"  {name}: {value}")
+        return "\n".join(lines)
+
+
+class ArtifactCache:
+    """Keyed store of :class:`StageArtifact` with single-flight compute."""
+
+    def __init__(self, stats: CacheStats = None):
+        self.stats = stats or CacheStats()
+        self._mutex = threading.Lock()
+        self._artifacts: Dict[Tuple, StageArtifact] = {}
+        self._key_locks: Dict[Tuple, threading.Lock] = {}
+
+    def __len__(self) -> int:
+        with self._mutex:
+            return len(self._artifacts)
+
+    def peek(self, key: Tuple):
+        with self._mutex:
+            return self._artifacts.get(key)
+
+    def get_or_compute(
+        self, key: Tuple, compute: Callable[[], StageArtifact]
+    ) -> StageArtifact:
+        """Return the artifact for ``key``, computing it at most once.
+
+        The first requester runs ``compute`` under a per-key lock;
+        concurrent requesters for the same key block and then receive the
+        published artifact.  A failed compute publishes nothing, so the
+        next request retries.
+        """
+        stage = key[0]
+        with self._mutex:
+            artifact = self._artifacts.get(key)
+            if artifact is not None:
+                self.stats.record_hit(stage)
+                artifact.from_cache = True
+                return artifact
+            key_lock = self._key_locks.setdefault(key, threading.Lock())
+        with key_lock:
+            with self._mutex:
+                artifact = self._artifacts.get(key)
+            if artifact is not None:
+                self.stats.record_hit(stage)
+                artifact.from_cache = True
+                return artifact
+            self.stats.record_miss(stage)
+            artifact = compute()
+            with self._mutex:
+                self._artifacts[key] = artifact
+                self._key_locks.pop(key, None)
+            return artifact
+
+    def clear(self) -> None:
+        with self._mutex:
+            self._artifacts.clear()
+            self._key_locks.clear()

@@ -1,0 +1,238 @@
+"""``python -m repro`` — the command-line front door to the pipeline.
+
+Subcommands:
+
+* ``compile`` — run the staged pipeline over a bundled design preset or
+  a Lilac source file, printing the schedule, per-stage timings, the
+  synthesis report, and (optionally) Verilog.
+* ``table``  — regenerate Table 1, 2 or 3.
+* ``figure`` — regenerate Figure 8 or 13.
+* ``all``    — every table and figure on one shared session, with cache
+  statistics showing the artifacts reused across them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional
+
+from ..filament import FilamentError
+from ..generators.base import GeneratorError
+from ..lilac.ast import LilacError
+from .session import CompileSession
+from .artifact import CompileResult
+
+
+def _fpu_preset(args):
+    from ..designs.fpu import FPU_LA_SOURCE, fpu_generators
+
+    return FPU_LA_SOURCE, "FPU", fpu_generators(args.freq), {"#W": 32}
+
+
+def _fft_preset(args):
+    from ..designs.fft import FFT_LILAC
+    from ..generators.flopoco import FloPoCoGenerator
+
+    return FFT_LILAC, "Fft16", [FloPoCoGenerator(args.freq)], {"#W": 16}
+
+
+def _flofft_preset(args):
+    from ..designs.fft import FFT_FLOPOCO
+    from ..generators.flopoco import FloPoCoGenerator
+
+    return FFT_FLOPOCO, "FloFft16", [FloPoCoGenerator(args.freq)], {"#W": 32}
+
+
+def _risc_preset(args):
+    from ..designs.risc import RISC_SOURCE
+
+    return RISC_SOURCE, "Risc3", None, {}
+
+
+def _gbp_preset(args):
+    from ..designs.gbp_la import GBP_SOURCE, gbp_registry
+
+    return GBP_SOURCE, "GBP", gbp_registry(args.parallelism), {"#W": 16}
+
+
+def _blas_preset(args):
+    from ..designs.blas import BLAS_SOURCE, blas_registry
+
+    return BLAS_SOURCE, "Dot", blas_registry(), {"#W": 16, "#ML": 2}
+
+
+PRESETS = {
+    "fpu": _fpu_preset,
+    "fft": _fft_preset,
+    "flofft": _flofft_preset,
+    "risc": _risc_preset,
+    "gbp": _gbp_preset,
+    "blas": _blas_preset,
+}
+
+
+def _parse_params(pairs: List[str]) -> Dict[str, int]:
+    params: Dict[str, int] = {}
+    for pair in pairs:
+        name, sep, value = pair.partition("=")
+        try:
+            if not sep:
+                raise ValueError
+            params[name.strip()] = int(value)
+        except ValueError:
+            raise SystemExit(f"bad --param {pair!r}: expected NAME=INT")
+    return params
+
+
+def _cmd_compile(args) -> int:
+    session = CompileSession()
+    if args.source:
+        with open(args.source) as handle:
+            source = handle.read()
+        component = args.component
+        generators, params = None, {}
+        if component is None:
+            raise SystemExit("--component is required with --source")
+    else:
+        source, component, generators, params = PRESETS[args.design](args)
+        if args.component:
+            component = args.component
+    params.update(_parse_params(args.param))
+
+    stages = ["parse", "elaborate", "synthesize"]
+    if args.check:
+        stages.insert(1, "typecheck")
+    if args.verilog is not None:
+        stages.insert(stages.index("synthesize"), "emit_verilog")
+    result = session.compile(
+        source, component, params, generators, stages=stages
+    )
+
+    check = result.get("typecheck")
+    if check is not None and not check.ok:
+        print(f"{component}: type check FAILED")
+        for diagnostic in check.diagnostics:
+            print(diagnostic.render())
+        return 1
+    elab = result.elab
+    print(f"{component}  params={elab.params}  "
+          f"latency={elab.latency}  II={elab.delay}  "
+          f"out_params={elab.out_params}")
+    report = result.report
+    print(f"synthesis: {report.luts} LUTs, {report.registers} registers, "
+          f"{report.fmax_mhz:.1f} MHz")
+    print("stage timings (ms):")
+    for stage, seconds in result.timings().items():
+        print(f"  {stage:12s} {seconds * 1000.0:8.2f}")
+    if args.verilog is not None:
+        text = result.verilog
+        if args.verilog == "-":
+            print(text)
+        else:
+            with open(args.verilog, "w") as handle:
+                handle.write(text)
+            print(f"wrote {args.verilog}")
+    return 0
+
+
+def _run_artifacts(names: List[str], workers: Optional[int]) -> int:
+    from .. import evalx
+
+    session = CompileSession()
+    for name in names:
+        print(f"== {name} ==")
+        print(evalx.run_artifact(name, session=session, workers=workers))
+        print()
+    print(session.stats.render())
+    return 0
+
+
+def _cmd_table(args) -> int:
+    return _run_artifacts([f"table{args.number}"], args.workers)
+
+
+def _cmd_figure(args) -> int:
+    return _run_artifacts([f"figure{args.number}"], args.workers)
+
+
+def _cmd_all(args) -> int:
+    from .. import evalx
+
+    return _run_artifacts(sorted(evalx.ARTIFACTS), args.workers)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Staged compiler driver for the Lilac reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    compile_ = sub.add_parser(
+        "compile", help="compile a design through the staged pipeline"
+    )
+    group = compile_.add_mutually_exclusive_group()
+    group.add_argument(
+        "--design", choices=sorted(PRESETS), default="fpu",
+        help="bundled design preset (default: fpu)",
+    )
+    group.add_argument("--source", help="path to a Lilac source file")
+    compile_.add_argument("--component", help="top-level component name")
+    compile_.add_argument(
+        "-p", "--param", action="append", default=[], metavar="NAME=INT",
+        help="override a top-level parameter (repeatable)",
+    )
+    compile_.add_argument(
+        "--freq", type=int, default=400,
+        help="FloPoCo frequency goal in MHz (default: 400)",
+    )
+    compile_.add_argument(
+        "--parallelism", type=int, default=16,
+        help="Aetherling parallelism for the gbp preset (default: 16)",
+    )
+    compile_.add_argument(
+        "--check", action="store_true",
+        help="run the (slow, exhaustive) typecheck stage first",
+    )
+    compile_.add_argument(
+        "--verilog", nargs="?", const="-", metavar="PATH",
+        help="emit structural Verilog to PATH (default: stdout)",
+    )
+    compile_.set_defaults(fn=_cmd_compile)
+
+    table = sub.add_parser("table", help="regenerate a paper table")
+    table.add_argument("number", type=int, choices=(1, 2, 3))
+    table.set_defaults(fn=_cmd_table)
+
+    figure = sub.add_parser("figure", help="regenerate a paper figure")
+    figure.add_argument("number", type=int, choices=(8, 13))
+    figure.set_defaults(fn=_cmd_figure)
+
+    all_ = sub.add_parser(
+        "all", help="regenerate every table and figure on one session"
+    )
+    all_.set_defaults(fn=_cmd_all)
+
+    for command in (table, figure, all_):
+        command.add_argument(
+            "--workers", type=int, default=None,
+            help="evaluation-grid worker threads (default: cpu count)",
+        )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except (LilacError, GeneratorError, FilamentError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,64 @@
+"""Parallel evaluation grid over a shared :class:`CompileSession`.
+
+Tables and figures sweep a design over a grid of points (FloPoCo
+frequency goals, Aetherling parallelisms, …).  :class:`EvalGrid` fans
+the points out over a ``concurrent.futures`` thread pool; the session's
+single-flight artifact cache guarantees each distinct ``(component,
+binding, registry)`` is elaborated exactly once no matter how workers
+interleave, so results are deterministic and independent of the worker
+count.
+
+Threads (not processes) are the right pool here: sessions hold
+unpicklable live objects (programs, netlists, locks), the workloads are
+pure Python either way, and a thread pool keeps every worker on the
+*same* cache so the grid benefits from sharing instead of duplicating
+work per process.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+from .session import CompileSession, default_session
+
+Point = TypeVar("Point")
+Result = TypeVar("Result")
+
+
+class EvalGrid:
+    """Maps a worker function over grid points, preserving point order."""
+
+    def __init__(
+        self,
+        session: Optional[CompileSession] = None,
+        max_workers: Optional[int] = None,
+    ):
+        self.session = session if session is not None else default_session()
+        self.max_workers = max_workers
+
+    def _worker_count(self, points: int) -> int:
+        if self.max_workers is not None:
+            return max(1, min(self.max_workers, points))
+        return max(1, min(os.cpu_count() or 1, points))
+
+    def map(
+        self,
+        fn: Callable[[CompileSession, Point], Result],
+        points: Sequence[Point],
+    ) -> List[Result]:
+        """Run ``fn(session, point)`` for every point.
+
+        Results come back in point order.  The first exception raised by
+        a worker propagates to the caller (after the pool drains).
+        """
+        points = list(points)
+        workers = self._worker_count(len(points))
+        if workers <= 1 or len(points) <= 1:
+            return [fn(self.session, point) for point in points]
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(fn, self.session, point) for point in points
+            ]
+            return [future.result() for future in futures]

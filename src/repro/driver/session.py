@@ -1,0 +1,326 @@
+"""The staged compiler driver: one front door for the whole pipeline.
+
+A :class:`CompileSession` runs the compilation pipeline as explicit,
+inspectable stages —
+
+    parse → typecheck → elaborate (→ wellformed → lower) → emit_verilog
+                                                         → synthesize
+
+— each producing a :class:`~repro.driver.artifact.StageArtifact` with
+structured diagnostics and wall-clock timings.  Artifacts live in a
+content-addressed in-memory cache keyed on ``(stage, source digest,
+component, frozen parameter binding, generator-registry fingerprint)``,
+so repeated elaborations and synthesis runs across designs, tables and
+benchmarks are computed once per session.  Sessions are thread-safe and
+feed the :class:`~repro.driver.grid.EvalGrid` worker pool.
+
+Elaborator instances are shared per ``(source, registry, verify)``
+triple: elaborating ``FPU`` and then ``FPAdd`` from the same program
+reuses the child artifacts the first call already produced, on top of
+the session-level artifact cache.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..generators.base import Generator, GeneratorRegistry
+from ..lilac.elaborate import Elaborator
+from ..lilac.stdlib import stdlib_program
+from ..lilac.parser import parse_program
+from ..lilac.typecheck import check_component, check_program
+from ..rtl import emit_verilog
+from ..synth import synthesize
+from .artifact import CompileResult, Diagnostic, StageArtifact
+from .cache import ArtifactCache, CacheStats, freeze_params, source_digest
+
+Generators = Union[GeneratorRegistry, Iterable[Generator], None]
+
+#: Stages `compile` runs when none are requested explicitly.
+DEFAULT_STAGES = ("parse", "elaborate", "emit_verilog", "synthesize")
+
+
+class _ElabObserver:
+    """Per-call accumulator plugged into the shared elaborator."""
+
+    def __init__(self, stats: CacheStats):
+        self._stats = stats
+        self.components = 0
+        self.sub_timings: Dict[str, float] = {}
+
+    def component_elaborated(self, name: str, env: Dict[str, int]) -> None:
+        self.components += 1
+        self._stats.bump("elaborate.components")
+
+    def stage_time(self, stage: str, seconds: float) -> None:
+        self.sub_timings[stage] = self.sub_timings.get(stage, 0.0) + seconds
+
+
+class CompileSession:
+    """Staged, cached, thread-safe driver over the Lilac pipeline."""
+
+    def __init__(self, verify: bool = True):
+        self.verify = verify
+        self.stats = CacheStats()
+        self.cache = ArtifactCache(self.stats)
+        self._mutex = threading.Lock()
+        # (source digest, registry fingerprint, verify)
+        #   -> (Elaborator, per-elaborator lock)
+        self._elaborators: Dict[Tuple, Tuple[Elaborator, threading.Lock]] = {}
+
+    # -- key helpers ----------------------------------------------------
+
+    @staticmethod
+    def _registry_of(generators: Generators) -> GeneratorRegistry:
+        if generators is None:
+            return GeneratorRegistry()
+        if isinstance(generators, GeneratorRegistry):
+            return generators
+        registry = GeneratorRegistry()
+        for generator in generators:
+            registry.register(generator)
+        return registry
+
+    @staticmethod
+    def _source_key(source: str, stdlib: bool) -> Tuple:
+        return (source_digest(source), bool(stdlib))
+
+    # -- stages ---------------------------------------------------------
+
+    def parse(self, source: str, stdlib: bool = True) -> StageArtifact:
+        """source text → Program (standard library merged in by default)."""
+        key = ("parse", self._source_key(source, stdlib))
+
+        def compute() -> StageArtifact:
+            start = time.perf_counter()
+            if stdlib:
+                program = stdlib_program(source)
+            else:
+                program = parse_program(source)
+            return StageArtifact(
+                "parse", key, program, time.perf_counter() - start
+            )
+
+        return self.cache.get_or_compute(key, compute)
+
+    def typecheck(
+        self,
+        source: str,
+        component: Optional[str] = None,
+        stdlib: bool = True,
+    ) -> StageArtifact:
+        """Check one component (or, with ``component=None``, every
+        ``comp`` in the program).  Errors become diagnostics — the
+        artifact is returned either way; inspect ``artifact.ok``."""
+        key = ("typecheck", self._source_key(source, stdlib), component)
+
+        def compute() -> StageArtifact:
+            program = self.parse(source, stdlib).value
+            start = time.perf_counter()
+            if component is None:
+                reports = check_program(program, raise_on_error=False)
+            else:
+                reports = [check_component(program, component)]
+            seconds = time.perf_counter() - start
+            diagnostics = [
+                Diagnostic("error", "typecheck", error.render())
+                for report in reports
+                for error in report.errors
+            ]
+            value = reports[0] if component is not None else reports
+            return StageArtifact("typecheck", key, value, seconds, diagnostics)
+
+        return self.cache.get_or_compute(key, compute)
+
+    def _elaborator_for(
+        self, source: str, stdlib: bool, registry: GeneratorRegistry
+    ) -> Tuple[Elaborator, threading.Lock]:
+        ekey = (
+            self._source_key(source, stdlib),
+            registry.fingerprint(),
+            self.verify,
+        )
+        # Parse outside the session mutex: it is single-flighted by the
+        # artifact cache, and holding _mutex across it would serialize
+        # every grid worker on an unrelated source's first parse.
+        program = self.parse(source, stdlib).value
+        with self._mutex:
+            entry = self._elaborators.get(ekey)
+            if entry is None:
+                entry = (
+                    Elaborator(program, registry, verify=self.verify),
+                    threading.Lock(),
+                )
+                self._elaborators[ekey] = entry
+            return entry
+
+    def elaborate(
+        self,
+        source: str,
+        component: str,
+        params: Union[Dict[str, int], Sequence[int], None] = None,
+        generators: Generators = None,
+        stdlib: bool = True,
+    ) -> StageArtifact:
+        """program + concrete parameters → ElabResult (RTL + schedule)."""
+        registry = self._registry_of(generators)
+        key = (
+            "elaborate",
+            self._source_key(source, stdlib),
+            component,
+            freeze_params(params),
+            registry.fingerprint(),
+            self.verify,
+        )
+
+        def compute() -> StageArtifact:
+            elaborator, lock = self._elaborator_for(source, stdlib, registry)
+            observer = _ElabObserver(self.stats)
+            with lock:
+                # Start the clock under the lock: waiting for another
+                # grid worker's elaboration is not this stage's cost.
+                start = time.perf_counter()
+                elaborator.observer = observer
+                try:
+                    result = elaborator.elaborate(component, params)
+                finally:
+                    elaborator.observer = None
+                seconds = time.perf_counter() - start
+            return StageArtifact(
+                "elaborate",
+                key,
+                result,
+                seconds,
+                sub_timings=observer.sub_timings,
+            )
+
+        return self.cache.get_or_compute(key, compute)
+
+    def emit_verilog(
+        self,
+        source: str,
+        component: str,
+        params: Union[Dict[str, int], Sequence[int], None] = None,
+        generators: Generators = None,
+        stdlib: bool = True,
+    ) -> StageArtifact:
+        """elaborated design → structural Verilog text."""
+        registry = self._registry_of(generators)
+        key = (
+            "emit_verilog",
+            self._source_key(source, stdlib),
+            component,
+            freeze_params(params),
+            registry.fingerprint(),
+            self.verify,
+        )
+
+        def compute() -> StageArtifact:
+            elab = self.elaborate(
+                source, component, params, registry, stdlib
+            ).value
+            start = time.perf_counter()
+            text = emit_verilog(elab.module)
+            return StageArtifact(
+                "emit_verilog", key, text, time.perf_counter() - start
+            )
+
+        return self.cache.get_or_compute(key, compute)
+
+    def synthesize(
+        self,
+        source: str,
+        component: str,
+        params: Union[Dict[str, int], Sequence[int], None] = None,
+        generators: Generators = None,
+        stdlib: bool = True,
+    ) -> StageArtifact:
+        """elaborated design → SynthReport from the area/timing model."""
+        registry = self._registry_of(generators)
+        key = (
+            "synthesize",
+            self._source_key(source, stdlib),
+            component,
+            freeze_params(params),
+            registry.fingerprint(),
+            self.verify,
+        )
+
+        def compute() -> StageArtifact:
+            elab = self.elaborate(
+                source, component, params, registry, stdlib
+            ).value
+            start = time.perf_counter()
+            report = synthesize(elab.module)
+            return StageArtifact(
+                "synthesize", key, report, time.perf_counter() - start
+            )
+
+        return self.cache.get_or_compute(key, compute)
+
+    # -- the pipeline front door ----------------------------------------
+
+    def compile(
+        self,
+        source: str,
+        component: str,
+        params: Union[Dict[str, int], Sequence[int], None] = None,
+        generators: Generators = None,
+        stdlib: bool = True,
+        stages: Sequence[str] = DEFAULT_STAGES,
+    ) -> CompileResult:
+        """Run the requested stages in pipeline order and bundle the
+        artifacts.  A failing typecheck stops the pipeline (its artifact
+        carries the diagnostics); other stage errors raise as usual."""
+        result = CompileResult(
+            component, params if isinstance(params, dict) else {}
+        )
+        wanted = set(stages)
+        unknown = wanted - {
+            "parse", "typecheck", "elaborate", "emit_verilog", "synthesize"
+        }
+        if unknown:
+            raise ValueError(f"unknown pipeline stages: {sorted(unknown)}")
+        if "parse" in wanted:
+            result.add(self.parse(source, stdlib))
+        if "typecheck" in wanted:
+            artifact = self.typecheck(source, component, stdlib)
+            result.add(artifact)
+            if not artifact.ok:
+                return result
+        for stage in ("elaborate", "emit_verilog", "synthesize"):
+            if stage in wanted:
+                result.add(
+                    getattr(self, stage)(
+                        source, component, params, generators, stdlib
+                    )
+                )
+        return result
+
+
+# ---------------------------------------------------------------------------
+# The process-wide default session: designs and evalx modules share it so
+# that independent callers (tables, figures, examples) reuse artifacts
+# without threading a session argument everywhere.
+
+_DEFAULT: Optional[CompileSession] = None
+_DEFAULT_LOCK = threading.Lock()
+
+
+def default_session() -> CompileSession:
+    """The shared process-wide session (created on first use)."""
+    global _DEFAULT
+    with _DEFAULT_LOCK:
+        if _DEFAULT is None:
+            _DEFAULT = CompileSession()
+        return _DEFAULT
+
+
+def reset_default_session() -> CompileSession:
+    """Replace the shared session with a fresh one (mainly for tests)."""
+    global _DEFAULT
+    with _DEFAULT_LOCK:
+        _DEFAULT = CompileSession()
+        return _DEFAULT

@@ -17,10 +17,11 @@ stays roughly constant.
 
 from __future__ import annotations
 
-from typing import Dict, List, NamedTuple
+from typing import Dict, List, NamedTuple, Optional
 
-from ..designs.gbp_la import elaborate_gbp
+from ..designs.gbp_la import GBP_SOURCE, gbp_registry
 from ..designs.gbp_li import build_li_gbp
+from ..driver import CompileSession, EvalGrid
 from ..synth import SynthReport, format_table, geomean, synthesize
 
 PARALLELISMS = (1, 2, 4, 8, 16)
@@ -32,13 +33,27 @@ class Figure13Row(NamedTuple):
     rv: SynthReport
 
 
-def build_rows(parallelisms=PARALLELISMS, width: int = 16) -> List[Figure13Row]:
-    rows = []
-    for parallelism in parallelisms:
-        lilac = synthesize(elaborate_gbp(parallelism, width).module)
-        rv = synthesize(build_li_gbp(parallelism, width))
-        rows.append(Figure13Row(parallelism, lilac, rv))
-    return rows
+def _build_point(
+    session: CompileSession, parallelism: int, width: int = 16
+) -> Figure13Row:
+    lilac = session.synthesize(
+        GBP_SOURCE, "GBP", {"#W": width}, gbp_registry(parallelism)
+    ).value
+    rv = synthesize(build_li_gbp(parallelism, width, session=session))
+    return Figure13Row(parallelism, lilac, rv)
+
+
+def build_rows(
+    parallelisms=PARALLELISMS,
+    width: int = 16,
+    session: Optional[CompileSession] = None,
+    workers: Optional[int] = None,
+) -> List[Figure13Row]:
+    grid = EvalGrid(session, max_workers=workers)
+    return grid.map(
+        lambda s, parallelism: _build_point(s, parallelism, width),
+        parallelisms,
+    )
 
 
 def render(rows: List[Figure13Row]) -> str:
@@ -69,6 +84,17 @@ def summary(rows: List[Figure13Row]) -> Dict[str, float]:
         "li_extra_registers_pct": (reg_ratio - 1) * 100,
         "li_frequency_loss_pct": (1 - freq_ratio) * 100,
     }
+
+
+def run(
+    session: Optional[CompileSession] = None, workers: Optional[int] = None
+) -> str:
+    rows = build_rows(session=session, workers=workers)
+    stats = check_shape(rows)
+    lines = [render(rows), "", "section 7.2 headline statistics:"]
+    for key, value in stats.items():
+        lines.append(f"  {key}: {value:+.1f}%")
+    return "\n".join(lines)
 
 
 def check_shape(rows: List[Figure13Row]) -> Dict[str, float]:

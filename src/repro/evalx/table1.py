@@ -16,9 +16,10 @@ in :func:`check_shape`.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from ..designs.fpu import LiFpu, elaborate_fpu_ls
+from ..designs.fpu import FPU_LA_SOURCE, LiFpu, fpu_generators
+from ..driver import CompileSession, EvalGrid
 from ..generators.flopoco import adder_depth, multiplier_depth
 from ..synth import SynthReport, format_table, synthesize
 
@@ -39,17 +40,32 @@ class Table1Row:
         ]
 
 
-def build_rows(width: int = 32) -> List[Table1Row]:
-    rows: List[Table1Row] = []
-    for frequency in DESIGN_POINTS:
-        a = adder_depth(width, frequency)
-        m = multiplier_depth(width, frequency)
-        label = f"(A={a}, M={m})"
-        li = LiFpu(frequency, width)
-        ls = elaborate_fpu_ls(frequency, width)
-        rows.append(Table1Row(f"LI {label}", synthesize(li.module)))
-        rows.append(Table1Row(f"LS {label}", synthesize(ls.module)))
-    return rows
+def _build_point(
+    session: CompileSession, frequency: int, width: int = 32
+) -> List[Table1Row]:
+    a = adder_depth(width, frequency)
+    m = multiplier_depth(width, frequency)
+    label = f"(A={a}, M={m})"
+    li = LiFpu(frequency, width, session=session)
+    ls = session.synthesize(
+        FPU_LA_SOURCE, "FPU", {"#W": width}, fpu_generators(frequency)
+    ).value
+    return [
+        Table1Row(f"LI {label}", synthesize(li.module)),
+        Table1Row(f"LS {label}", ls),
+    ]
+
+
+def build_rows(
+    width: int = 32,
+    session: Optional[CompileSession] = None,
+    workers: Optional[int] = None,
+) -> List[Table1Row]:
+    grid = EvalGrid(session, max_workers=workers)
+    per_point = grid.map(
+        lambda s, frequency: _build_point(s, frequency, width), DESIGN_POINTS
+    )
+    return [row for rows in per_point for row in rows]
 
 
 def render(rows: List[Table1Row]) -> str:
@@ -57,6 +73,18 @@ def render(rows: List[Table1Row]) -> str:
         ["Configuration", "LUTs", "Registers", "Freq. (MHz)"],
         [row.cells() for row in rows],
     )
+
+
+def run(
+    session: Optional[CompileSession] = None, workers: Optional[int] = None
+) -> str:
+    """Build, verify and render the table (the CLI entry point)."""
+    rows = build_rows(session=session, workers=workers)
+    stats = check_shape(rows)
+    lines = [render(rows), "", "shape statistics:"]
+    for key, value in stats.items():
+        lines.append(f"  {key}: {value:+.3f}")
+    return "\n".join(lines)
 
 
 def check_shape(rows: List[Table1Row]) -> Dict[str, float]:

@@ -17,10 +17,10 @@ artifact kinds in this repository:
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..designs.fpu import FPU_LA_SOURCE, LiFpu, elaborate_fpu_ls
-from ..lilac import parse_program
+from ..driver import CompileSession, default_session
 from ..params import free_params, instance_outs
 from ..synth import format_table
 
@@ -41,9 +41,12 @@ def _timing_uses_out_params(signature) -> bool:
     return False
 
 
-def classify() -> List[Tuple[str, bool, bool, bool]]:
+def classify(
+    session: Optional[CompileSession] = None,
+) -> List[Tuple[str, bool, bool, bool]]:
     """Return (interface, design, compile, execute) truth rows."""
-    program = parse_program(FPU_LA_SOURCE)
+    session = session or default_session()
+    program = session.parse(FPU_LA_SOURCE, stdlib=False).value
 
     # LS: the *elaborated* FPU's schedule, re-expressed as a signature,
     # is concrete at design time — model with the stdlib Shift signature,
@@ -57,13 +60,13 @@ def classify() -> List[Tuple[str, bool, bool, bool]]:
     la_sig = program.get("FPAdd").signature
     la_design_known = not _timing_uses_out_params(la_sig)
     # ...but elaboration produces a concrete static schedule:
-    elaborated = elaborate_fpu_ls(400)
+    elaborated = elaborate_fpu_ls(400, session=session)
     la_compile_known = isinstance(elaborated.latency, int)
 
     # LI: even after building the RTL, completion is signalled by a
     # runtime valid bit — the presence of the handshake ports means no
     # static schedule exists even post-compilation.
-    li = LiFpu(400)
+    li = LiFpu(400, session=session)
     li_has_handshake = (
         "out_valid" in li.module.ports and "in_ready" in li.module.ports
     )
@@ -94,3 +97,11 @@ EXPECTED = {
 def check_shape(rows) -> None:
     for name, design, compile_time, execute in rows:
         assert EXPECTED[name] == (design, compile_time, execute), name
+
+
+def run(
+    session: Optional[CompileSession] = None, workers: Optional[int] = None
+) -> str:
+    rows = classify(session=session)
+    check_shape(rows)
+    return render(rows)

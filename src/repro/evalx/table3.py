@@ -22,9 +22,9 @@ Features are *computed* from the Lilac interface declarations in
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
-from ..lilac import parse_program
+from ..driver import CompileSession, default_session
 from ..lilac.ast import GEN, Signature
 from ..params import PInt, free_params, pretty
 from ..generators.interfaces import ALL_INTERFACES, TABLE3_FEATURES
@@ -90,9 +90,12 @@ def _constant_window(port):
     return None
 
 
-def compute_features() -> Dict[str, FrozenSet[str]]:
+def compute_features(
+    session: Optional[CompileSession] = None,
+) -> Dict[str, FrozenSet[str]]:
     """Feature set per generator, aggregated over its declarations."""
-    program = parse_program(ALL_INTERFACES)
+    session = session or default_session()
+    program = session.parse(ALL_INTERFACES, stdlib=False).value
     by_tool: Dict[str, set] = {}
     for component in program:
         sig = component.signature
@@ -106,8 +109,10 @@ def compute_features() -> Dict[str, FrozenSet[str]]:
 FEATURE_ORDER = ("in-dep", "out-dep", "ii-gt-1", "multi")
 
 
-def build_rows() -> List[Tuple[str, str]]:
-    computed = compute_features()
+def build_rows(
+    session: Optional[CompileSession] = None,
+) -> List[Tuple[str, str]]:
+    computed = compute_features(session)
     rows = []
     for tool in PAPER_ROWS:
         features = computed.get(tool, frozenset())
@@ -118,6 +123,14 @@ def build_rows() -> List[Tuple[str, str]]:
 
 def render(rows: List[Tuple[str, str]]) -> str:
     return format_table(["Generator", "Features"], rows)
+
+
+def run(
+    session: Optional[CompileSession] = None, workers: Optional[int] = None
+) -> str:
+    rows = build_rows(session=session)
+    check_shape(rows)
+    return render(rows)
 
 
 def check_shape(rows: List[Tuple[str, str]]) -> None:

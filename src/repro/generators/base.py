@@ -15,7 +15,7 @@ report mechanism.
 from __future__ import annotations
 
 import re
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from ..rtl import Module
 
@@ -57,6 +57,20 @@ class Generator:
     def generate(self, comp_name: str, params: Dict[str, int]) -> GeneratedModule:
         raise NotImplementedError
 
+    def fingerprint(self) -> Tuple:
+        """Value-based identity of this generator's configuration.
+
+        Two generators with the same class and the same configuration
+        attributes produce identical modules, so artifact caches may
+        treat them as interchangeable.  Every attribute participates
+        (via its repr): dropping one would let differently configured
+        generators collide in the cache and serve each other's RTL.
+        """
+        config = tuple(
+            (key, repr(value)) for key, value in sorted(vars(self).items())
+        )
+        return (type(self).__name__, self.name, config)
+
 
 class GeneratorRegistry:
     def __init__(self):
@@ -74,6 +88,17 @@ class GeneratorRegistry:
 
     def has(self, name: str) -> bool:
         return name in self._generators
+
+    def fingerprint(self) -> Tuple:
+        """Combined fingerprint of every registered generator.
+
+        Registries built from equally configured generators fingerprint
+        identically, so ``(source, component, params, fingerprint)`` is a
+        sound content-addressed cache key across registry instances.
+        """
+        return tuple(
+            sorted(g.fingerprint() for g in self._generators.values())
+        )
 
     def run(
         self, tool: str, comp_name: str, params: Dict[str, int]

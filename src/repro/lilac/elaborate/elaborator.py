@@ -20,6 +20,7 @@ same parameters) are detected and reported.
 from __future__ import annotations
 
 import itertools
+import time
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ...filament import (
@@ -151,10 +152,15 @@ class Elaborator:
         program: Program,
         registry: Optional[GeneratorRegistry] = None,
         verify: bool = True,
+        observer=None,
     ):
         self.program = program
         self.registry = registry
         self.verify = verify
+        #: duck-typed hook with ``component_elaborated(name, env)`` and
+        #: ``stage_time(stage, seconds)`` — used by the driver layer to
+        #: count genuine elaborations and split out wellformed/lower time.
+        self.observer = observer
         self._cache: Dict[Tuple[str, Tuple[Tuple[str, int], ...]], ElabResult] = {}
         self._in_progress: set = set()
         self._uid = itertools.count()
@@ -192,6 +198,8 @@ class Elaborator:
         finally:
             self._in_progress.discard(key)
         self._cache[key] = result
+        if self.observer is not None:
+            self.observer.component_elaborated(comp_name, env)
         return result
 
     def _normalize_params(self, sig: Signature, params) -> Dict[str, int]:
@@ -441,9 +449,16 @@ class _BodyElaborator:
         fmodule = FModule(name, delay, inputs, outputs, self.out_params)
         fmodule.invokes = self.invokes
         fmodule.connects = self.connects
+        observer = self.elab.observer
         if self.elab.verify:
+            start = time.perf_counter()
             check_module(fmodule)
+            if observer is not None:
+                observer.stage_time("wellformed", time.perf_counter() - start)
+        start = time.perf_counter()
         module = lower_module(fmodule)
+        if observer is not None:
+            observer.stage_time("lower", time.perf_counter() - start)
         return ElabResult(
             name, self.sig.name, self.input_params, delay, inputs, outputs,
             self.out_params, module, fmodule,

@@ -1,0 +1,91 @@
+"""The ``python -m repro`` command-line front door."""
+
+import pytest
+
+from repro.driver.cli import main
+
+
+def test_compile_preset(capsys):
+    assert main(["compile", "--design", "fpu", "--freq", "100"]) == 0
+    out = capsys.readouterr().out
+    assert "FPU" in out
+    assert "synthesis:" in out
+    assert "stage timings" in out
+
+
+def test_compile_param_override(capsys):
+    assert main(["compile", "--design", "blas", "-p", "#ML=4"]) == 0
+    out = capsys.readouterr().out
+    assert "latency=7" in out  # Dot latency = #ML + 3
+
+
+def test_compile_emits_verilog_to_file(tmp_path, capsys):
+    path = tmp_path / "risc.v"
+    assert main(["compile", "--design", "risc", "--verilog", str(path)]) == 0
+    assert "module Risc3" in path.read_text()
+
+
+def test_compile_source_file(tmp_path, capsys):
+    source = tmp_path / "double.lilac"
+    source.write_text(
+        """
+comp Double[#W]<G:1>(x: [G, G+1] #W) -> (y: [G+1, G+2] #W) {
+  s := new Add[#W]<G>(x, x);
+  r := new Reg[#W]<G>(s.out);
+  y = r.out;
+}
+"""
+    )
+    assert main(
+        ["compile", "--source", str(source), "--component", "Double",
+         "-p", "#W=8"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "latency=1" in out
+
+
+def test_compile_source_requires_component(tmp_path):
+    source = tmp_path / "x.lilac"
+    source.write_text("comp T<G:1>() -> () {}")
+    with pytest.raises(SystemExit):
+        main(["compile", "--source", str(source)])
+
+
+def test_compile_check_flag_rejects_bad_designs(tmp_path, capsys):
+    source = tmp_path / "bad.lilac"
+    source.write_text(
+        """
+comp Bad[#W]<G:1>(x: [G, G+1] #W) -> (y: [G, G+1] #W) {
+  s := new Add[#W]<G>(x, x);
+  r := new Reg[#W]<G>(s.out);
+  y = r.out;
+}
+"""
+    )
+    assert main(
+        ["compile", "--source", str(source), "--component", "Bad",
+         "-p", "#W=8", "--check"]
+    ) == 1
+    assert "FAILED" in capsys.readouterr().out
+
+
+def test_table_2(capsys):
+    assert main(["table", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "Latency Abstract (LA)" in out
+    assert "cache statistics" in out
+
+
+def test_table_3(capsys):
+    assert main(["table", "3"]) == 0
+    assert "Aetherling" in capsys.readouterr().out
+
+
+def test_figure_13_with_workers(capsys):
+    assert main(["figure", "13", "--workers", "2"]) == 0
+    assert "Lilac / RV" in capsys.readouterr().out
+
+
+def test_unknown_command_is_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

@@ -1,0 +1,85 @@
+"""EvalGrid: parallel fan-out with worker-count-independent results."""
+
+import threading
+
+import pytest
+
+from repro.designs.fpu import FPU_LA_SOURCE
+from repro.driver import CompileSession, EvalGrid
+from repro.generators.flopoco import FloPoCoGenerator
+
+FREQUENCIES = (100, 150, 250, 400, 100, 400)
+
+
+def _latency(session, frequency):
+    artifact = session.elaborate(
+        FPU_LA_SOURCE, "FPU", {"#W": 32}, [FloPoCoGenerator(frequency)]
+    )
+    return artifact.value.out_params["#L"]
+
+
+def test_results_keep_point_order():
+    grid = EvalGrid(CompileSession(), max_workers=3)
+    assert grid.map(lambda s, x: x * 2, [3, 1, 2]) == [6, 2, 4]
+
+
+@pytest.mark.parametrize("workers", [1, 2, 8])
+def test_results_independent_of_worker_count(workers):
+    baseline = EvalGrid(CompileSession(), max_workers=1).map(
+        _latency, FREQUENCIES
+    )
+    grid = EvalGrid(CompileSession(), max_workers=workers)
+    assert grid.map(_latency, FREQUENCIES) == baseline
+
+
+def test_duplicate_points_elaborate_once():
+    session = CompileSession()
+    grid = EvalGrid(session, max_workers=4)
+    results = grid.map(_latency, (400,) * 8)
+    assert results == [4] * 8
+    # single-flight: the seven waiters are hits on the one computation.
+    assert session.stats.miss_count("elaborate") == 1
+    assert session.stats.hit_count("elaborate") == 7
+
+
+def test_grid_runs_points_concurrently():
+    """With enough workers every point is in flight at once."""
+    barrier = threading.Barrier(4, timeout=10)
+
+    def rendezvous(session, point):
+        barrier.wait()  # deadlocks (and times out) if run sequentially
+        return point
+
+    grid = EvalGrid(CompileSession(), max_workers=4)
+    assert grid.map(rendezvous, [1, 2, 3, 4]) == [1, 2, 3, 4]
+
+
+def test_worker_exception_propagates():
+    def boom(session, point):
+        if point == 2:
+            raise RuntimeError("grid point failed")
+        return point
+
+    grid = EvalGrid(CompileSession(), max_workers=2)
+    with pytest.raises(RuntimeError, match="grid point failed"):
+        grid.map(boom, [1, 2, 3])
+
+
+def test_figure13_rows_match_across_worker_counts():
+    """A real evalx grid: values identical no matter the pool size."""
+    from repro.evalx import figure13
+
+    sequential = figure13.build_rows(
+        parallelisms=(4, 16), session=CompileSession(), workers=1
+    )
+    parallel = figure13.build_rows(
+        parallelisms=(4, 16), session=CompileSession(), workers=4
+    )
+    for a, b in zip(sequential, parallel):
+        assert a.parallelism == b.parallelism
+        assert a.lilac.luts == b.lilac.luts
+        assert a.lilac.registers == b.lilac.registers
+        assert a.rv.luts == b.rv.luts
+        assert a.rv.registers == b.rv.registers
+        assert a.lilac.fmax_mhz == pytest.approx(b.lilac.fmax_mhz)
+        assert a.rv.fmax_mhz == pytest.approx(b.rv.fmax_mhz)

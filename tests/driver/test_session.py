@@ -1,0 +1,225 @@
+"""Tests for the staged compiler driver: stages, artifacts, caching."""
+
+import pytest
+
+from repro.designs.fpu import FPU_LA_SOURCE
+from repro.driver import CompileSession, freeze_params, source_digest
+from repro.generators.base import GeneratorError
+from repro.generators.flopoco import FloPoCoGenerator
+from repro.lilac.elaborate import ElabError
+
+BAD_FPU = FPU_LA_SOURCE + """
+comp BadFPU[#W]<G:1>(
+    op: [G, G+1] 1, l: [G, G+1] #W, r: [G, G+1] #W
+) -> (o: [G, G+1] #W) {
+  Add := new FPAdd[#W];
+  add := Add<G>(l, r);
+  o = add.o;
+}
+"""
+
+
+def generators(frequency=400):
+    return [FloPoCoGenerator(frequency)]
+
+
+# ---------------------------------------------------------------------------
+# Stage basics.
+
+
+def test_parse_stage_returns_program():
+    session = CompileSession()
+    artifact = session.parse(FPU_LA_SOURCE)
+    assert artifact.stage == "parse"
+    assert artifact.value.has("FPU")
+    assert artifact.value.has("Shift")  # stdlib merged
+    assert artifact.seconds >= 0
+    bare = session.parse(FPU_LA_SOURCE, stdlib=False)
+    assert not bare.value.has("Shift")
+
+
+def test_elaborate_stage_produces_schedule_and_sub_timings():
+    session = CompileSession()
+    artifact = session.elaborate(
+        FPU_LA_SOURCE, "FPU", {"#W": 32}, generators()
+    )
+    elab = artifact.value
+    assert elab.out_params["#L"] == 4
+    assert elab.delay == 1
+    # wellformed + lower run inside elaboration and surface as sub-stages.
+    assert "wellformed" in artifact.sub_timings
+    assert "lower" in artifact.sub_timings
+
+
+def test_emit_verilog_and_synthesize_stages():
+    session = CompileSession()
+    verilog = session.emit_verilog(
+        FPU_LA_SOURCE, "FPU", {"#W": 32}, generators()
+    )
+    assert "module FPU_32" in verilog.value
+    report = session.synthesize(
+        FPU_LA_SOURCE, "FPU", {"#W": 32}, generators()
+    )
+    assert report.value.luts > 0
+    assert report.value.registers > 0
+
+
+def test_typecheck_stage_reports_errors_as_diagnostics():
+    session = CompileSession()
+    artifact = session.typecheck(BAD_FPU, "BadFPU")
+    assert not artifact.ok
+    assert artifact.errors
+    assert "requires" in artifact.errors[0].message
+    good = session.typecheck(BAD_FPU, "FPU")
+    assert good.ok
+
+
+def test_compile_runs_requested_stages_in_order():
+    session = CompileSession()
+    result = session.compile(
+        FPU_LA_SOURCE, "FPU", {"#W": 32}, generators()
+    )
+    assert result.elab is not None
+    assert "module FPU_32" in result.verilog
+    assert result.report.luts > 0
+    timings = result.timings()
+    for stage in ("parse", "elaborate", "wellformed", "lower",
+                  "emit_verilog", "synthesize"):
+        assert stage in timings
+
+
+def test_compile_runs_only_requested_stages():
+    session = CompileSession()
+    result = session.compile(
+        FPU_LA_SOURCE, "FPU", {"#W": 32}, generators(),
+        stages=("elaborate",),
+    )
+    assert result.elab is not None
+    assert result.get("parse") is None
+    assert result.verilog is None
+    assert result.report is None
+
+
+def test_compile_stops_on_failed_typecheck():
+    session = CompileSession()
+    result = session.compile(
+        BAD_FPU, "BadFPU", {"#W": 8}, generators(),
+        stages=("typecheck", "elaborate", "synthesize"),
+    )
+    assert not result.ok
+    assert result.elab is None
+    assert result.report is None
+
+
+def test_compile_rejects_unknown_stage():
+    session = CompileSession()
+    with pytest.raises(ValueError):
+        session.compile(FPU_LA_SOURCE, "FPU", {"#W": 32}, generators(),
+                        stages=("elaborate", "simulate"))
+
+
+def test_elaboration_errors_propagate():
+    session = CompileSession()
+    # missing generator: surfaces from the gen-component stage
+    with pytest.raises(GeneratorError):
+        session.elaborate(FPU_LA_SOURCE, "FPU", {"#W": 32})
+    # violated where-clause: surfaces from the elaborator
+    with pytest.raises(ElabError):
+        session.elaborate(
+            FPU_LA_SOURCE, "FPU", {"#W": 32, "#X": 1},
+            [FloPoCoGenerator(400)],
+        )
+
+
+# ---------------------------------------------------------------------------
+# Caching: hits are identical artifacts, keys are content-addressed.
+
+
+def test_cache_hit_returns_identical_artifact_without_rerun():
+    session = CompileSession()
+    first = session.elaborate(FPU_LA_SOURCE, "FPU", {"#W": 32}, generators())
+    ran = session.stats.counter("elaborate.components")
+    again = session.elaborate(FPU_LA_SOURCE, "FPU", {"#W": 32}, generators())
+    assert again is first  # the very same artifact object
+    assert again.from_cache
+    assert session.stats.counter("elaborate.components") == ran  # no rerun
+    assert session.stats.hit_count("elaborate") == 1
+    assert session.stats.miss_count("elaborate") == 1
+
+
+def test_cache_hits_across_equal_but_distinct_registries():
+    session = CompileSession()
+    first = session.elaborate(
+        FPU_LA_SOURCE, "FPU", {"#W": 32}, [FloPoCoGenerator(400)]
+    )
+    again = session.elaborate(
+        FPU_LA_SOURCE, "FPU", {"#W": 32}, [FloPoCoGenerator(400)]
+    )
+    assert again is first  # fingerprint is value-based, not identity-based
+
+
+def test_cache_invalidates_on_parameter_change():
+    session = CompileSession()
+    w32 = session.elaborate(FPU_LA_SOURCE, "FPU", {"#W": 32}, generators())
+    w16 = session.elaborate(FPU_LA_SOURCE, "FPU", {"#W": 16}, generators())
+    assert w16 is not w32
+    assert w16.value.module.name != w32.value.module.name
+    assert session.stats.miss_count("elaborate") == 2
+
+
+def test_cache_invalidates_on_source_change():
+    session = CompileSession()
+    original = session.elaborate(
+        FPU_LA_SOURCE, "FPU", {"#W": 32}, generators()
+    )
+    touched = FPU_LA_SOURCE + "\n// a trailing comment changes the digest\n"
+    again = session.elaborate(touched, "FPU", {"#W": 32}, generators())
+    assert again is not original
+    assert session.stats.miss_count("elaborate") == 2
+
+
+def test_cache_invalidates_on_generator_config_change():
+    session = CompileSession()
+    fast = session.elaborate(
+        FPU_LA_SOURCE, "FPU", {"#W": 32}, [FloPoCoGenerator(400)]
+    )
+    slow = session.elaborate(
+        FPU_LA_SOURCE, "FPU", {"#W": 32}, [FloPoCoGenerator(100)]
+    )
+    assert slow is not fast
+    assert slow.value.out_params["#L"] != fast.value.out_params["#L"]
+
+
+def test_shared_elaborator_reuses_children_across_calls():
+    session = CompileSession()
+    session.elaborate(FPU_LA_SOURCE, "FPU", {"#W": 32}, generators())
+    ran = session.stats.counter("elaborate.components")
+    # FPAdd was already elaborated as a child of FPU: the stage runs
+    # (session-level miss) but no new component elaboration happens.
+    session.elaborate(FPU_LA_SOURCE, "FPAdd", {"#W": 32}, generators())
+    assert session.stats.counter("elaborate.components") == ran
+
+
+def test_typecheck_cache_preserves_measured_time():
+    session = CompileSession()
+    first = session.typecheck(FPU_LA_SOURCE, "FPU")
+    again = session.typecheck(FPU_LA_SOURCE, "FPU")
+    assert again is first
+    assert again.seconds == first.seconds  # original measurement survives
+
+
+# ---------------------------------------------------------------------------
+# Key helpers.
+
+
+def test_freeze_params_is_order_insensitive_for_dicts():
+    assert freeze_params({"#A": 1, "#B": 2}) == freeze_params(
+        {"#B": 2, "#A": 1}
+    )
+    assert freeze_params([1, 2]) != freeze_params([2, 1])
+    assert freeze_params(None) == freeze_params({})
+
+
+def test_source_digest_is_stable_and_content_sensitive():
+    assert source_digest("abc") == source_digest("abc")
+    assert source_digest("abc") != source_digest("abd")

@@ -1,0 +1,55 @@
+"""Acceptance: one shared session across every evalx artifact performs
+strictly fewer elaborations than the sum of standalone runs.
+
+Figure 8 runs on a reduced design list (it contributes typechecks, not
+elaborations, so the inequality is unaffected — the full list costs ~12 s
+of SMT time per run and belongs in the benchmark suite).
+"""
+
+from repro.driver import CompileSession
+from repro.evalx import figure8, figure13, table1, table2, table3
+
+FIGURE8_DESIGNS = figure8.DESIGNS[:1]
+FIGURE13_PARALLELISMS = (4, 16)
+
+
+def _run_all(session):
+    table1.build_rows(session=session)
+    table2.classify(session=session)
+    table3.build_rows(session=session)
+    figure8.build_rows(designs=FIGURE8_DESIGNS, session=session)
+    figure13.build_rows(
+        parallelisms=FIGURE13_PARALLELISMS, session=session
+    )
+
+
+def _elaborations(session):
+    return session.stats.counter("elaborate.components")
+
+
+def test_shared_session_elaborates_strictly_less_than_standalone():
+    standalone_total = 0
+    for artifact in (
+        lambda s: table1.build_rows(session=s),
+        lambda s: table2.classify(session=s),
+        lambda s: table3.build_rows(session=s),
+        lambda s: figure8.build_rows(designs=FIGURE8_DESIGNS, session=s),
+        lambda s: figure13.build_rows(
+            parallelisms=FIGURE13_PARALLELISMS, session=s
+        ),
+    ):
+        session = CompileSession()
+        artifact(session)
+        standalone_total += _elaborations(session)
+
+    shared = CompileSession()
+    _run_all(shared)
+    shared_total = _elaborations(shared)
+
+    assert shared_total < standalone_total, (
+        f"shared session ran {shared_total} elaborations, standalone runs "
+        f"ran {standalone_total} — sharing should be strictly cheaper"
+    )
+    # And re-running the whole grid on the warm session costs nothing.
+    _run_all(shared)
+    assert _elaborations(shared) == shared_total
