@@ -1,0 +1,83 @@
+"""One catalog of the paper's evaluated design points.
+
+Each entry resolves to the ``(source, component, generators, params)``
+quadruple a :class:`~repro.driver.CompileSession` stage takes.  The CLI
+presets (``python -m repro compile --design …``) and the optimization
+ablation (``evalx.ablation``) both read this table, so a new design
+becomes a CLI preset and an ablation row by being added here once.
+
+Imports are deferred so listing the catalog never pays for parsing the
+design sources.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+#: Default FloPoCo frequency goal (MHz) and Aetherling parallelism.
+DEFAULT_FREQ = 400
+DEFAULT_PARALLELISM = 16
+
+
+def _fpu(freq: int, parallelism: int):
+    from .fpu import FPU_LA_SOURCE, fpu_generators
+
+    return FPU_LA_SOURCE, "FPU", fpu_generators(freq), {"#W": 32}
+
+
+def _fft(freq: int, parallelism: int):
+    from ..generators.flopoco import FloPoCoGenerator
+    from .fft import FFT_LILAC
+
+    return FFT_LILAC, "Fft16", [FloPoCoGenerator(freq)], {"#W": 16}
+
+
+def _flofft(freq: int, parallelism: int):
+    from ..generators.flopoco import FloPoCoGenerator
+    from .fft import FFT_FLOPOCO
+
+    return FFT_FLOPOCO, "FloFft16", [FloPoCoGenerator(freq)], {"#W": 32}
+
+
+def _risc(freq: int, parallelism: int):
+    from .risc import RISC_SOURCE
+
+    return RISC_SOURCE, "Risc3", None, {}
+
+
+def _gbp(freq: int, parallelism: int):
+    from .gbp_la import GBP_SOURCE, gbp_registry
+
+    return GBP_SOURCE, "GBP", gbp_registry(parallelism), {"#W": 16}
+
+
+def _blas(freq: int, parallelism: int):
+    from .blas import BLAS_SOURCE, blas_registry
+
+    return BLAS_SOURCE, "Dot", blas_registry(), {"#W": 16, "#ML": 2}
+
+
+#: name → builder(freq, parallelism) for every evaluated design.
+DESIGNS = {
+    "fpu": _fpu,
+    "fft": _fft,
+    "flofft": _flofft,
+    "risc": _risc,
+    "gbp": _gbp,
+    "blas": _blas,
+}
+
+
+def design_point(
+    name: str,
+    freq: int = DEFAULT_FREQ,
+    parallelism: int = DEFAULT_PARALLELISM,
+) -> Tuple[str, str, object, Dict[str, int]]:
+    """Resolve a catalog entry to (source, component, generators, params)."""
+    try:
+        builder = DESIGNS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown design {name!r}; available: {sorted(DESIGNS)}"
+        ) from None
+    return builder(freq, parallelism)

@@ -17,7 +17,14 @@ are served from the session's content-addressed artifact cache.  Grids
 of design points fan out over :class:`EvalGrid`.
 """
 
-from .artifact import CompileResult, Diagnostic, STAGES, StageArtifact
+from .artifact import (
+    CompileResult,
+    Diagnostic,
+    OptimizedNetlist,
+    STAGES,
+    SimTrace,
+    StageArtifact,
+)
 from .cache import ArtifactCache, CacheStats, freeze_params, source_digest
 from .grid import EvalGrid
 from .session import (
@@ -35,7 +42,9 @@ __all__ = [
     "DEFAULT_STAGES",
     "Diagnostic",
     "EvalGrid",
+    "OptimizedNetlist",
     "STAGES",
+    "SimTrace",
     "StageArtifact",
     "default_session",
     "freeze_params",

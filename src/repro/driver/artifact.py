@@ -19,14 +19,19 @@ from typing import Any, Dict, List, Optional, Tuple
 #: run *inside* elaboration (the elaborator is recursive, so they happen
 #: once per component); their timings are surfaced as sub-stage entries
 #: on the elaborate artifact rather than as separately cached artifacts.
+#: ``optimize`` flattens the lowered netlist and runs the ``-O<n>`` pass
+#: pipeline over it; ``simulate`` drives the optimized netlist with
+#: seeded random stimulus.
 STAGES = (
     "parse",
     "typecheck",
     "elaborate",
     "wellformed",
     "lower",
+    "optimize",
     "emit_verilog",
     "synthesize",
+    "simulate",
 )
 
 
@@ -93,6 +98,60 @@ class StageArtifact:
         )
 
 
+class OptimizedNetlist:
+    """Value of the ``optimize`` stage: a flat netlist after the pass
+    pipeline, plus what every pass did to it."""
+
+    def __init__(self, module, opt_level: int, cells_before: int, pass_stats):
+        self.module = module
+        self.opt_level = opt_level
+        self.cells_before = cells_before
+        self.pass_stats = list(pass_stats)
+
+    @property
+    def cells_after(self) -> int:
+        return len(self.module.cells)
+
+    @property
+    def cells_removed(self) -> int:
+        return self.cells_before - self.cells_after
+
+    def __repr__(self):
+        return (
+            f"OptimizedNetlist({self.module.name}, -O{self.opt_level}, "
+            f"{self.cells_before}->{self.cells_after} cells)"
+        )
+
+
+class SimTrace:
+    """Value of the ``simulate`` stage: sampled outputs per cycle of a
+    seeded random-stimulus run, plus the pure simulation wall-clock."""
+
+    def __init__(
+        self,
+        outputs: List[Dict[str, int]],
+        cycles: int,
+        seed: int,
+        opt_level: int,
+        run_seconds: float,
+        cells: int,
+    ):
+        self.outputs = outputs
+        self.cycles = cycles
+        self.seed = seed
+        self.opt_level = opt_level
+        #: time spent inside ``Simulator.run`` (netlist construction and
+        #: stimulus generation excluded) — the figure speedups compare.
+        self.run_seconds = run_seconds
+        self.cells = cells
+
+    def __repr__(self):
+        return (
+            f"SimTrace({self.cycles} cycles, seed={self.seed}, "
+            f"-O{self.opt_level}, {self.run_seconds * 1000.0:.1f}ms)"
+        )
+
+
 class CompileResult:
     """An ordered bundle of artifacts from one :meth:`compile` call."""
 
@@ -128,6 +187,16 @@ class CompileResult:
     def report(self):
         """The SynthReport, if the synthesize stage ran."""
         artifact = self.artifacts.get("synthesize")
+        return artifact.value if artifact else None
+
+    @property
+    def optimized(self) -> Optional[OptimizedNetlist]:
+        artifact = self.artifacts.get("optimize")
+        return artifact.value if artifact else None
+
+    @property
+    def trace(self) -> Optional[SimTrace]:
+        artifact = self.artifacts.get("simulate")
         return artifact.value if artifact else None
 
     @property

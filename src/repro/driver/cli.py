@@ -7,69 +7,44 @@ Subcommands:
   synthesis report, and (optionally) Verilog.
 * ``table``  — regenerate Table 1, 2 or 3.
 * ``figure`` — regenerate Figure 8 or 13.
-* ``all``    — every table and figure on one shared session, with cache
-  statistics showing the artifacts reused across them.
+* ``ablation`` — the optimization ablation (pre/post cell counts,
+  differential-simulation equivalence, sim speedup per design).
+* ``all``    — every table, figure and the ablation on one shared
+  session, with cache statistics showing the artifacts reused across
+  them.
+
+Every subcommand accepts ``-O{0,1,2}`` to select the netlist
+optimization level (the pass pipeline of :mod:`repro.rtl.passes`) and
+``--stats json`` to emit cache + per-pass statistics as a single JSON
+line at the end of the run.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Dict, List, Optional
 
+from ..designs.catalog import DESIGNS, design_point
 from ..filament import FilamentError
 from ..generators.base import GeneratorError
 from ..lilac.ast import LilacError
+from ..rtl.passes import OPT_LEVELS
 from .session import CompileSession
 from .artifact import CompileResult
 
-
-def _fpu_preset(args):
-    from ..designs.fpu import FPU_LA_SOURCE, fpu_generators
-
-    return FPU_LA_SOURCE, "FPU", fpu_generators(args.freq), {"#W": 32}
+#: Bundled design presets for ``compile --design`` (the catalog's keys).
+PRESETS = DESIGNS
 
 
-def _fft_preset(args):
-    from ..designs.fft import FFT_LILAC
-    from ..generators.flopoco import FloPoCoGenerator
-
-    return FFT_LILAC, "Fft16", [FloPoCoGenerator(args.freq)], {"#W": 16}
-
-
-def _flofft_preset(args):
-    from ..designs.fft import FFT_FLOPOCO
-    from ..generators.flopoco import FloPoCoGenerator
-
-    return FFT_FLOPOCO, "FloFft16", [FloPoCoGenerator(args.freq)], {"#W": 32}
-
-
-def _risc_preset(args):
-    from ..designs.risc import RISC_SOURCE
-
-    return RISC_SOURCE, "Risc3", None, {}
-
-
-def _gbp_preset(args):
-    from ..designs.gbp_la import GBP_SOURCE, gbp_registry
-
-    return GBP_SOURCE, "GBP", gbp_registry(args.parallelism), {"#W": 16}
-
-
-def _blas_preset(args):
-    from ..designs.blas import BLAS_SOURCE, blas_registry
-
-    return BLAS_SOURCE, "Dot", blas_registry(), {"#W": 16, "#ML": 2}
-
-
-PRESETS = {
-    "fpu": _fpu_preset,
-    "fft": _fft_preset,
-    "flofft": _flofft_preset,
-    "risc": _risc_preset,
-    "gbp": _gbp_preset,
-    "blas": _blas_preset,
-}
+def _print_stats(session: CompileSession, mode: Optional[str]) -> None:
+    """End-of-run statistics: human text or one machine-readable line."""
+    if mode == "json":
+        print(json.dumps(session.stats_dict(), sort_keys=True))
+    elif mode == "text":
+        print(session.stats.render())
+        print(session.render_pass_stats())
 
 
 def _parse_params(pairs: List[str]) -> Dict[str, int]:
@@ -86,7 +61,7 @@ def _parse_params(pairs: List[str]) -> Dict[str, int]:
 
 
 def _cmd_compile(args) -> int:
-    session = CompileSession()
+    session = CompileSession(opt_level=args.opt_level)
     if args.source:
         with open(args.source) as handle:
             source = handle.read()
@@ -95,7 +70,9 @@ def _cmd_compile(args) -> int:
         if component is None:
             raise SystemExit("--component is required with --source")
     else:
-        source, component, generators, params = PRESETS[args.design](args)
+        source, component, generators, params = design_point(
+            args.design, args.freq, args.parallelism
+        )
         if args.component:
             component = args.component
     params.update(_parse_params(args.param))
@@ -103,6 +80,8 @@ def _cmd_compile(args) -> int:
     stages = ["parse", "elaborate", "synthesize"]
     if args.check:
         stages.insert(1, "typecheck")
+    if args.opt_level > 0:
+        stages.insert(stages.index("synthesize"), "optimize")
     if args.verilog is not None:
         stages.insert(stages.index("synthesize"), "emit_verilog")
     result = session.compile(
@@ -122,6 +101,12 @@ def _cmd_compile(args) -> int:
     report = result.report
     print(f"synthesis: {report.luts} LUTs, {report.registers} registers, "
           f"{report.fmax_mhz:.1f} MHz")
+    optimized = result.optimized
+    if optimized is not None:
+        print(
+            f"optimize (-O{optimized.opt_level}): "
+            f"{optimized.cells_before} -> {optimized.cells_after} cells"
+        )
     print("stage timings (ms):")
     for stage, seconds in result.timings().items():
         print(f"  {stage:12s} {seconds * 1000.0:8.2f}")
@@ -133,33 +118,46 @@ def _cmd_compile(args) -> int:
             with open(args.verilog, "w") as handle:
                 handle.write(text)
             print(f"wrote {args.verilog}")
+    if args.stats:
+        _print_stats(session, args.stats)
+    elif args.opt_level > 0:
+        print(session.render_pass_stats())
     return 0
 
 
-def _run_artifacts(names: List[str], workers: Optional[int]) -> int:
+def _run_artifacts(names: List[str], args) -> int:
     from .. import evalx
 
-    session = CompileSession()
+    session = CompileSession(opt_level=args.opt_level)
     for name in names:
         print(f"== {name} ==")
-        print(evalx.run_artifact(name, session=session, workers=workers))
+        print(evalx.run_artifact(name, session=session, workers=args.workers))
         print()
-    print(session.stats.render())
+    if args.stats == "json":
+        _print_stats(session, "json")
+    else:
+        print(session.stats.render())
+        if session.pass_log():
+            print(session.render_pass_stats())
     return 0
 
 
 def _cmd_table(args) -> int:
-    return _run_artifacts([f"table{args.number}"], args.workers)
+    return _run_artifacts([f"table{args.number}"], args)
 
 
 def _cmd_figure(args) -> int:
-    return _run_artifacts([f"figure{args.number}"], args.workers)
+    return _run_artifacts([f"figure{args.number}"], args)
+
+
+def _cmd_ablation(args) -> int:
+    return _run_artifacts(["ablation"], args)
 
 
 def _cmd_all(args) -> int:
     from .. import evalx
 
-    return _run_artifacts(sorted(evalx.ARTIFACTS), args.workers)
+    return _run_artifacts(sorted(evalx.ARTIFACTS), args)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -209,15 +207,37 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument("number", type=int, choices=(8, 13))
     figure.set_defaults(fn=_cmd_figure)
 
+    ablation = sub.add_parser(
+        "ablation",
+        help="optimization ablation: cells, speedup and differential "
+             "simulation per design (always compares -O2 against -O0, "
+             "so it takes no -O flag)",
+    )
+    ablation.set_defaults(fn=_cmd_ablation, opt_level=0)
+
     all_ = sub.add_parser(
-        "all", help="regenerate every table and figure on one session"
+        "all",
+        help="regenerate every table, figure and the ablation on one "
+             "session",
     )
     all_.set_defaults(fn=_cmd_all)
 
-    for command in (table, figure, all_):
+    for command in (table, figure, ablation, all_):
         command.add_argument(
             "--workers", type=int, default=None,
             help="evaluation-grid worker threads (default: cpu count)",
+        )
+    for command in (compile_, table, figure, all_):
+        command.add_argument(
+            "-O", dest="opt_level", type=int, choices=OPT_LEVELS, default=0,
+            metavar="LEVEL",
+            help="netlist optimization level (default: 0 — no passes)",
+        )
+    for command in (compile_, table, figure, ablation, all_):
+        command.add_argument(
+            "--stats", choices=("text", "json"), default=None,
+            help="end-of-run cache + per-pass statistics; 'json' prints "
+                 "one machine-readable line",
         )
     return parser
 

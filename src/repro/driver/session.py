@@ -3,8 +3,9 @@
 A :class:`CompileSession` runs the compilation pipeline as explicit,
 inspectable stages —
 
-    parse → typecheck → elaborate (→ wellformed → lower) → emit_verilog
-                                                         → synthesize
+    parse → typecheck → elaborate (→ wellformed → lower) → optimize
+                                     → emit_verilog → synthesize
+                                     → simulate
 
 — each producing a :class:`~repro.driver.artifact.StageArtifact` with
 structured diagnostics and wall-clock timings.  Artifacts live in a
@@ -13,6 +14,16 @@ component, frozen parameter binding, generator-registry fingerprint)``,
 so repeated elaborations and synthesis runs across designs, tables and
 benchmarks are computed once per session.  Sessions are thread-safe and
 feed the :class:`~repro.driver.grid.EvalGrid` worker pool.
+
+The ``optimize`` stage flattens the lowered netlist and runs the
+``-O<n>`` pass pipeline (:mod:`repro.rtl.passes`) over it; its cache key
+— and that of every stage downstream of it — additionally carries the
+pipeline *fingerprint*, so changing the pass pipeline (level, pass set,
+or a pass's version) invalidates exactly the artifacts that depended on
+it.  ``simulate`` drives the optimized netlist with seeded random
+stimulus for a requested number of cycles; two simulate artifacts that
+differ only in optimization level are therefore directly comparable —
+the differential-simulation check the ablation harness builds on.
 
 Elaborator instances are shared per ``(source, registry, verify)``
 triple: elaborating ``FPU`` and then ``FPAdd`` from the same program
@@ -31,9 +42,16 @@ from ..lilac.elaborate import Elaborator
 from ..lilac.stdlib import stdlib_program
 from ..lilac.parser import parse_program
 from ..lilac.typecheck import check_component, check_program
-from ..rtl import emit_verilog
+from ..rtl import Simulator, emit_verilog, flatten, random_stimulus
+from ..rtl.passes import PassManager, PassStats, pipeline_for_level
 from ..synth import synthesize
-from .artifact import CompileResult, Diagnostic, StageArtifact
+from .artifact import (
+    CompileResult,
+    Diagnostic,
+    OptimizedNetlist,
+    SimTrace,
+    StageArtifact,
+)
 from .cache import ArtifactCache, CacheStats, freeze_params, source_digest
 
 Generators = Union[GeneratorRegistry, Iterable[Generator], None]
@@ -59,13 +77,22 @@ class _ElabObserver:
 
 
 class CompileSession:
-    """Staged, cached, thread-safe driver over the Lilac pipeline."""
+    """Staged, cached, thread-safe driver over the Lilac pipeline.
 
-    def __init__(self, verify: bool = True):
+    ``opt_level`` is the session default for every stage downstream of
+    lowering; individual stage calls can override it per request.
+    """
+
+    def __init__(self, verify: bool = True, opt_level: int = 0):
         self.verify = verify
+        self.opt_level = int(opt_level)
+        pipeline_for_level(self.opt_level)  # reject bad levels eagerly
         self.stats = CacheStats()
         self.cache = ArtifactCache(self.stats)
         self._mutex = threading.Lock()
+        #: every PassStats any optimize stage produced, in completion
+        #: order — the CLI's end-of-run per-pass report reads this.
+        self._pass_log: List[PassStats] = []
         # (source digest, registry fingerprint, verify)
         #   -> (Elaborator, per-elaborator lock)
         self._elaborators: Dict[Tuple, Tuple[Elaborator, threading.Lock]] = {}
@@ -86,6 +113,10 @@ class CompileSession:
     @staticmethod
     def _source_key(source: str, stdlib: bool) -> Tuple:
         return (source_digest(source), bool(stdlib))
+
+    def _pipeline(self, opt_level: Optional[int]) -> Tuple[int, PassManager]:
+        level = self.opt_level if opt_level is None else int(opt_level)
+        return level, pipeline_for_level(level)
 
     # -- stages ---------------------------------------------------------
 
@@ -198,23 +229,31 @@ class CompileSession:
 
         return self.cache.get_or_compute(key, compute)
 
-    def emit_verilog(
+    def optimize(
         self,
         source: str,
         component: str,
         params: Union[Dict[str, int], Sequence[int], None] = None,
         generators: Generators = None,
         stdlib: bool = True,
+        opt_level: Optional[int] = None,
     ) -> StageArtifact:
-        """elaborated design → structural Verilog text."""
+        """lowered netlist → flattened, pass-optimized netlist.
+
+        At ``-O0`` the pipeline is empty: the artifact is the flattened
+        netlist exactly as lowered, which is what the differential
+        checks compare optimized netlists against.
+        """
         registry = self._registry_of(generators)
+        level, pipeline = self._pipeline(opt_level)
         key = (
-            "emit_verilog",
+            "optimize",
             self._source_key(source, stdlib),
             component,
             freeze_params(params),
             registry.fingerprint(),
             self.verify,
+            pipeline.fingerprint(),
         )
 
         def compute() -> StageArtifact:
@@ -222,7 +261,105 @@ class CompileSession:
                 source, component, params, registry, stdlib
             ).value
             start = time.perf_counter()
-            text = emit_verilog(elab.module)
+            module = flatten(elab.module)
+            cells_before = len(module.cells)
+            pass_stats = pipeline.run(module)
+            seconds = time.perf_counter() - start
+            with self._mutex:
+                self._pass_log.extend(pass_stats)
+            sub_timings: Dict[str, float] = {}
+            for stat in pass_stats:
+                name = f"pass.{stat.name}"
+                sub_timings[name] = sub_timings.get(name, 0.0) + stat.seconds
+            value = OptimizedNetlist(module, level, cells_before, pass_stats)
+            return StageArtifact(
+                "optimize", key, value, seconds, sub_timings=sub_timings
+            )
+
+        return self.cache.get_or_compute(key, compute)
+
+    def simulate(
+        self,
+        source: str,
+        component: str,
+        params: Union[Dict[str, int], Sequence[int], None] = None,
+        generators: Generators = None,
+        stdlib: bool = True,
+        cycles: int = 128,
+        seed: int = 0,
+        opt_level: Optional[int] = None,
+    ) -> StageArtifact:
+        """optimized netlist → per-cycle output trace under seeded
+        random stimulus (reproducible across runs and machines)."""
+        registry = self._registry_of(generators)
+        level, pipeline = self._pipeline(opt_level)
+        key = (
+            "simulate",
+            self._source_key(source, stdlib),
+            component,
+            freeze_params(params),
+            registry.fingerprint(),
+            self.verify,
+            pipeline.fingerprint(),
+            int(cycles),
+            int(seed),
+        )
+
+        def compute() -> StageArtifact:
+            optimized = self.optimize(
+                source, component, params, registry, stdlib, opt_level=level
+            ).value
+            start = time.perf_counter()
+            simulator = Simulator(optimized.module)
+            stimulus = random_stimulus(optimized.module, cycles, seed)
+            run_start = time.perf_counter()
+            outputs = simulator.run(stimulus)
+            run_seconds = time.perf_counter() - run_start
+            value = SimTrace(
+                outputs, cycles, seed, level, run_seconds,
+                len(optimized.module.cells),
+            )
+            return StageArtifact(
+                "simulate", key, value, time.perf_counter() - start
+            )
+
+        return self.cache.get_or_compute(key, compute)
+
+    def emit_verilog(
+        self,
+        source: str,
+        component: str,
+        params: Union[Dict[str, int], Sequence[int], None] = None,
+        generators: Generators = None,
+        stdlib: bool = True,
+        opt_level: Optional[int] = None,
+    ) -> StageArtifact:
+        """optimized design → structural Verilog text."""
+        registry = self._registry_of(generators)
+        level, pipeline = self._pipeline(opt_level)
+        key = (
+            "emit_verilog",
+            self._source_key(source, stdlib),
+            component,
+            freeze_params(params),
+            registry.fingerprint(),
+            self.verify,
+            pipeline.fingerprint(),
+        )
+
+        def compute() -> StageArtifact:
+            if level == 0:
+                # Unoptimized: emit the lowered hierarchy directly.
+                module = self.elaborate(
+                    source, component, params, registry, stdlib
+                ).value.module
+            else:
+                module = self.optimize(
+                    source, component, params, registry, stdlib,
+                    opt_level=level,
+                ).value.module
+            start = time.perf_counter()
+            text = emit_verilog(module)
             return StageArtifact(
                 "emit_verilog", key, text, time.perf_counter() - start
             )
@@ -236,9 +373,11 @@ class CompileSession:
         params: Union[Dict[str, int], Sequence[int], None] = None,
         generators: Generators = None,
         stdlib: bool = True,
+        opt_level: Optional[int] = None,
     ) -> StageArtifact:
-        """elaborated design → SynthReport from the area/timing model."""
+        """optimized design → SynthReport from the area/timing model."""
         registry = self._registry_of(generators)
+        level, pipeline = self._pipeline(opt_level)
         key = (
             "synthesize",
             self._source_key(source, stdlib),
@@ -246,14 +385,21 @@ class CompileSession:
             freeze_params(params),
             registry.fingerprint(),
             self.verify,
+            pipeline.fingerprint(),
         )
 
         def compute() -> StageArtifact:
-            elab = self.elaborate(
-                source, component, params, registry, stdlib
-            ).value
+            if level == 0:
+                module = self.elaborate(
+                    source, component, params, registry, stdlib
+                ).value.module
+            else:
+                module = self.optimize(
+                    source, component, params, registry, stdlib,
+                    opt_level=level,
+                ).value.module
             start = time.perf_counter()
-            report = synthesize(elab.module)
+            report = synthesize(module)
             return StageArtifact(
                 "synthesize", key, report, time.perf_counter() - start
             )
@@ -279,7 +425,8 @@ class CompileSession:
         )
         wanted = set(stages)
         unknown = wanted - {
-            "parse", "typecheck", "elaborate", "emit_verilog", "synthesize"
+            "parse", "typecheck", "elaborate", "optimize",
+            "emit_verilog", "synthesize", "simulate",
         }
         if unknown:
             raise ValueError(f"unknown pipeline stages: {sorted(unknown)}")
@@ -290,7 +437,9 @@ class CompileSession:
             result.add(artifact)
             if not artifact.ok:
                 return result
-        for stage in ("elaborate", "emit_verilog", "synthesize"):
+        for stage in (
+            "elaborate", "optimize", "emit_verilog", "synthesize", "simulate"
+        ):
             if stage in wanted:
                 result.add(
                     getattr(self, stage)(
@@ -298,6 +447,50 @@ class CompileSession:
                     )
                 )
         return result
+
+    # -- pass statistics -------------------------------------------------
+
+    def pass_log(self) -> List[PassStats]:
+        """Every pass execution this session ran, in completion order."""
+        with self._mutex:
+            return list(self._pass_log)
+
+    def pass_summary(self) -> Dict[str, Dict[str, float]]:
+        """Aggregate per-pass totals across every optimize stage run."""
+        summary: Dict[str, Dict[str, float]] = {}
+        for stat in self.pass_log():
+            entry = summary.setdefault(
+                stat.name,
+                {"runs": 0, "seconds": 0.0, "cells_removed": 0,
+                 "nets_removed": 0},
+            )
+            entry["runs"] += 1
+            entry["seconds"] += stat.seconds
+            entry["cells_removed"] += stat.cells_removed
+            entry["nets_removed"] += stat.nets_removed
+        return summary
+
+    def render_pass_stats(self) -> str:
+        """Human-readable per-pass totals (mirrors CacheStats.render)."""
+        summary = self.pass_summary()
+        if not summary:
+            return "pass statistics: (no optimization passes ran)"
+        lines = ["pass statistics:"]
+        for name, entry in summary.items():
+            lines.append(
+                f"  {name:20s} {entry['runs']:3d} runs  "
+                f"{entry['cells_removed']:5d} cells removed  "
+                f"{entry['seconds'] * 1000.0:8.2f} ms"
+            )
+        return "\n".join(lines)
+
+    def stats_dict(self) -> Dict[str, object]:
+        """Machine-readable cache + pass statistics (``--stats json``)."""
+        return {
+            "opt_level": self.opt_level,
+            "cache": self.stats.snapshot(),
+            "passes": self.pass_summary(),
+        }
 
 
 # ---------------------------------------------------------------------------

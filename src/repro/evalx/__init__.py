@@ -15,7 +15,7 @@ Every artifact module exposes the same surface:
 
 from typing import Optional
 
-from . import figure8, figure13, table1, table2, table3
+from . import ablation, figure8, figure13, table1, table2, table3
 
 #: name → module, for the CLI and for sweep-everything helpers.
 ARTIFACTS = {
@@ -24,6 +24,7 @@ ARTIFACTS = {
     "table3": table3,
     "figure8": figure8,
     "figure13": figure13,
+    "ablation": ablation,
 }
 
 
@@ -39,6 +40,7 @@ def run_artifact(name: str, session=None, workers: Optional[int] = None) -> str:
 
 __all__ = [
     "ARTIFACTS",
+    "ablation",
     "figure8",
     "figure13",
     "run_artifact",

@@ -1,4 +1,5 @@
-"""RTL substrate: netlists, cycle-accurate simulation, Verilog emission."""
+"""RTL substrate: netlists, optimization passes, cycle-accurate
+simulation, Verilog emission."""
 
 from .netlist import (
     Cell,
@@ -9,7 +10,7 @@ from .netlist import (
     SEQUENTIAL_KINDS,
     flatten,
 )
-from .simulate import Simulator
+from .simulate import Simulator, eval_comb_cell, random_stimulus
 from .verilog import emit_verilog
 
 __all__ = [
@@ -22,4 +23,6 @@ __all__ = [
     "flatten",
     "Simulator",
     "emit_verilog",
+    "eval_comb_cell",
+    "random_stimulus",
 ]

@@ -42,7 +42,9 @@ clock.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
+from collections import deque
 from typing import Dict, Iterable, List, Optional, Tuple
 
 SEQUENTIAL_KINDS = frozenset({"reg", "regen", "fifo"})
@@ -132,6 +134,37 @@ class Cell:
 
     def is_sequential(self) -> bool:
         return self.kind in SEQUENTIAL_KINDS
+
+    def structural_key(self) -> Tuple:
+        """Value-based identity: name, kind, params, pin wiring by net name.
+
+        The cell's own name is part of the key: this is positional
+        identity for whole-netlist comparison (idempotence checks,
+        ``Module.__eq__``), not function equivalence — two same-function
+        cells with different names compare unequal.  Passes hunting for
+        merge candidates build their own name-free signatures (see
+        ``share_cells``).
+        """
+        params = tuple(sorted((k, repr(v)) for k, v in self.params.items()))
+        pins = tuple(
+            sorted((pin, net.name, net.width) for pin, net in self.pins.items())
+        )
+        sub = self.module.structural_key() if self.module is not None else None
+        return (self.name, self.kind, params, pins, sub)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Cell):
+            return NotImplemented
+        return self.structural_key() == other.structural_key()
+
+    def __ne__(self, other) -> bool:
+        eq = self.__eq__(other)
+        return eq if eq is NotImplemented else not eq
+
+    # Identity hashing is kept deliberately: cells are never looked up
+    # *by equality* in hash containers, and value hashing would break the
+    # moment a pass rewires a pin while the cell sits in a set.
+    __hash__ = object.__hash__
 
     def __repr__(self):
         return f"Cell({self.name}: {self.kind})"
@@ -253,6 +286,84 @@ class Module:
             current = self.register(current, en=en)
         return current
 
+    # Structural identity ----------------------------------------------------
+
+    def structural_key(self) -> Tuple:
+        """Canonical value-based form of the whole netlist.
+
+        Independent of insertion order and object identity; two modules
+        with the same ports, nets and cell wiring (by name) are equal.
+        """
+        ports = tuple(
+            (name, self.ports[name].width, self.port_dirs[name])
+            for name in sorted(self.ports)
+        )
+        nets = tuple(
+            (name, self.nets[name].width) for name in sorted(self.nets)
+        )
+        cells = tuple(
+            self.cells[name].structural_key() for name in sorted(self.cells)
+        )
+        return (self.name, ports, nets, cells)
+
+    def structural_hash(self) -> str:
+        """Stable digest of :meth:`structural_key` (for cache keys/logs)."""
+        text = repr(self.structural_key()).encode("utf-8")
+        return hashlib.sha256(text).hexdigest()[:16]
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Module):
+            return NotImplemented
+        return self.structural_key() == other.structural_key()
+
+    def __ne__(self, other) -> bool:
+        eq = self.__eq__(other)
+        return eq if eq is NotImplemented else not eq
+
+    # Same rationale as Cell: modules live in caches keyed by identity
+    # and mutate under optimization passes, so value hashing is unsafe.
+    __hash__ = object.__hash__
+
+    # Surgery (used by optimization passes) ----------------------------------
+
+    def replace_net_uses(self, old: Net, new: Net) -> int:
+        """Rewire every cell *input* pin reading ``old`` to read ``new``.
+
+        Drivers (output pins) are left alone, so this is the primitive
+        for forwarding a value past a redundant cell.  Returns the number
+        of pins rewired.
+        """
+        if old.width != new.width:
+            raise NetlistError(
+                f"{self.name}: cannot rewire {old.name}[{old.width}] "
+                f"to {new.name}[{new.width}]"
+            )
+        rewired = 0
+        for cell in self.cells.values():
+            outs = set(cell.output_pins())
+            for pin, net in cell.pins.items():
+                if net is old and pin not in outs:
+                    cell.pins[pin] = new
+                    rewired += 1
+        return rewired
+
+    def remove_cell(self, name: str) -> Cell:
+        cell = self.cells.pop(name, None)
+        if cell is None:
+            raise NetlistError(f"{self.name}: no cell {name!r} to remove")
+        return cell
+
+    def prune_nets(self) -> int:
+        """Drop nets that no cell pins and no port exposes.  Returns the
+        number of nets removed."""
+        used = set(self.ports.values())
+        for cell in self.cells.values():
+            used.update(cell.pins.values())
+        dead = [name for name, net in self.nets.items() if net not in used]
+        for name in dead:
+            del self.nets[name]
+        return len(dead)
+
     # Analysis ---------------------------------------------------------------
 
     def drivers(self) -> Dict[Net, Tuple[Cell, str]]:
@@ -316,6 +427,50 @@ def onehot_mux(module: Module, cases, width: int) -> Net:
             merged.append(masked[-1])
         masked = merged
     return masked[0]
+
+
+def comb_topo_order(module: Module) -> List[Cell]:
+    """Combinational cells in dependency order (producers first).
+
+    Sequential and submodule cells break the dependency chain — their
+    outputs are treated like free inputs — which is both what per-cycle
+    evaluation needs (state was driven before combinational settling)
+    and the conservative boundary constant folding needs.  Raises on
+    combinational loops.
+    """
+    comb_cells = [
+        c for c in module.cells.values() if c.kind in COMBINATIONAL_KINDS
+    ]
+    producers: Dict[Net, Cell] = {}
+    for cell in comb_cells:
+        for pin in cell.output_pins():
+            net = cell.pins.get(pin)
+            if net is not None:
+                producers[net] = cell
+    # Edges: producer -> consumer when consumer reads producer's net.
+    indegree: Dict[str, int] = {c.name: 0 for c in comb_cells}
+    consumers: Dict[str, List[Cell]] = {c.name: [] for c in comb_cells}
+    for cell in comb_cells:
+        for pin in cell.input_pins():
+            producer = producers.get(cell.pins.get(pin))
+            if producer is not None and producer.name != cell.name:
+                consumers[producer.name].append(cell)
+                indegree[cell.name] += 1
+    ready = deque(c for c in comb_cells if indegree[c.name] == 0)
+    order: List[Cell] = []
+    while ready:
+        cell = ready.popleft()
+        order.append(cell)
+        for consumer in consumers[cell.name]:
+            indegree[consumer.name] -= 1
+            if indegree[consumer.name] == 0:
+                ready.append(consumer)
+    if len(order) != len(comb_cells):
+        cyclic = [c.name for c in comb_cells if indegree[c.name] > 0]
+        raise NetlistError(
+            f"{module.name}: combinational loop through {cyclic[:5]}"
+        )
+    return order
 
 
 def flatten(module: Module, name: Optional[str] = None) -> Module:

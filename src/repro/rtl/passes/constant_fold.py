@@ -1,0 +1,51 @@
+"""Constant folding: evaluate compile-time-known logic away.
+
+Walks the combinational cells in dependency order and replaces any cell
+whose inputs are all constant with a ``const`` cell driving the same
+net.  Evaluation reuses :func:`repro.rtl.simulate.eval_comb_cell` — the
+simulator's own semantics — so a folded netlist cannot diverge from the
+unfolded one on any stimulus.
+
+A ``mux`` whose select is constant additionally degenerates to a
+zero-cost buffer (``slice`` at lsb 0) of the chosen input, even when the
+other input is unknown; delay-buffer coalescing then forwards the buffer
+away entirely.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..netlist import Module, Net
+from ..simulate import eval_comb_cell
+from .base import Pass, comb_topo_order
+
+
+class ConstantFold(Pass):
+    name = "constant-fold"
+    version = 1
+
+    def run(self, module: Module) -> None:
+        known: Dict[Net, int] = {}
+        for cell in comb_topo_order(module):
+            if cell.kind == "const":
+                known[cell.pins["out"]] = eval_comb_cell(cell, known)
+                continue
+            inputs = [cell.pins[pin] for pin in cell.input_pins()]
+            out = cell.pins["out"]
+            if all(net in known for net in inputs):
+                value = eval_comb_cell(cell, known)
+                cell.kind = "const"
+                cell.params = {"value": value}
+                cell.pins = {"out": out}
+                known[out] = value
+            elif cell.kind == "mux" and cell.pins["sel"] in known:
+                chosen = (
+                    cell.pins["a"]
+                    if known[cell.pins["sel"]] & 1
+                    else cell.pins["b"]
+                )
+                # slice@0 masks to the output width exactly like mux does.
+                cell.kind = "slice"
+                cell.params = {"lsb": 0}
+                cell.pins = {"a": chosen, "out": out}

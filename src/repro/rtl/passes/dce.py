@@ -1,0 +1,46 @@
+"""Dead-cell elimination: sweep logic that cannot reach an output.
+
+Marks cells live by walking backwards from the module's output ports
+through every input pin of every live cell; everything unmarked —
+including sequential state whose value is never observed — is removed,
+and orphaned nets are pruned.  Input ports are never touched, so the
+module interface is stable across optimization levels (a property the
+differential-simulation harness relies on: the same stimulus drives
+both netlists).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..netlist import Cell, Module, Net
+from .base import Pass
+
+
+class DeadCellElim(Pass):
+    name = "dead-cell-elim"
+    version = 1
+
+    def run(self, module: Module) -> None:
+        producers: Dict[Net, Cell] = {}
+        for cell in module.cells.values():
+            for pin in cell.output_pins():
+                net = cell.pins.get(pin)
+                if net is not None:
+                    producers[net] = cell
+        live = set()
+        worklist: List[Net] = [net for _, net in module.outputs()]
+        seen = set(worklist)
+        while worklist:
+            cell = producers.get(worklist.pop())
+            if cell is None or cell.name in live:
+                continue
+            live.add(cell.name)
+            for pin in cell.input_pins():
+                net = cell.pins.get(pin)
+                if net is not None and net not in seen:
+                    seen.add(net)
+                    worklist.append(net)
+        for name in [name for name in module.cells if name not in live]:
+            module.remove_cell(name)
+        module.prune_nets()

@@ -14,14 +14,89 @@ modulo 2^width, like Verilog's unsigned semantics).
 
 from __future__ import annotations
 
+import random
 from collections import deque
 from typing import Dict, List, Optional
 
-from .netlist import Cell, Module, Net, NetlistError, flatten
+from .netlist import Cell, Module, Net, NetlistError, comb_topo_order, flatten
 
 
 def _mask(value: int, width: int) -> int:
     return value & ((1 << width) - 1)
+
+
+def eval_comb_cell(cell: Cell, values: Dict[Net, int]) -> int:
+    """Evaluate one combinational cell over ``values`` (a Net → int map).
+
+    Returns the value of the cell's ``out`` pin, masked to its width.
+    This is the single definition of combinational semantics: the
+    simulator applies it per cycle and the constant-folding pass applies
+    it at compile time, so folding can never diverge from simulation.
+    """
+    kind = cell.kind
+    pins = cell.pins
+    out = pins["out"]
+    if kind == "const":
+        return _mask(int(cell.params["value"]), out.width)
+    if kind in ("add", "sub", "mul", "div", "mod", "and", "or", "xor", "eq", "lt"):
+        a = values[pins["a"]]
+        b = values[pins["b"]]
+        if kind == "add":
+            result = a + b
+        elif kind == "sub":
+            result = a - b
+        elif kind == "mul":
+            result = a * b
+        elif kind == "div":
+            result = a // b if b else 0
+        elif kind == "mod":
+            result = a % b if b else 0
+        elif kind == "and":
+            result = a & b
+        elif kind == "or":
+            result = a | b
+        elif kind == "xor":
+            result = a ^ b
+        elif kind == "eq":
+            result = 1 if a == b else 0
+        else:  # lt
+            result = 1 if a < b else 0
+        return _mask(result, out.width)
+    if kind == "not":
+        return _mask(~values[pins["a"]], out.width)
+    if kind == "shl":
+        return _mask(values[pins["a"]] << int(cell.params["amount"]), out.width)
+    if kind == "shr":
+        return _mask(values[pins["a"]] >> int(cell.params["amount"]), out.width)
+    if kind == "mux":
+        sel = values[pins["sel"]] & 1
+        return _mask(values[pins["a"]] if sel else values[pins["b"]], out.width)
+    if kind == "slice":
+        return _mask(values[pins["a"]] >> int(cell.params["lsb"]), out.width)
+    if kind == "concat":
+        b_net = pins["b"]
+        return _mask(
+            (values[pins["a"]] << b_net.width) | values[b_net], out.width
+        )
+    raise NetlistError(f"cannot evaluate cell kind {kind!r}")
+
+
+def random_stimulus(
+    module: Module, cycles: int, seed: int = 0
+) -> List[Dict[str, int]]:
+    """Reproducible per-cycle input vectors for every input port.
+
+    The same ``(module ports, cycles, seed)`` always yields the same
+    stream — ``random.Random`` is a platform-independent Mersenne
+    twister — so differential-simulation tests are stable across runs
+    and machines.  Ports are visited in declaration order.
+    """
+    rng = random.Random(seed)
+    inputs = module.inputs()
+    return [
+        {name: rng.getrandbits(net.width) for name, net in inputs}
+        for _ in range(cycles)
+    ]
 
 
 class _FifoState:
@@ -33,10 +108,18 @@ class _FifoState:
 
 
 class Simulator:
-    """Simulates a (hierarchical) module; hierarchy is flattened first."""
+    """Simulates a (hierarchical) module; hierarchy is flattened first.
+
+    Already-flat modules (e.g. the ``optimize`` stage's output) are
+    used as-is — simulation never mutates the netlist, so no defensive
+    copy is needed.
+    """
 
     def __init__(self, module: Module):
-        self.module = flatten(module)
+        if any(c.kind == "submodule" for c in module.cells.values()):
+            self.module = flatten(module)
+        else:
+            self.module = module
         self.module.validate()
         self.values: Dict[Net, int] = {
             net: 0 for net in self.module.nets.values()
@@ -51,46 +134,7 @@ class Simulator:
                 self.fifo_state[cell.name] = _FifoState(
                     int(cell.params.get("depth", 2))
                 )
-        self._comb_order = self._topological_comb_order()
-
-    # ------------------------------------------------------------------
-
-    def _topological_comb_order(self) -> List[Cell]:
-        """Topologically sort combinational cells by net dependencies."""
-        comb_cells = [
-            c for c in self.module.cells.values() if not c.is_sequential()
-        ]
-        producers: Dict[Net, Cell] = {}
-        for cell in comb_cells:
-            for pin in cell.output_pins():
-                net = cell.pins.get(pin)
-                if net is not None:
-                    producers[net] = cell
-        # Edges: producer -> consumer when consumer reads producer's net.
-        indegree: Dict[str, int] = {c.name: 0 for c in comb_cells}
-        consumers: Dict[str, List[Cell]] = {c.name: [] for c in comb_cells}
-        for cell in comb_cells:
-            for pin in cell.input_pins():
-                net = cell.pins.get(pin)
-                producer = producers.get(net)
-                if producer is not None and producer.name != cell.name:
-                    consumers[producer.name].append(cell)
-                    indegree[cell.name] += 1
-        ready = deque(c for c in comb_cells if indegree[c.name] == 0)
-        order: List[Cell] = []
-        while ready:
-            cell = ready.popleft()
-            order.append(cell)
-            for consumer in consumers[cell.name]:
-                indegree[consumer.name] -= 1
-                if indegree[consumer.name] == 0:
-                    ready.append(consumer)
-        if len(order) != len(comb_cells):
-            cyclic = [c.name for c in comb_cells if indegree[c.name] > 0]
-            raise NetlistError(
-                f"{self.module.name}: combinational loop through {cyclic[:5]}"
-            )
-        return order
+        self._comb_order = comb_topo_order(self.module)
 
     # ------------------------------------------------------------------
 
@@ -152,6 +196,10 @@ class Simulator:
         """Feed a sequence of input maps; collect outputs for each cycle."""
         return [self.step(inputs) for inputs in input_stream]
 
+    def run_random(self, cycles: int, seed: int = 0) -> List[Dict[str, int]]:
+        """Drive ``cycles`` of seeded random stimulus (reproducible)."""
+        return self.run(random_stimulus(self.module, cycles, seed))
+
     # ------------------------------------------------------------------
 
     def _drive_fifo_outputs(self, cell: Cell) -> None:
@@ -186,66 +234,4 @@ class Simulator:
             state.queue.append(values[cell.pins["in_data"]])
 
     def _eval_comb(self, cell: Cell) -> None:
-        values = self.values
-        kind = cell.kind
-        pins = cell.pins
-        if kind == "const":
-            out = pins["out"]
-            values[out] = _mask(int(cell.params["value"]), out.width)
-            return
-        out = pins.get("out")
-        if kind in ("add", "sub", "mul", "div", "mod", "and", "or", "xor", "eq", "lt"):
-            a = values[pins["a"]]
-            b = values[pins["b"]]
-            if kind == "add":
-                result = a + b
-            elif kind == "sub":
-                result = a - b
-            elif kind == "mul":
-                result = a * b
-            elif kind == "div":
-                result = a // b if b else 0
-            elif kind == "mod":
-                result = a % b if b else 0
-            elif kind == "and":
-                result = a & b
-            elif kind == "or":
-                result = a | b
-            elif kind == "xor":
-                result = a ^ b
-            elif kind == "eq":
-                result = 1 if a == b else 0
-            else:  # lt
-                result = 1 if a < b else 0
-            values[out] = _mask(result, out.width)
-            return
-        if kind == "not":
-            values[out] = _mask(~values[pins["a"]], out.width)
-            return
-        if kind == "shl":
-            values[out] = _mask(
-                values[pins["a"]] << int(cell.params["amount"]), out.width
-            )
-            return
-        if kind == "shr":
-            values[out] = _mask(
-                values[pins["a"]] >> int(cell.params["amount"]), out.width
-            )
-            return
-        if kind == "mux":
-            sel = values[pins["sel"]] & 1
-            values[out] = _mask(
-                values[pins["a"]] if sel else values[pins["b"]], out.width
-            )
-            return
-        if kind == "slice":
-            lsb = int(cell.params["lsb"])
-            values[out] = _mask(values[pins["a"]] >> lsb, out.width)
-            return
-        if kind == "concat":
-            b_net = pins["b"]
-            values[out] = _mask(
-                (values[pins["a"]] << b_net.width) | values[b_net], out.width
-            )
-            return
-        raise NetlistError(f"cannot evaluate cell kind {kind!r}")
+        self.values[cell.pins["out"]] = eval_comb_cell(cell, self.values)

@@ -1,5 +1,7 @@
 """The ``python -m repro`` command-line front door."""
 
+import json
+
 import pytest
 
 from repro.driver.cli import main
@@ -84,6 +86,38 @@ def test_table_3(capsys):
 def test_figure_13_with_workers(capsys):
     assert main(["figure", "13", "--workers", "2"]) == 0
     assert "Lilac / RV" in capsys.readouterr().out
+
+
+def test_compile_opt_level_reports_pass_stats(capsys):
+    assert main(["compile", "--design", "fpu", "-O2"]) == 0
+    out = capsys.readouterr().out
+    assert "optimize (-O2):" in out
+    assert "pass statistics:" in out
+    assert "common-cell-sharing" in out
+
+
+def test_stats_json_is_machine_readable(capsys):
+    assert main(["compile", "--design", "fpu", "-O2", "--stats", "json"]) == 0
+    out = capsys.readouterr().out
+    payload = json.loads(out.splitlines()[-1])
+    assert payload["opt_level"] == 2
+    assert payload["cache"]["misses"]["optimize"] >= 1
+    assert payload["passes"]["dead-cell-elim"]["runs"] >= 1
+    assert payload["passes"]["delay-coalesce"]["cells_removed"] >= 0
+
+
+def test_artifact_stats_json(capsys):
+    assert main(["table", "3", "--stats", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out.splitlines()[-1])
+    assert "cache" in payload and "passes" in payload
+
+
+def test_ablation_command(capsys):
+    assert main(["ablation", "--workers", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "Sim speedup" in out
+    assert "NO" not in out  # every design differentially equivalent
+    assert "pass statistics" in out
 
 
 def test_unknown_command_is_rejected():

@@ -1,0 +1,123 @@
+"""Tests for the optimize/simulate stages and pass-pipeline cache keys."""
+
+from repro.designs.fpu import FPU_LA_SOURCE
+from repro.driver import CompileSession
+from repro.generators.flopoco import FloPoCoGenerator
+
+
+def generators(frequency=400):
+    return [FloPoCoGenerator(frequency)]
+
+
+def test_optimize_stage_shrinks_and_preserves_interface():
+    session = CompileSession()
+    base = session.optimize(
+        FPU_LA_SOURCE, "FPU", {"#W": 32}, generators(), opt_level=0
+    ).value
+    opt = session.optimize(
+        FPU_LA_SOURCE, "FPU", {"#W": 32}, generators(), opt_level=2
+    ).value
+    assert opt.cells_after < base.cells_after
+    assert opt.opt_level == 2 and base.opt_level == 0
+    assert sorted(opt.module.ports) == sorted(base.module.ports)
+    # -O0 runs no passes; -O2 reports what each pass did.
+    assert base.pass_stats == []
+    assert sum(s.cells_removed for s in opt.pass_stats) == opt.cells_removed
+
+
+def test_optimize_stage_is_cached_per_pipeline():
+    session = CompileSession()
+    first = session.optimize(
+        FPU_LA_SOURCE, "FPU", {"#W": 32}, generators(), opt_level=2
+    )
+    again = session.optimize(
+        FPU_LA_SOURCE, "FPU", {"#W": 32}, generators(), opt_level=2
+    )
+    assert again is first
+    assert session.stats.hit_count("optimize") == 1
+    # A different pipeline is a different artifact, not a stale hit.
+    other = session.optimize(
+        FPU_LA_SOURCE, "FPU", {"#W": 32}, generators(), opt_level=1
+    )
+    assert other is not first
+    assert session.stats.miss_count("optimize") == 2
+
+
+def test_pipeline_change_invalidates_downstream_stages():
+    session = CompileSession()
+    plain = session.emit_verilog(
+        FPU_LA_SOURCE, "FPU", {"#W": 32}, generators(), opt_level=0
+    )
+    optimized = session.emit_verilog(
+        FPU_LA_SOURCE, "FPU", {"#W": 32}, generators(), opt_level=2
+    )
+    assert plain.key != optimized.key
+    assert plain.value != optimized.value  # fewer cells → different text
+    report0 = session.synthesize(
+        FPU_LA_SOURCE, "FPU", {"#W": 32}, generators(), opt_level=0
+    ).value
+    report2 = session.synthesize(
+        FPU_LA_SOURCE, "FPU", {"#W": 32}, generators(), opt_level=2
+    ).value
+    assert report2.registers <= report0.registers
+
+
+def test_session_default_opt_level_applies_to_stages():
+    plain = CompileSession()
+    tuned = CompileSession(opt_level=2)
+    module_a = plain.optimize(
+        FPU_LA_SOURCE, "FPU", {"#W": 32}, generators()
+    ).value
+    module_b = tuned.optimize(
+        FPU_LA_SOURCE, "FPU", {"#W": 32}, generators()
+    ).value
+    assert module_b.cells_after < module_a.cells_after
+
+
+def test_simulate_stage_is_deterministic_and_differential():
+    session = CompileSession()
+    kwargs = dict(cycles=64, seed=42)
+    trace0 = session.simulate(
+        FPU_LA_SOURCE, "FPU", {"#W": 32}, generators(),
+        opt_level=0, **kwargs
+    ).value
+    trace2 = session.simulate(
+        FPU_LA_SOURCE, "FPU", {"#W": 32}, generators(),
+        opt_level=2, **kwargs
+    ).value
+    assert len(trace0.outputs) == 64
+    # Differential simulation: optimization must not change behaviour.
+    assert trace0.outputs == trace2.outputs
+    # Same request → cached artifact; different seed → different trace.
+    assert session.simulate(
+        FPU_LA_SOURCE, "FPU", {"#W": 32}, generators(),
+        opt_level=0, **kwargs
+    ).value is trace0
+    reseeded = session.simulate(
+        FPU_LA_SOURCE, "FPU", {"#W": 32}, generators(),
+        opt_level=0, cycles=64, seed=43,
+    ).value
+    assert reseeded.outputs != trace0.outputs
+
+
+def test_compile_front_door_reaches_new_stages():
+    session = CompileSession(opt_level=2)
+    result = session.compile(
+        FPU_LA_SOURCE, "FPU", {"#W": 32}, generators(),
+        stages=("elaborate", "optimize", "simulate"),
+    )
+    assert result.optimized is not None
+    assert result.trace is not None
+    assert "pass.dead-cell-elim" in result.timings()
+
+
+def test_pass_statistics_surface_on_the_session():
+    session = CompileSession(opt_level=2)
+    session.optimize(FPU_LA_SOURCE, "FPU", {"#W": 32}, generators())
+    summary = session.pass_summary()
+    assert summary["common-cell-sharing"]["runs"] == 2
+    stats = session.stats_dict()
+    assert stats["opt_level"] == 2
+    assert "hits" in stats["cache"]
+    assert "dead-cell-elim" in stats["passes"]
+    assert "cells removed" in session.render_pass_stats()

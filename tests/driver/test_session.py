@@ -115,7 +115,7 @@ def test_compile_rejects_unknown_stage():
     session = CompileSession()
     with pytest.raises(ValueError):
         session.compile(FPU_LA_SOURCE, "FPU", {"#W": 32}, generators(),
-                        stages=("elaborate", "simulate"))
+                        stages=("elaborate", "place_and_route"))
 
 
 def test_elaboration_errors_propagate():

@@ -1,0 +1,37 @@
+"""The optimization ablation: differential simulation across designs."""
+
+from repro.evalx import ablation
+
+
+def test_ablation_rows_cover_the_catalog_and_hold_shape():
+    rows = ablation.build_rows(cycles=32)
+    assert [row.name for row in rows] == sorted(
+        ["fpu", "fft", "flofft", "risc", "gbp", "blas"]
+    )
+    stats = ablation.check_shape(rows)
+    assert len(stats) == len(rows)
+    # Differential simulation: every design bit-identical across levels.
+    assert all(row.equivalent for row in rows)
+    # The headline claim: cleanup passes shrink at least three designs.
+    assert sum(1 for row in rows if row.cleanup_removed() > 0) >= 3
+
+
+def test_ablation_render_marks_equivalence():
+    row = ablation.AblationRow(
+        "toy", 100, 80, True, 2.0, 1.0, {"dead-cell-elim": 20}
+    )
+    assert abs(row.reduction - 0.2) < 1e-12
+    assert row.speedup == 2.0
+    assert row.cleanup_removed() == 20
+    text = ablation.render([row])
+    assert "toy" in text and "20.0%" in text and "yes" in text
+
+
+def test_ablation_check_shape_rejects_divergence():
+    bad = ablation.AblationRow("toy", 100, 100, False, 1.0, 1.0, {})
+    try:
+        ablation.check_shape([bad])
+    except AssertionError as error:
+        assert "unsound" in str(error)
+    else:
+        raise AssertionError("divergent row should fail the shape check")
