@@ -1,0 +1,122 @@
+"""Benchmark: compiled vs interpreted simulation, cold vs warm sessions.
+
+Seeds the repository's perf trajectory with ``BENCH_sim.json`` (written
+at the repo root): per-design simulation throughput for both backends,
+the one-time code-generation overhead the compiled backend pays, and the
+wall-clock of a cold-then-warm session pair over the persistent disk
+cache.  The assertions encode the PR's acceptance bar — the compiled
+backend must be ≥3× the interpreter on the largest catalog design, and
+the warm session must be served almost entirely from disk.
+"""
+
+import json
+import pathlib
+import time
+
+from repro.designs.catalog import DESIGNS, design_point
+from repro.driver import CompileSession
+from repro.rtl import CompiledSimulator, Simulator, compile_netlist, random_stimulus
+
+CYCLES = 256
+SEED = 0xBE
+BENCH_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_sim.json"
+
+#: The cold/warm pair sweeps a slice of the catalog through the full
+#: pipeline (synthesize + simulate at -O2) — enough stages to be
+#: representative without doubling the benchmark's runtime.
+WARM_DESIGNS = ("fpu", "fft", "blas")
+
+
+def _throughput(sim_cls, module, stimulus) -> float:
+    simulator = sim_cls(module)
+    start = time.perf_counter()
+    simulator.run(stimulus)
+    seconds = time.perf_counter() - start
+    return len(stimulus) / seconds if seconds else float("inf")
+
+
+def _design_rows(session):
+    rows = []
+    for name in sorted(DESIGNS):
+        source, component, generators, params = design_point(name)
+        module = session.optimize(
+            source, component, params, generators, opt_level=0
+        ).value.module
+        stimulus = random_stimulus(module, CYCLES, SEED)
+        interp_cps = _throughput(Simulator, module, stimulus)
+        compiled_cps = _throughput(CompiledSimulator, module, stimulus)
+        rows.append(
+            {
+                "name": name,
+                "cells": len(module.cells),
+                "cycles": CYCLES,
+                "interp_cycles_per_sec": round(interp_cps, 1),
+                "compiled_cycles_per_sec": round(compiled_cps, 1),
+                "speedup": round(compiled_cps / interp_cps, 2),
+                "compile_seconds": round(
+                    compile_netlist(module).compile_seconds, 6
+                ),
+            }
+        )
+    return rows
+
+
+def _timed_session(cache_dir):
+    session = CompileSession(
+        opt_level=2, sim_backend="compiled", cache_dir=cache_dir
+    )
+    start = time.perf_counter()
+    for name in WARM_DESIGNS:
+        source, component, generators, params = design_point(name)
+        session.synthesize(source, component, params, generators)
+        session.simulate(
+            source, component, params, generators, cycles=64, seed=SEED
+        )
+    return time.perf_counter() - start, session
+
+
+def test_sim_backend_benchmark(tmp_path):
+    rows = _design_rows(CompileSession())
+
+    cold_seconds, _ = _timed_session(str(tmp_path / "bench-cache"))
+    warm_seconds, warm_session = _timed_session(str(tmp_path / "bench-cache"))
+    disk = warm_session.disk_stats()
+
+    largest = max(rows, key=lambda row: row["cells"])
+    payload = {
+        "generated_by": "benchmarks/test_sim_backend.py",
+        "designs": rows,
+        "largest_design": largest["name"],
+        "largest_design_speedup": largest["speedup"],
+        "warm_vs_cold": {
+            "designs": list(WARM_DESIGNS),
+            "stages": ["synthesize", "simulate"],
+            "opt_level": 2,
+            "sim_backend": "compiled",
+            "cold_seconds": round(cold_seconds, 4),
+            "warm_seconds": round(warm_seconds, 4),
+            "speedup": round(cold_seconds / warm_seconds, 2),
+            "warm_disk_hit_rate": disk["hit_rate"],
+        },
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print(f"\nSimulation backends over {CYCLES} cycles (cycles/sec):\n")
+    for row in rows:
+        print(
+            f"  {row['name']:8s} {row['cells']:5d} cells  "
+            f"interp {row['interp_cycles_per_sec']:10.0f}  "
+            f"compiled {row['compiled_cycles_per_sec']:10.0f}  "
+            f"({row['speedup']:.2f}x, compile {row['compile_seconds']*1e3:.1f}ms)"
+        )
+    print(
+        f"\n  cold session {cold_seconds:.2f}s -> warm session "
+        f"{warm_seconds:.2f}s ({cold_seconds / warm_seconds:.1f}x, "
+        f"disk hit rate {disk['hit_rate']:.0%})"
+    )
+
+    # Acceptance: the compiled backend is ≥3× on the largest design and
+    # the disk cache makes the second session nearly free.
+    assert largest["speedup"] >= 3.0, largest
+    assert disk["hit_rate"] >= 0.9, disk
+    assert warm_seconds < cold_seconds, (warm_seconds, cold_seconds)

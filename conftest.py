@@ -1,0 +1,16 @@
+"""Repo-wide pytest fixtures.
+
+The CLI enables the persistent artifact cache by default (resolving to
+``$REPRO_CACHE_DIR``), so every test gets a private, empty cache root:
+tests stay hermetic — cold on every run, never sharing artifacts across
+tests or with the developer's real cache — while still exercising the
+disk-cache code path end to end.  Tests that *want* warm-versus-cold
+behavior opt in by pointing two sessions at one explicit directory.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolated_disk_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))

@@ -1,1 +1,6 @@
-"""The paper's evaluated designs (FPU, GBP, FFT, RISC, BLAS)."""
+"""The paper's evaluated designs (FPU, GBP, FFT, RISC, BLAS), plus
+synthetic stress netlists for the simulation backends."""
+
+from .synthetic import fifo_pipeline
+
+__all__ = ["fifo_pipeline"]

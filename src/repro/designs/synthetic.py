@@ -1,0 +1,64 @@
+"""Synthetic stress netlists built directly on the RTL substrate.
+
+The catalog designs are datapath-dominated: wide arithmetic, few
+latency-insensitive queues.  The simulation backends' trickiest code —
+FIFO occupancy-driven ready/valid handshakes — is barely exercised by
+them, so the differential-equivalence suite and the backend benchmark
+add :func:`fifo_pipeline`, a deliberately FIFO-heavy module: a chain of
+``fifo`` cells coupled by small arithmetic stages, with backpressure
+flowing the whole way from ``out_ready`` to ``in_ready``.
+"""
+
+from __future__ import annotations
+
+from ..rtl import Module
+
+
+def fifo_pipeline(stages: int = 4, width: int = 16, depth: int = 3) -> Module:
+    """A ready/valid pipeline of ``stages`` FIFOs with comb glue.
+
+    Between consecutive FIFOs the data is bumped by a stage-specific
+    constant, so payloads are distinguishable end to end; the valid
+    chain follows the data and the ready chain runs backwards, making
+    every FIFO's occupancy depend on the whole downstream state — the
+    pattern that flushes out latch-ordering bugs in a backend.
+    """
+    if stages < 1:
+        raise ValueError("fifo_pipeline needs at least one stage")
+    module = Module(f"FifoPipe{stages}x{width}")
+    in_data = module.add_input("in_data", width)
+    in_valid = module.add_input("in_valid", 1)
+    out_ready = module.add_input("out_ready", 1)
+    in_ready = module.add_output("in_ready", 1)
+    out_valid = module.add_output("out_valid", 1)
+    out_data = module.add_output("out_data", width)
+
+    # in_ready nets, first one being the module's own in_ready port; the
+    # backwards ready chain needs stage i+1's net while wiring stage i.
+    ready = [in_ready] + [
+        module.fresh_net(1, f"rdy{i}") for i in range(1, stages)
+    ]
+    data, valid = in_data, in_valid
+    for index in range(stages):
+        last = index == stages - 1
+        stage_out = out_data if last else module.fresh_net(width, f"d{index}")
+        stage_valid = out_valid if last else module.fresh_net(1, f"v{index}")
+        module.add_cell(
+            "fifo",
+            {
+                "in_data": data,
+                "in_valid": valid,
+                "in_ready": ready[index],
+                "out_data": stage_out,
+                "out_valid": stage_valid,
+                "out_ready": out_ready if last else ready[index + 1],
+            },
+            {"depth": depth},
+            name=f"fifo{index}",
+        )
+        if not last:
+            bump = module.constant(index + 1, width)
+            data = module.binop("add", stage_out, bump, width)
+            valid = stage_valid
+    module.validate()
+    return module

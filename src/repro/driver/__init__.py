@@ -25,7 +25,14 @@ from .artifact import (
     SimTrace,
     StageArtifact,
 )
-from .cache import ArtifactCache, CacheStats, freeze_params, source_digest
+from .cache import (
+    SCHEMA_VERSION,
+    ArtifactCache,
+    CacheStats,
+    DiskCache,
+    freeze_params,
+    source_digest,
+)
 from .grid import EvalGrid
 from .session import (
     CompileSession,
@@ -35,12 +42,14 @@ from .session import (
 )
 
 __all__ = [
+    "SCHEMA_VERSION",
     "ArtifactCache",
     "CacheStats",
     "CompileResult",
     "CompileSession",
     "DEFAULT_STAGES",
     "Diagnostic",
+    "DiskCache",
     "EvalGrid",
     "OptimizedNetlist",
     "STAGES",

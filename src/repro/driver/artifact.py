@@ -135,20 +135,26 @@ class SimTrace:
         opt_level: int,
         run_seconds: float,
         cells: int,
+        backend: str = "interp",
     ):
         self.outputs = outputs
         self.cycles = cycles
         self.seed = seed
         self.opt_level = opt_level
-        #: time spent inside ``Simulator.run`` (netlist construction and
-        #: stimulus generation excluded) — the figure speedups compare.
+        #: time spent inside the backend's ``run`` (netlist construction
+        #: and stimulus generation excluded) — the figure speedups compare.
         self.run_seconds = run_seconds
         self.cells = cells
+        #: which engine produced the trace ("interp" or "compiled") —
+        #: traces are bit-identical across backends by contract, but the
+        #: perf numbers are only comparable within one backend.
+        self.backend = backend
 
     def __repr__(self):
         return (
             f"SimTrace({self.cycles} cycles, seed={self.seed}, "
-            f"-O{self.opt_level}, {self.run_seconds * 1000.0:.1f}ms)"
+            f"-O{self.opt_level}, {self.backend}, "
+            f"{self.run_seconds * 1000.0:.1f}ms)"
         )
 
 

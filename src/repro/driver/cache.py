@@ -1,4 +1,5 @@
-"""Content-addressed, in-memory artifact cache with single-flight misses.
+"""Content-addressed artifact cache: in-memory single-flight, plus an
+optional persistent on-disk layer.
 
 Keys are value-based: a source text is identified by its SHA-256 digest,
 a parameter binding by its frozen item tuple, and a generator registry by
@@ -7,20 +8,60 @@ identically configured requests share one artifact.  The cache is safe
 under the :class:`repro.driver.EvalGrid`'s thread pool: concurrent
 requests for the same key block on a per-key lock and all but the first
 are served the first computation's artifact (counted as hits).
+
+The disk layer (:class:`DiskCache`) sits *under* the in-memory cache: a
+memory miss consults the cache directory before computing, and every
+fresh computation is written back, so a second process over the same
+sources is served warm.  Entries are content-addressed files — a JSON
+header carrying a schema version and an integrity digest, followed by a
+pickled :class:`StageArtifact` — and every fingerprint that feeds a key
+is value-based (no ``id()``, no memory addresses), which is what makes
+keys stable across processes.  Corrupt, truncated, or schema-mismatched
+entries are deleted and treated as misses, never served.
 """
 
 from __future__ import annotations
 
 import hashlib
+import json
+import os
+import pickle
+import tempfile
 import threading
-from typing import Callable, Dict, Sequence, Tuple, Union
+from typing import Callable, Dict, Optional, Sequence, Tuple, Union
 
 from .artifact import StageArtifact
+
+#: The disk format's epoch.  Bump whenever old entries must not survive
+#: the current code: artifact values or key composition changing shape,
+#: or a *stage's semantics* changing without its own fingerprint in the
+#: key (pass pipelines carry ``Pass.version``, simulate keys carry the
+#: backend's ``name@version`` — anything else rides on this constant).
+#: Readers reject (and delete) entries from any other schema, so a
+#: stale cache degrades to cold, never to wrong.
+SCHEMA_VERSION = 1
+
+#: Soft size bound for a cache root, in bytes; the oldest entries are
+#: trimmed at attach time once the tree exceeds it.  Overridable via
+#: ``$REPRO_CACHE_MAX_MB`` (0 disables trimming).
+DEFAULT_MAX_BYTES = 2 * 1024 * 1024 * 1024
 
 
 def source_digest(source: str) -> str:
     """Stable content address of a Lilac source text."""
     return hashlib.sha256(source.encode("utf-8")).hexdigest()[:16]
+
+
+def _freeze_value(value) -> object:
+    """One parameter value in canonical, collision-free form.
+
+    ``bool`` is a subclass of ``int``, so ``int(True) == 1`` would fold
+    ``True`` and ``1`` into one cache-key spelling — distinct bindings
+    silently sharing artifacts.  Bools therefore get their own tag.
+    """
+    if isinstance(value, bool):
+        return ("bool", value)
+    return int(value)
 
 
 def freeze_params(params: Union[Dict[str, int], Sequence[int], None]) -> Tuple:
@@ -34,8 +75,10 @@ def freeze_params(params: Union[Dict[str, int], Sequence[int], None]) -> Tuple:
     if params is None:
         return ("kw",)
     if isinstance(params, dict):
-        return ("kw",) + tuple(sorted((k, int(v)) for k, v in params.items()))
-    return ("pos",) + tuple(int(v) for v in params)
+        return ("kw",) + tuple(
+            sorted((k, _freeze_value(v)) for k, v in params.items())
+        )
+    return ("pos",) + tuple(_freeze_value(v) for v in params)
 
 
 class CacheStats:
@@ -96,11 +139,199 @@ class CacheStats:
         return "\n".join(lines)
 
 
-class ArtifactCache:
-    """Keyed store of :class:`StageArtifact` with single-flight compute."""
+class DiskCache:
+    """Persistent, content-addressed artifact store under one directory.
 
-    def __init__(self, stats: CacheStats = None):
+    Layout: ``<root>/v<schema>/<stage>/<sha256-of-key>.pkl``.  Each entry
+    is one JSON header line — schema version, stage, the key's repr, and
+    the SHA-256 of the payload — followed by the pickled artifact.  The
+    schema version appears both in the path (so a bump strands old
+    entries where a ``rm -rf`` of the versioned subtree reclaims them)
+    and in the header (so a hand-moved file still can't cross versions).
+
+    Writes are atomic (temp file + ``os.replace``), which is all the
+    cross-process coordination needed: concurrent writers of the same
+    key write identical content, and readers only ever observe complete
+    files.  Load failures of any kind — bad header, wrong schema, digest
+    mismatch, unpicklable payload — delete the entry and report a miss.
+    """
+
+    def __init__(
+        self,
+        root: Optional[str] = None,
+        stats: CacheStats = None,
+        max_bytes: Optional[int] = None,
+    ):
+        self.root = os.path.abspath(root or self.default_root())
         self.stats = stats or CacheStats()
+        if max_bytes is None:
+            override = os.environ.get("REPRO_CACHE_MAX_MB")
+            if override is not None:
+                try:
+                    max_bytes = int(override) * 1024 * 1024
+                except ValueError:
+                    max_bytes = DEFAULT_MAX_BYTES
+            else:
+                max_bytes = DEFAULT_MAX_BYTES
+        self.max_bytes = max_bytes
+        if self.max_bytes:
+            self._trim()
+
+    @staticmethod
+    def default_root() -> str:
+        """``$REPRO_CACHE_DIR`` → ``$XDG_CACHE_HOME/repro-lilac`` →
+        ``~/.cache/repro-lilac``."""
+        explicit = os.environ.get("REPRO_CACHE_DIR")
+        if explicit:
+            return explicit
+        xdg = os.environ.get("XDG_CACHE_HOME")
+        base = xdg if xdg else os.path.join(os.path.expanduser("~"), ".cache")
+        return os.path.join(base, "repro-lilac")
+
+    def _entry_path(self, key: Tuple) -> str:
+        stage = str(key[0])
+        digest = hashlib.sha256(repr(key).encode("utf-8")).hexdigest()
+        return os.path.join(
+            self.root, f"v{SCHEMA_VERSION}", stage, f"{digest}.pkl"
+        )
+
+    def load(self, key: Tuple) -> Optional[StageArtifact]:
+        """The artifact stored for ``key``, or None (miss/corrupt)."""
+        path = self._entry_path(key)
+        try:
+            with open(path, "rb") as handle:
+                data = handle.read()
+        except OSError:
+            return None
+        try:
+            header_line, _, payload = data.partition(b"\n")
+            header = json.loads(header_line.decode("utf-8"))
+            if header.get("schema") != SCHEMA_VERSION:
+                raise ValueError("schema version mismatch")
+            if header.get("key") != repr(key):
+                raise ValueError("key collision or renamed entry")
+            if header.get("sha256") != hashlib.sha256(payload).hexdigest():
+                raise ValueError("payload digest mismatch")
+            artifact = pickle.loads(payload)
+            if not isinstance(artifact, StageArtifact):
+                raise ValueError("payload is not a StageArtifact")
+            return artifact
+        except Exception:
+            # Integrity failure: drop the entry so it cannot keep
+            # poisoning this key, and treat the lookup as a miss.
+            self.stats.bump("disk.corrupt")
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            return None
+
+    def store(self, key: Tuple, artifact: StageArtifact) -> bool:
+        """Persist ``artifact`` under ``key``; False if unpicklable."""
+        try:
+            payload = pickle.dumps(artifact, protocol=4)
+        except Exception:
+            self.stats.bump("disk.unpicklable")
+            return False
+        header = json.dumps(
+            {
+                "schema": SCHEMA_VERSION,
+                "stage": str(key[0]),
+                "key": repr(key),
+                "sha256": hashlib.sha256(payload).hexdigest(),
+                "size": len(payload),
+            },
+            sort_keys=True,
+        ).encode("utf-8")
+        path = self._entry_path(key)
+        directory = os.path.dirname(path)
+        try:
+            os.makedirs(directory, exist_ok=True)
+            fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(header)
+                    handle.write(b"\n")
+                    handle.write(payload)
+                os.replace(tmp_path, path)
+            except BaseException:
+                try:
+                    os.remove(tmp_path)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            # A read-only or full cache directory degrades the disk
+            # layer to a no-op rather than failing the compilation.
+            self.stats.bump("disk.write_error")
+            return False
+        self.stats.bump("disk.write")
+        return True
+
+    def entry_count(self) -> int:
+        """Entries currently on disk for the active schema version."""
+        count = 0
+        base = os.path.join(self.root, f"v{SCHEMA_VERSION}")
+        for _, _, files in os.walk(base):
+            count += sum(1 for f in files if f.endswith(".pkl"))
+        return count
+
+    def _trim(self) -> int:
+        """Evict oldest entries (by mtime) until under ``max_bytes``.
+
+        Runs once when the cache is attached, bounding the default-on
+        CLI cache: steady-state iteration on changing sources accretes
+        dead content digests forever otherwise.  Every schema subtree
+        counts toward the bound (stale schemas are pure waste, so they
+        are the first candidates by age).  Returns entries removed.
+        """
+        entries = []
+        total = 0
+        for directory, _, files in os.walk(self.root):
+            for name in files:
+                # .tmp files are writers that died before os.replace;
+                # they count toward the bound and are evicted like any
+                # entry (a live writer's replace survives the unlink).
+                if not name.endswith((".pkl", ".tmp")):
+                    continue
+                path = os.path.join(directory, name)
+                try:
+                    info = os.stat(path)
+                except OSError:
+                    continue
+                entries.append((info.st_mtime, info.st_size, path))
+                total += info.st_size
+        if total <= self.max_bytes:
+            return 0
+        removed = 0
+        for _, size, path in sorted(entries):
+            if total <= self.max_bytes:
+                break
+            try:
+                os.remove(path)
+            except OSError:
+                continue
+            total -= size
+            removed += 1
+        if removed:
+            self.stats.bump("disk.trimmed", removed)
+        return removed
+
+
+class ArtifactCache:
+    """Keyed store of :class:`StageArtifact` with single-flight compute.
+
+    With a :class:`DiskCache` attached, a memory miss falls through to
+    disk (still under the per-key single-flight lock, so one thread does
+    the I/O) and fresh computations are written back for the next
+    process.
+    """
+
+    def __init__(self, stats: CacheStats = None, disk: Optional[DiskCache] = None):
+        self.stats = stats or CacheStats()
+        self.disk = disk
+        if disk is not None:
+            disk.stats = self.stats
         self._mutex = threading.Lock()
         self._artifacts: Dict[Tuple, StageArtifact] = {}
         self._key_locks: Dict[Tuple, threading.Lock] = {}
@@ -138,12 +369,27 @@ class ArtifactCache:
                 self.stats.record_hit(stage)
                 artifact.from_cache = True
                 return artifact
+            if self.disk is not None:
+                artifact = self.disk.load(key)
+                if artifact is not None:
+                    self.stats.bump("disk.hit")
+                    self.stats.record_hit(stage)
+                    artifact.from_cache = True
+                    with self._mutex:
+                        self._artifacts[key] = artifact
+                        self._key_locks.pop(key, None)
+                    return artifact
+                self.stats.bump("disk.miss")
             self.stats.record_miss(stage)
             artifact = compute()
             with self._mutex:
                 self._artifacts[key] = artifact
                 self._key_locks.pop(key, None)
-            return artifact
+        # Write-back happens outside the single-flight lock: waiters can
+        # be served from memory while this thread pays the pickle + I/O.
+        if self.disk is not None:
+            self.disk.store(key, artifact)
+        return artifact
 
     def clear(self) -> None:
         with self._mutex:

@@ -14,9 +14,12 @@ Subcommands:
   them.
 
 Every subcommand accepts ``-O{0,1,2}`` to select the netlist
-optimization level (the pass pipeline of :mod:`repro.rtl.passes`) and
-``--stats json`` to emit cache + per-pass statistics as a single JSON
-line at the end of the run.
+optimization level (the pass pipeline of :mod:`repro.rtl.passes`),
+``--sim-backend {interp,compiled}`` to pick the simulation engine,
+``--cache-dir``/``--no-disk-cache`` to steer the persistent artifact
+cache (on by default — a second ``repro all -O2`` run is served from
+disk), and ``--stats json`` to emit cache + disk + per-pass statistics
+as a single JSON line at the end of the run.
 """
 
 from __future__ import annotations
@@ -30,12 +33,32 @@ from ..designs.catalog import DESIGNS, design_point
 from ..filament import FilamentError
 from ..generators.base import GeneratorError
 from ..lilac.ast import LilacError
+from ..rtl import SIM_BACKENDS
 from ..rtl.passes import OPT_LEVELS
+from .cache import DiskCache
 from .session import CompileSession
 from .artifact import CompileResult
 
 #: Bundled design presets for ``compile --design`` (the catalog's keys).
 PRESETS = DESIGNS
+
+
+def _session_from_args(args) -> CompileSession:
+    """One place that turns CLI flags into a configured session.
+
+    The persistent disk cache is *on by default* for the CLI — the whole
+    point is that a second ``repro all -O2`` invocation starts warm —
+    and resolves to ``--cache-dir``, else ``$REPRO_CACHE_DIR``, else the
+    user cache directory.  ``--no-disk-cache`` turns the layer off.
+    """
+    cache_dir = None
+    if not args.no_disk_cache:
+        cache_dir = args.cache_dir or DiskCache.default_root()
+    return CompileSession(
+        opt_level=args.opt_level,
+        sim_backend=args.sim_backend,
+        cache_dir=cache_dir,
+    )
 
 
 def _print_stats(session: CompileSession, mode: Optional[str]) -> None:
@@ -61,7 +84,7 @@ def _parse_params(pairs: List[str]) -> Dict[str, int]:
 
 
 def _cmd_compile(args) -> int:
-    session = CompileSession(opt_level=args.opt_level)
+    session = _session_from_args(args)
     if args.source:
         with open(args.source) as handle:
             source = handle.read()
@@ -128,7 +151,7 @@ def _cmd_compile(args) -> int:
 def _run_artifacts(names: List[str], args) -> int:
     from .. import evalx
 
-    session = CompileSession(opt_level=args.opt_level)
+    session = _session_from_args(args)
     for name in names:
         print(f"== {name} ==")
         print(evalx.run_artifact(name, session=session, workers=args.workers))
@@ -139,6 +162,15 @@ def _run_artifacts(names: List[str], args) -> int:
         print(session.stats.render())
         if session.pass_log():
             print(session.render_pass_stats())
+        disk = session.disk_stats()
+        if disk["enabled"]:
+            rate = disk["hit_rate"]
+            rendered = "n/a" if rate is None else f"{rate * 100.0:.1f}%"
+            print(
+                f"disk cache: {disk['hits']} hits  {disk['misses']} misses  "
+                f"{disk['writes']} writes  (hit rate {rendered}) at "
+                f"{disk['dir']}"
+            )
     return 0
 
 
@@ -238,6 +270,21 @@ def build_parser() -> argparse.ArgumentParser:
             "--stats", choices=("text", "json"), default=None,
             help="end-of-run cache + per-pass statistics; 'json' prints "
                  "one machine-readable line",
+        )
+        command.add_argument(
+            "--sim-backend", choices=sorted(SIM_BACKENDS), default="interp",
+            help="simulation engine for the simulate stage (default: "
+                 "interp; 'compiled' code-generates a step function per "
+                 "netlist)",
+        )
+        command.add_argument(
+            "--cache-dir", default=None, metavar="PATH",
+            help="persistent artifact cache directory (default: "
+                 "$REPRO_CACHE_DIR, else the user cache dir)",
+        )
+        command.add_argument(
+            "--no-disk-cache", action="store_true",
+            help="disable the persistent artifact cache for this run",
         )
     return parser
 

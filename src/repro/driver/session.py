@@ -29,6 +29,13 @@ Elaborator instances are shared per ``(source, registry, verify)``
 triple: elaborating ``FPU`` and then ``FPAdd`` from the same program
 reuses the child artifacts the first call already produced, on top of
 the session-level artifact cache.
+
+Two session-level knobs extend the reach of all this: ``sim_backend``
+selects the simulation engine (``"interp"`` or ``"compiled"`` — the
+code-generating backend of :mod:`repro.rtl.compile`, bit-identical by
+differential contract), and ``cache_dir`` layers a persistent
+:class:`~repro.driver.cache.DiskCache` under the in-memory cache so
+artifacts survive the process and a second run starts warm.
 """
 
 from __future__ import annotations
@@ -42,7 +49,14 @@ from ..lilac.elaborate import Elaborator
 from ..lilac.stdlib import stdlib_program
 from ..lilac.parser import parse_program
 from ..lilac.typecheck import check_component, check_program
-from ..rtl import Simulator, emit_verilog, flatten, random_stimulus
+from ..rtl import (
+    backend_fingerprint,
+    emit_verilog,
+    flatten,
+    make_simulator,
+    random_stimulus,
+    resolve_backend,
+)
 from ..rtl.passes import PassManager, PassStats, pipeline_for_level
 from ..synth import synthesize
 from .artifact import (
@@ -52,7 +66,13 @@ from .artifact import (
     SimTrace,
     StageArtifact,
 )
-from .cache import ArtifactCache, CacheStats, freeze_params, source_digest
+from .cache import (
+    ArtifactCache,
+    CacheStats,
+    DiskCache,
+    freeze_params,
+    source_digest,
+)
 
 Generators = Union[GeneratorRegistry, Iterable[Generator], None]
 
@@ -80,15 +100,31 @@ class CompileSession:
     """Staged, cached, thread-safe driver over the Lilac pipeline.
 
     ``opt_level`` is the session default for every stage downstream of
-    lowering; individual stage calls can override it per request.
+    lowering; individual stage calls can override it per request.  The
+    same holds for ``sim_backend`` (``"interp"`` or ``"compiled"``, the
+    engines of :data:`repro.rtl.SIM_BACKENDS`) and the ``simulate``
+    stage.  A non-None ``cache_dir`` layers a persistent
+    :class:`~repro.driver.cache.DiskCache` under the in-memory artifact
+    cache, so artifacts survive the process and a second session over
+    the same sources starts warm.
     """
 
-    def __init__(self, verify: bool = True, opt_level: int = 0):
+    def __init__(
+        self,
+        verify: bool = True,
+        opt_level: int = 0,
+        sim_backend: str = "interp",
+        cache_dir: Optional[str] = None,
+    ):
         self.verify = verify
         self.opt_level = int(opt_level)
         pipeline_for_level(self.opt_level)  # reject bad levels eagerly
+        resolve_backend(sim_backend)  # reject bad backends eagerly too
+        self.sim_backend = sim_backend
         self.stats = CacheStats()
-        self.cache = ArtifactCache(self.stats)
+        disk = DiskCache(cache_dir, self.stats) if cache_dir else None
+        self.cache_dir = disk.root if disk is not None else None
+        self.cache = ArtifactCache(self.stats, disk=disk)
         self._mutex = threading.Lock()
         #: every PassStats any optimize stage produced, in completion
         #: order — the CLI's end-of-run per-pass report reads this.
@@ -288,11 +324,20 @@ class CompileSession:
         cycles: int = 128,
         seed: int = 0,
         opt_level: Optional[int] = None,
+        backend: Optional[str] = None,
     ) -> StageArtifact:
         """optimized netlist → per-cycle output trace under seeded
-        random stimulus (reproducible across runs and machines)."""
+        random stimulus (reproducible across runs and machines).
+
+        ``backend`` picks the simulation engine (session default when
+        None).  Backends are bit-identical by contract, but each gets
+        its own cache key: the artifact records which engine produced it
+        and its wall-clock, and the differential gates exist precisely
+        to compare the two sides as independently computed traces.
+        """
         registry = self._registry_of(generators)
         level, pipeline = self._pipeline(opt_level)
+        engine = self.sim_backend if backend is None else backend
         key = (
             "simulate",
             self._source_key(source, stdlib),
@@ -303,6 +348,9 @@ class CompileSession:
             pipeline.fingerprint(),
             int(cycles),
             int(seed),
+            # name@version, mirroring the pass-pipeline fingerprint: a
+            # backend semantics bump invalidates its persisted traces.
+            backend_fingerprint(engine),
         )
 
         def compute() -> StageArtifact:
@@ -310,14 +358,14 @@ class CompileSession:
                 source, component, params, registry, stdlib, opt_level=level
             ).value
             start = time.perf_counter()
-            simulator = Simulator(optimized.module)
+            simulator = make_simulator(optimized.module, engine)
             stimulus = random_stimulus(optimized.module, cycles, seed)
             run_start = time.perf_counter()
             outputs = simulator.run(stimulus)
             run_seconds = time.perf_counter() - run_start
             value = SimTrace(
                 outputs, cycles, seed, level, run_seconds,
-                len(optimized.module.cells),
+                len(optimized.module.cells), backend=engine,
             )
             return StageArtifact(
                 "simulate", key, value, time.perf_counter() - start
@@ -484,11 +532,30 @@ class CompileSession:
             )
         return "\n".join(lines)
 
+    def disk_stats(self) -> Dict[str, object]:
+        """The persistent layer's warm/cold picture for this session."""
+        enabled = self.cache.disk is not None
+        counters = self.stats.snapshot()["counters"]
+        hits = counters.get("disk.hit", 0)
+        misses = counters.get("disk.miss", 0)
+        lookups = hits + misses
+        return {
+            "enabled": enabled,
+            "dir": self.cache_dir,
+            "hits": hits,
+            "misses": misses,
+            "writes": counters.get("disk.write", 0),
+            "corrupt": counters.get("disk.corrupt", 0),
+            "hit_rate": (hits / lookups) if lookups else None,
+        }
+
     def stats_dict(self) -> Dict[str, object]:
         """Machine-readable cache + pass statistics (``--stats json``)."""
         return {
             "opt_level": self.opt_level,
+            "sim_backend": self.sim_backend,
             "cache": self.stats.snapshot(),
+            "disk": self.disk_stats(),
             "passes": self.pass_summary(),
         }
 

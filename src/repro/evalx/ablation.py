@@ -8,9 +8,15 @@ per-design simulation speedup, and — the correctness gate — whether the
 optimized netlist's outputs are bit-identical to the unoptimized one's
 on every cycle (differential simulation).
 
-:func:`check_shape` asserts the two claims this artifact exists for:
+The same machinery gates the compiled simulation backend: for every
+design, both optimization levels are re-simulated on the ``compiled``
+engine and must agree bit-for-bit with the interpreter (the "Backends"
+column).
 
-* **soundness** — every design is output-equivalent across levels;
+:func:`check_shape` asserts the claims this artifact exists for:
+
+* **soundness** — every design is output-equivalent across levels, and
+  the compiled backend is output-equivalent to the interpreter;
 * **profit** — dead-cell elimination plus common-cell sharing reduce
   the total cell count on at least three designs.
 """
@@ -42,6 +48,7 @@ class AblationRow:
         sim_base_seconds: float,
         sim_opt_seconds: float,
         removed_by: Dict[str, int],
+        backends_agree: bool = True,
     ):
         self.name = name
         self.cells_base = cells_base
@@ -51,6 +58,9 @@ class AblationRow:
         self.sim_opt_seconds = sim_opt_seconds
         #: pass name → cells removed by that pass on this design.
         self.removed_by = dict(removed_by)
+        #: compiled backend bit-identical to the interpreter at both
+        #: optimization levels under the shared stimulus.
+        self.backends_agree = backends_agree
 
     @property
     def reduction(self) -> float:
@@ -78,6 +88,7 @@ class AblationRow:
             f"{self.reduction * 100.0:.1f}%",
             f"{self.speedup:.2f}x",
             "yes" if self.equivalent else "NO",
+            "yes" if self.backends_agree else "NO",
         ]
 
 
@@ -93,12 +104,22 @@ def _build_row(
     ).value
     trace_base = session.simulate(
         source, component, params, generators,
-        cycles=cycles, seed=seed, opt_level=0,
+        cycles=cycles, seed=seed, opt_level=0, backend="interp",
     ).value
     trace_opt = session.simulate(
         source, component, params, generators,
-        cycles=cycles, seed=seed, opt_level=2,
+        cycles=cycles, seed=seed, opt_level=2, backend="interp",
     ).value
+    # The backend differential: the compiled engine independently
+    # re-simulates both levels and must agree bit-for-bit with the
+    # interpreter under the very same stimulus.
+    backends_agree = all(
+        session.simulate(
+            source, component, params, generators,
+            cycles=cycles, seed=seed, opt_level=level, backend="compiled",
+        ).value.outputs == interp.outputs
+        for level, interp in ((0, trace_base), (2, trace_opt))
+    )
     removed_by: Dict[str, int] = {}
     for stat in opt.pass_stats:
         removed_by[stat.name] = (
@@ -112,6 +133,7 @@ def _build_row(
         trace_base.run_seconds,
         trace_opt.run_seconds,
         removed_by,
+        backends_agree=backends_agree,
     )
 
 
@@ -130,7 +152,7 @@ def build_rows(
 def render(rows: List[AblationRow]) -> str:
     return format_table(
         ["Design", "Cells -O0", "Cells -O2", "Reduction", "Sim speedup",
-         "Equivalent"],
+         "Equivalent", "Backends"],
         [row.cells() for row in rows],
     )
 
@@ -142,6 +164,10 @@ def check_shape(rows: List[AblationRow]) -> Dict[str, float]:
         assert row.equivalent, (
             f"{row.name}: -O2 netlist diverges from -O0 under shared "
             f"stimulus — optimization is unsound"
+        )
+        assert row.backends_agree, (
+            f"{row.name}: compiled backend diverges from the interpreter "
+            f"under shared stimulus — code generation is unsound"
         )
         assert row.cells_opt <= row.cells_base, (
             f"{row.name}: optimization grew the netlist"

@@ -1,5 +1,5 @@
 """RTL substrate: netlists, optimization passes, cycle-accurate
-simulation, Verilog emission."""
+simulation (interpreted and compiled backends), Verilog emission."""
 
 from .netlist import (
     Cell,
@@ -11,18 +11,40 @@ from .netlist import (
     flatten,
 )
 from .simulate import Simulator, eval_comb_cell, random_stimulus
+from .compile import (
+    SIM_BACKENDS,
+    SIM_BACKEND_VERSIONS,
+    backend_fingerprint,
+    CompiledNetlist,
+    CompiledSimulator,
+    SimBackend,
+    compile_netlist,
+    differential_check,
+    make_simulator,
+    resolve_backend,
+)
 from .verilog import emit_verilog
 
 __all__ = [
     "Cell",
     "COMBINATIONAL_KINDS",
+    "CompiledNetlist",
+    "CompiledSimulator",
     "Module",
     "Net",
     "NetlistError",
     "SEQUENTIAL_KINDS",
-    "flatten",
+    "SIM_BACKENDS",
+    "SIM_BACKEND_VERSIONS",
+    "SimBackend",
     "Simulator",
+    "backend_fingerprint",
+    "compile_netlist",
+    "differential_check",
     "emit_verilog",
     "eval_comb_cell",
+    "make_simulator",
     "random_stimulus",
+    "resolve_backend",
+    "flatten",
 ]

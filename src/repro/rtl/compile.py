@@ -1,0 +1,454 @@
+"""Compiled simulation backend: netlist → specialized Python step code.
+
+The interpreter (:class:`~repro.rtl.simulate.Simulator`) pays a string
+dispatch on ``cell.kind`` and two dict lookups per pin *every cell,
+every cycle* — the hottest loop in the repository.  This module pays
+those costs **once per netlist** instead: the flattened module is
+levelized (the same ``comb_topo_order`` the interpreter uses), every net
+is assigned a dense slot in a flat list, and one straight-line Python
+function is code-generated with a single masked slot-array assignment
+per combinational cell, plus a sequential-latch epilogue for registers
+and FIFOs.  The generated source is ``exec``'d once and memoized by
+:meth:`~repro.rtl.netlist.Module.structural_hash`, so structurally equal
+netlists — across sessions, grid workers and optimization ablations —
+share one compilation.
+
+Semantics are defined by the interpreter: every generated expression
+mirrors :func:`~repro.rtl.simulate.eval_comb_cell` (unsigned modulo
+2^width, div/mod-by-zero yields 0) and the latch epilogue mirrors
+``Simulator.tick``.  :func:`differential_check` is the equivalence gate
+— both backends driven by identical seeded stimulus must agree
+bit-for-bit on every output, every cycle.
+
+Both backends present the same :class:`SimBackend` surface
+(poke/evaluate/peek/peek_net/tick/step/run/run_random), selected by name
+through :data:`SIM_BACKENDS` / :func:`make_simulator` — which is how
+``CompileSession(sim_backend=...)`` and the CLI's ``--sim-backend``
+choose an engine without caring which one they got.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+from typing import Protocol, runtime_checkable
+
+from .netlist import Cell, Module, NetlistError, comb_topo_order, flatten
+from .simulate import Simulator, random_stimulus
+
+
+@runtime_checkable
+class SimBackend(Protocol):
+    """What every simulation engine exposes.
+
+    ``Simulator`` (the per-cycle interpreter) and ``CompiledSimulator``
+    (this module) are interchangeable behind it: identical poke/peek
+    name spaces, identical two-phase evaluate/tick semantics, identical
+    seeded-stimulus ``run_random``.
+    """
+
+    module: Module
+    cycle: int
+
+    def poke(self, inputs: Dict[str, int]) -> None: ...
+
+    def evaluate(self) -> None: ...
+
+    def peek(self, name: str) -> int: ...
+
+    def peek_net(self, net_name: str) -> int: ...
+
+    def tick(self) -> None: ...
+
+    def step(self, inputs: Optional[Dict[str, int]] = None) -> Dict[str, int]: ...
+
+    def run(self, input_stream: List[Dict[str, int]]) -> List[Dict[str, int]]: ...
+
+    def run_random(
+        self, cycles: int, seed: int = 0, bias: float = 0.0
+    ) -> List[Dict[str, int]]: ...
+
+
+def _mask_literal(width: int) -> int:
+    return (1 << width) - 1
+
+
+class CompiledNetlist:
+    """One netlist's compiled step code plus its slot layout.
+
+    Shared (via the memo table) by every ``CompiledSimulator`` over a
+    structurally equal module; holds no per-run state.
+    """
+
+    __slots__ = (
+        "structural_hash",
+        "slot_of",
+        "n_slots",
+        "reg_cells",
+        "reg_inits",
+        "fifo_cells",
+        "fifo_depths",
+        "evaluate",
+        "latch",
+        "source",
+        "compile_seconds",
+    )
+
+    def __init__(
+        self,
+        structural_hash: str,
+        slot_of: Dict[str, int],
+        reg_cells: List[str],
+        reg_inits: List[int],
+        fifo_cells: List[str],
+        fifo_depths: List[int],
+        evaluate,
+        latch,
+        source: str,
+        compile_seconds: float,
+    ):
+        self.structural_hash = structural_hash
+        self.slot_of = slot_of
+        self.n_slots = len(slot_of)
+        self.reg_cells = reg_cells
+        self.reg_inits = reg_inits
+        self.fifo_cells = fifo_cells
+        self.fifo_depths = fifo_depths
+        self.evaluate = evaluate
+        self.latch = latch
+        self.source = source
+        self.compile_seconds = compile_seconds
+
+    def __repr__(self):
+        return (
+            f"CompiledNetlist({self.structural_hash}, {self.n_slots} slots, "
+            f"{len(self.reg_cells)} regs, {len(self.fifo_cells)} fifos)"
+        )
+
+
+def _comb_expression(cell: Cell, slot: Dict[str, int]) -> str:
+    """The right-hand side for one combinational cell's out assignment.
+
+    Mirrors :func:`~repro.rtl.simulate.eval_comb_cell` exactly — any
+    divergence here is caught by :func:`differential_check`.
+    """
+    pins = cell.pins
+    kind = cell.kind
+    out_mask = _mask_literal(pins["out"].width)
+    if kind == "const":
+        return repr(int(cell.params["value"]) & out_mask)
+    if kind in ("add", "sub", "mul", "and", "or", "xor"):
+        op = {"add": "+", "sub": "-", "mul": "*",
+              "and": "&", "or": "|", "xor": "^"}[kind]
+        a, b = slot[pins["a"].name], slot[pins["b"].name]
+        return f"(s[{a}] {op} s[{b}]) & {out_mask}"
+    if kind == "div":
+        a, b = slot[pins["a"].name], slot[pins["b"].name]
+        return f"(s[{a}] // s[{b}] if s[{b}] else 0) & {out_mask}"
+    if kind == "mod":
+        a, b = slot[pins["a"].name], slot[pins["b"].name]
+        return f"(s[{a}] % s[{b}] if s[{b}] else 0) & {out_mask}"
+    if kind == "eq":
+        a, b = slot[pins["a"].name], slot[pins["b"].name]
+        return f"1 if s[{a}] == s[{b}] else 0"
+    if kind == "lt":
+        a, b = slot[pins["a"].name], slot[pins["b"].name]
+        return f"1 if s[{a}] < s[{b}] else 0"
+    if kind == "not":
+        return f"~s[{slot[pins['a'].name]}] & {out_mask}"
+    if kind == "shl":
+        amount = int(cell.params["amount"])
+        return f"(s[{slot[pins['a'].name]}] << {amount}) & {out_mask}"
+    if kind == "shr":
+        amount = int(cell.params["amount"])
+        return f"(s[{slot[pins['a'].name]}] >> {amount}) & {out_mask}"
+    if kind == "mux":
+        sel = slot[pins["sel"].name]
+        a, b = slot[pins["a"].name], slot[pins["b"].name]
+        return f"(s[{a}] if s[{sel}] & 1 else s[{b}]) & {out_mask}"
+    if kind == "slice":
+        lsb = int(cell.params["lsb"])
+        return f"(s[{slot[pins['a'].name]}] >> {lsb}) & {out_mask}"
+    if kind == "concat":
+        a, b = slot[pins["a"].name], slot[pins["b"].name]
+        return f"((s[{a}] << {pins['b'].width}) | s[{b}]) & {out_mask}"
+    raise NetlistError(f"cannot compile cell kind {kind!r}")
+
+
+def _generate_source(module: Module, slot: Dict[str, int]) -> Tuple[
+    str, List[str], List[int], List[str], List[int]
+]:
+    """Generate the evaluate/latch pair for a flat, validated module."""
+    reg_cells = sorted(
+        name for name, c in module.cells.items() if c.kind in ("reg", "regen")
+    )
+    fifo_cells = sorted(
+        name for name, c in module.cells.items() if c.kind == "fifo"
+    )
+    reg_index = {name: i for i, name in enumerate(reg_cells)}
+    fifo_index = {name: i for i, name in enumerate(fifo_cells)}
+    reg_inits = [
+        int(module.cells[name].params.get("init", 0)) for name in reg_cells
+    ]
+    fifo_depths = [
+        int(module.cells[name].params.get("depth", 2)) for name in fifo_cells
+    ]
+
+    ev: List[str] = ["def _evaluate(s, r, f):"]
+    # Phase 1: drive sequential outputs from state (interpreter order:
+    # state first, then combinational settling).
+    for name in reg_cells:
+        cell = module.cells[name]
+        q = cell.pins["q"]
+        ev.append(f"    s[{slot[q.name]}] = r[{reg_index[name]}] "
+                  f"& {_mask_literal(q.width)}")
+    for name in fifo_cells:
+        cell = module.cells[name]
+        pins = cell.pins
+        index = fifo_index[name]
+        in_ready = slot[pins["in_ready"].name]
+        out_valid = slot[pins["out_valid"].name]
+        out_data = slot[pins["out_data"].name]
+        data_mask = _mask_literal(pins["out_data"].width)
+        ev.append(f"    q = f[{index}]")
+        ev.append(f"    s[{in_ready}] = 1 if len(q) < {fifo_depths[index]} "
+                  f"else 0")
+        ev.append("    if q:")
+        ev.append(f"        s[{out_valid}] = 1")
+        ev.append(f"        s[{out_data}] = q[0] & {data_mask}")
+        ev.append("    else:")
+        ev.append(f"        s[{out_valid}] = 0")
+        ev.append(f"        s[{out_data}] = 0")
+    # Phase 2: straight-line combinational assignments, producers first.
+    for cell in comb_topo_order(module):
+        out = slot[cell.pins["out"].name]
+        ev.append(f"    s[{out}] = {_comb_expression(cell, slot)}")
+    if len(ev) == 1:
+        ev.append("    pass")
+
+    lt: List[str] = ["def _latch(s, r, f):"]
+    # Registers read nets (written only by evaluate) and write reg state,
+    # so in-place assignment matches the interpreter's two-phase update.
+    for name in reg_cells:
+        cell = module.cells[name]
+        d = slot[cell.pins["d"].name]
+        if cell.kind == "reg":
+            lt.append(f"    r[{reg_index[name]}] = s[{d}]")
+        else:  # regen
+            en = slot[cell.pins["en"].name]
+            lt.append(f"    if s[{en}] & 1:")
+            lt.append(f"        r[{reg_index[name]}] = s[{d}]")
+    for name in fifo_cells:
+        cell = module.cells[name]
+        pins = cell.pins
+        out_ready = slot[pins["out_ready"].name]
+        out_valid = slot[pins["out_valid"].name]
+        in_valid = slot[pins["in_valid"].name]
+        in_ready = slot[pins["in_ready"].name]
+        in_data = slot[pins["in_data"].name]
+        lt.append(f"    q = f[{fifo_index[name]}]")
+        lt.append(f"    if q and s[{out_ready}] & 1 and s[{out_valid}] & 1:")
+        lt.append("        q.popleft()")
+        lt.append(f"    if s[{in_valid}] & 1 and s[{in_ready}] & 1:")
+        lt.append(f"        q.append(s[{in_data}])")
+    if len(lt) == 1:
+        lt.append("    pass")
+
+    source = "\n".join(ev) + "\n\n\n" + "\n".join(lt) + "\n"
+    return source, reg_cells, reg_inits, fifo_cells, fifo_depths
+
+
+#: structural hash → CompiledNetlist, shared process-wide.  Keyed on the
+#: full structural identity, so a pass pipeline that rewrites a module
+#: (new hash) can never be served stale step code.
+_MEMO: Dict[str, CompiledNetlist] = {}
+_MEMO_LOCK = threading.Lock()
+
+
+def compile_netlist(module: Module) -> CompiledNetlist:
+    """Compile a flat module to specialized step code (memoized).
+
+    The module must already be flat and valid — ``CompiledSimulator``
+    takes care of flattening; direct callers flatten themselves.
+    """
+    key = module.structural_hash()
+    with _MEMO_LOCK:
+        cached = _MEMO.get(key)
+    if cached is not None:
+        return cached
+    start = time.perf_counter()
+    slot = {name: index for index, name in enumerate(sorted(module.nets))}
+    source, reg_cells, reg_inits, fifo_cells, fifo_depths = _generate_source(
+        module, slot
+    )
+    namespace: Dict[str, object] = {}
+    code = compile(source, f"<compiled:{module.name}:{key}>", "exec")
+    exec(code, namespace)
+    compiled = CompiledNetlist(
+        key,
+        slot,
+        reg_cells,
+        reg_inits,
+        fifo_cells,
+        fifo_depths,
+        namespace["_evaluate"],
+        namespace["_latch"],
+        source,
+        time.perf_counter() - start,
+    )
+    with _MEMO_LOCK:
+        # A racing thread may have published first; either object is
+        # valid (pure function of the structural key), keep the winner.
+        return _MEMO.setdefault(key, compiled)
+
+
+def clear_compile_memo() -> None:
+    """Drop every memoized compilation (mainly for tests)."""
+    with _MEMO_LOCK:
+        _MEMO.clear()
+
+
+def compile_memo_size() -> int:
+    with _MEMO_LOCK:
+        return len(_MEMO)
+
+
+class CompiledSimulator:
+    """Drop-in :class:`SimBackend` running code-generated step functions.
+
+    Bit-identical to :class:`~repro.rtl.simulate.Simulator` by
+    construction (see :func:`differential_check`); several times faster
+    because the per-cycle work is straight-line list indexing instead of
+    per-cell dispatch over ``Net``-keyed dicts.
+    """
+
+    def __init__(self, module: Module):
+        if any(c.kind == "submodule" for c in module.cells.values()):
+            self.module = flatten(module)
+        else:
+            self.module = module
+        self.module.validate()
+        self.program = compile_netlist(self.module)
+        self._slots: List[int] = [0] * self.program.n_slots
+        self._regs: List[int] = list(self.program.reg_inits)
+        self._fifos: List[deque] = [deque() for _ in self.program.fifo_depths]
+        self._evaluate = self.program.evaluate
+        self._latch = self.program.latch
+        slot_of = self.program.slot_of
+        self._input_slots = {
+            name: (slot_of[net.name], _mask_literal(net.width))
+            for name, net in self.module.inputs()
+        }
+        self._output_slots = [
+            (name, slot_of[net.name]) for name, net in self.module.outputs()
+        ]
+        self.cycle = 0
+
+    # ------------------------------------------------------------------
+
+    def poke(self, inputs: Dict[str, int]) -> None:
+        slots = self._slots
+        input_slots = self._input_slots
+        for name, value in inputs.items():
+            entry = input_slots.get(name)
+            if entry is None:
+                raise NetlistError(
+                    f"{self.module.name}: no input port {name!r}"
+                )
+            index, mask = entry
+            slots[index] = int(value) & mask
+
+    def evaluate(self) -> None:
+        self._evaluate(self._slots, self._regs, self._fifos)
+
+    def peek(self, name: str) -> int:
+        net = self.module.ports.get(name)
+        if net is None:
+            raise NetlistError(f"{self.module.name}: no port {name!r}")
+        return self._slots[self.program.slot_of[net.name]]
+
+    def peek_net(self, net_name: str) -> int:
+        index = self.program.slot_of.get(net_name)
+        if index is None:
+            raise NetlistError(f"{self.module.name}: no net {net_name!r}")
+        return self._slots[index]
+
+    def tick(self) -> None:
+        self._latch(self._slots, self._regs, self._fifos)
+        self.cycle += 1
+
+    def step(self, inputs: Optional[Dict[str, int]] = None) -> Dict[str, int]:
+        if inputs:
+            self.poke(inputs)
+        slots = self._slots
+        self._evaluate(slots, self._regs, self._fifos)
+        outputs = {name: slots[index] for name, index in self._output_slots}
+        self._latch(slots, self._regs, self._fifos)
+        self.cycle += 1
+        return outputs
+
+    def run(self, input_stream: List[Dict[str, int]]) -> List[Dict[str, int]]:
+        step = self.step
+        return [step(inputs) for inputs in input_stream]
+
+    def run_random(
+        self, cycles: int, seed: int = 0, bias: float = 0.0
+    ) -> List[Dict[str, int]]:
+        return self.run(random_stimulus(self.module, cycles, seed, bias))
+
+
+#: backend name → engine class; the vocabulary ``CompileSession`` and
+#: the CLI's ``--sim-backend`` validate against.
+SIM_BACKENDS = {
+    "interp": Simulator,
+    "compiled": CompiledSimulator,
+}
+
+#: backend name → semantic version, mirroring ``Pass.version``: bump a
+#: backend's entry whenever its simulation semantics change, so that
+#: persistent simulate artifacts produced by the old code are cache
+#: misses instead of silently masking the fix (the differential gates
+#: compare *computed* traces, not stale ones).
+SIM_BACKEND_VERSIONS = {
+    "interp": 1,
+    "compiled": 1,
+}
+
+
+def backend_fingerprint(name: str) -> str:
+    """``name@version`` — the backend's contribution to cache keys."""
+    resolve_backend(name)
+    return f"{name}@{SIM_BACKEND_VERSIONS[name]}"
+
+
+def resolve_backend(name: str):
+    """Backend name → engine class, with a helpful rejection."""
+    try:
+        return SIM_BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown sim backend {name!r}; available: {sorted(SIM_BACKENDS)}"
+        ) from None
+
+
+def make_simulator(module: Module, backend: str = "interp") -> SimBackend:
+    """Instantiate the named engine over ``module``."""
+    return resolve_backend(backend)(module)
+
+
+def differential_check(
+    module: Module, cycles: int = 128, seed: int = 0, bias: float = 0.0
+) -> bool:
+    """True iff both backends agree bit-for-bit under shared stimulus.
+
+    The correctness gate for the compiled backend: identical seeded
+    input vectors drive a fresh interpreter and a fresh compiled
+    simulator; every output must match on every cycle.
+    """
+    interp = Simulator(module)
+    compiled = CompiledSimulator(module)
+    stimulus = random_stimulus(interp.module, cycles, seed, bias)
+    return interp.run(stimulus) == compiled.run(stimulus)

@@ -82,21 +82,45 @@ def eval_comb_cell(cell: Cell, values: Dict[Net, int]) -> int:
 
 
 def random_stimulus(
-    module: Module, cycles: int, seed: int = 0
+    module: Module, cycles: int, seed: int = 0, bias: float = 0.0
 ) -> List[Dict[str, int]]:
     """Reproducible per-cycle input vectors for every input port.
 
-    The same ``(module ports, cycles, seed)`` always yields the same
-    stream — ``random.Random`` is a platform-independent Mersenne
+    The same ``(module ports, cycles, seed, bias)`` always yields the
+    same stream — ``random.Random`` is a platform-independent Mersenne
     twister — so differential-simulation tests are stable across runs
     and machines.  Ports are visited in declaration order.
+
+    ``bias`` mixes corner vectors into the stream: with that probability
+    (drawn from the same seeded generator, so still fully deterministic)
+    a port gets all-zeros, all-ones, or the top-bit-set max-magnitude
+    value instead of a uniform draw.  Pure-random vectors almost never
+    exercise overflow/zero corners in wide datapaths; ``bias=0`` (the
+    default) preserves the historical stream exactly.
     """
+    if not 0.0 <= bias <= 1.0:
+        raise ValueError(f"bias must be within [0, 1], got {bias!r}")
     rng = random.Random(seed)
     inputs = module.inputs()
-    return [
-        {name: rng.getrandbits(net.width) for name, net in inputs}
-        for _ in range(cycles)
-    ]
+    if not bias:
+        # Exactly the historical draw order: one getrandbits per port.
+        return [
+            {name: rng.getrandbits(net.width) for name, net in inputs}
+            for _ in range(cycles)
+        ]
+    vectors: List[Dict[str, int]] = []
+    for _ in range(cycles):
+        vector: Dict[str, int] = {}
+        for name, net in inputs:
+            if rng.random() < bias:
+                width = net.width
+                vector[name] = rng.choice(
+                    (0, (1 << width) - 1, 1 << (width - 1))
+                )
+            else:
+                vector[name] = rng.getrandbits(net.width)
+        vectors.append(vector)
+    return vectors
 
 
 class _FifoState:
@@ -196,9 +220,11 @@ class Simulator:
         """Feed a sequence of input maps; collect outputs for each cycle."""
         return [self.step(inputs) for inputs in input_stream]
 
-    def run_random(self, cycles: int, seed: int = 0) -> List[Dict[str, int]]:
+    def run_random(
+        self, cycles: int, seed: int = 0, bias: float = 0.0
+    ) -> List[Dict[str, int]]:
         """Drive ``cycles`` of seeded random stimulus (reproducible)."""
-        return self.run(random_stimulus(self.module, cycles, seed))
+        return self.run(random_stimulus(self.module, cycles, seed, bias))
 
     # ------------------------------------------------------------------
 

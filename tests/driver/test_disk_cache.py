@@ -1,0 +1,204 @@
+"""The persistent disk layer under the artifact cache.
+
+Round trips are the headline: a fresh ``CompileSession`` pointed at a
+directory another session populated must be served from disk — no
+elaboration, no passes — and the integrity machinery must reject (and
+quarantine) corrupted or schema-mismatched entries instead of serving
+them.
+"""
+
+import json
+import os
+
+from repro.driver import (
+    CompileSession,
+    DiskCache,
+    SCHEMA_VERSION,
+    StageArtifact,
+    freeze_params,
+)
+
+SOURCE = """
+comp Double[#W]<G:1>(x: [G, G+1] #W) -> (y: [G+1, G+2] #W) {
+  s := new Add[#W]<G>(x, x);
+  r := new Reg[#W]<G>(s.out);
+  y = r.out;
+}
+"""
+
+
+def _warm(tmp_path, **kwargs):
+    session = CompileSession(cache_dir=str(tmp_path), **kwargs)
+    artifact = session.synthesize(SOURCE, "Double", {"#W": 8})
+    return session, artifact
+
+
+def test_round_trip_into_a_fresh_session(tmp_path):
+    cold_session, cold = _warm(tmp_path)
+    assert cold_session.stats.counter("disk.write") > 0
+
+    warm_session = CompileSession(cache_dir=str(tmp_path))
+    warm = warm_session.synthesize(SOURCE, "Double", {"#W": 8})
+    assert warm.from_cache
+    assert warm_session.stats.counter("disk.hit") >= 1
+    assert warm_session.stats.miss_count("synthesize") == 0
+    assert warm.value.luts == cold.value.luts
+    assert warm.value.registers == cold.value.registers
+
+
+def test_warm_session_runs_no_passes_and_no_elaboration(tmp_path):
+    cold = CompileSession(opt_level=2, cache_dir=str(tmp_path))
+    cold.simulate(SOURCE, "Double", {"#W": 8}, cycles=16)
+    assert cold.pass_log()
+
+    warm = CompileSession(opt_level=2, cache_dir=str(tmp_path))
+    trace = warm.simulate(SOURCE, "Double", {"#W": 8}, cycles=16)
+    assert trace.from_cache
+    assert warm.pass_log() == []
+    assert warm.stats.counter("elaborate.components") == 0
+    assert warm.disk_stats()["hit_rate"] == 1.0
+
+
+def test_disk_artifacts_are_keyed_per_backend(tmp_path):
+    session = CompileSession(cache_dir=str(tmp_path))
+    interp = session.simulate(
+        SOURCE, "Double", {"#W": 8}, cycles=32, backend="interp"
+    ).value
+    compiled = session.simulate(
+        SOURCE, "Double", {"#W": 8}, cycles=32, backend="compiled"
+    ).value
+    assert interp.backend == "interp"
+    assert compiled.backend == "compiled"
+    assert interp.outputs == compiled.outputs
+
+    warm = CompileSession(cache_dir=str(tmp_path), sim_backend="compiled")
+    trace = warm.simulate(SOURCE, "Double", {"#W": 8}, cycles=32).value
+    assert trace.backend == "compiled"
+
+
+def _entry_files(tmp_path):
+    files = []
+    for directory, _, names in os.walk(tmp_path):
+        files.extend(
+            os.path.join(directory, n) for n in names if n.endswith(".pkl")
+        )
+    return files
+
+
+def test_corrupted_entries_are_rejected_and_removed(tmp_path):
+    _warm(tmp_path)
+    victims = _entry_files(tmp_path)
+    assert victims
+    for path in victims:
+        with open(path, "r+b") as handle:
+            handle.seek(-1, os.SEEK_END)
+            handle.write(b"\x00")
+
+    warm = CompileSession(cache_dir=str(tmp_path))
+    artifact = warm.synthesize(SOURCE, "Double", {"#W": 8})
+    assert not artifact.from_cache  # recomputed, not served corrupt bytes
+    assert warm.stats.counter("disk.corrupt") > 0
+    # Quarantined entries were deleted, then rewritten by the recompute.
+    assert warm.stats.counter("disk.write") > 0
+
+
+def test_schema_mismatch_is_a_miss(tmp_path):
+    _warm(tmp_path)
+    for path in _entry_files(tmp_path):
+        with open(path, "rb") as handle:
+            header, payload = handle.read().split(b"\n", 1)
+        doctored = json.loads(header)
+        doctored["schema"] = SCHEMA_VERSION + 1
+        with open(path, "wb") as handle:
+            handle.write(json.dumps(doctored).encode() + b"\n" + payload)
+
+    warm = CompileSession(cache_dir=str(tmp_path))
+    artifact = warm.synthesize(SOURCE, "Double", {"#W": 8})
+    assert not artifact.from_cache
+    assert warm.stats.counter("disk.hit") == 0
+
+
+def test_unpicklable_artifacts_degrade_to_memory_only(tmp_path):
+    cache = DiskCache(str(tmp_path))
+    key = ("synthesize", "unpicklable")
+    artifact = StageArtifact("synthesize", key, lambda: None, 0.0)
+    assert not cache.store(key, artifact)
+    assert cache.stats.counter("disk.unpicklable") == 1
+    assert cache.load(key) is None
+
+
+def test_disk_cache_resolves_default_root_from_env(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env-root"))
+    assert DiskCache.default_root() == str(tmp_path / "env-root")
+    monkeypatch.delenv("REPRO_CACHE_DIR")
+    monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+    assert DiskCache.default_root() == str(tmp_path / "xdg" / "repro-lilac")
+
+
+def test_entry_count_tracks_store(tmp_path):
+    cache = DiskCache(str(tmp_path))
+    assert cache.entry_count() == 0
+    key = ("parse", "x")
+    assert cache.store(key, StageArtifact("parse", key, {"v": 1}, 0.0))
+    assert cache.entry_count() == 1
+    loaded = cache.load(key)
+    assert loaded.value == {"v": 1}
+
+
+def test_backend_version_bump_invalidates_persisted_traces(
+    tmp_path, monkeypatch
+):
+    # A simulate key carries the backend's name@version, so fixing the
+    # codegen (and bumping its version) must re-run the simulation
+    # instead of serving the old backend's persisted trace.
+    from repro.rtl import compile as rtl_compile
+
+    cold = CompileSession(cache_dir=str(tmp_path), sim_backend="compiled")
+    artifact = cold.simulate(SOURCE, "Double", {"#W": 8}, cycles=16)
+    assert "compiled@1" in artifact.key
+
+    monkeypatch.setitem(rtl_compile.SIM_BACKEND_VERSIONS, "compiled", 2)
+    warm = CompileSession(cache_dir=str(tmp_path), sim_backend="compiled")
+    rerun = warm.simulate(SOURCE, "Double", {"#W": 8}, cycles=16)
+    assert "compiled@2" in rerun.key
+    assert not rerun.from_cache
+    assert warm.stats.miss_count("simulate") == 1
+
+
+def test_trim_evicts_oldest_entries_beyond_the_size_bound(tmp_path):
+    cache = DiskCache(str(tmp_path))
+    for index in range(6):
+        key = ("parse", f"entry{index}")
+        assert cache.store(key, StageArtifact("parse", key, "x" * 512, 0.0))
+    # Make eviction order deterministic: entry0 oldest, entry5 newest.
+    for age, path in enumerate(sorted(_entry_files(tmp_path))):
+        os.utime(path, (1_000_000 + age, 1_000_000 + age))
+    size = sum(os.path.getsize(p) for p in _entry_files(tmp_path))
+
+    bounded = DiskCache(str(tmp_path), max_bytes=size // 2)
+    assert bounded.stats.counter("disk.trimmed") > 0
+    remaining = sum(os.path.getsize(p) for p in _entry_files(tmp_path))
+    assert remaining <= size // 2
+    assert bounded.entry_count() < 6
+
+
+def test_trim_can_be_disabled(tmp_path):
+    cache = DiskCache(str(tmp_path))
+    key = ("parse", "kept")
+    assert cache.store(key, StageArtifact("parse", key, "y" * 256, 0.0))
+    unbounded = DiskCache(str(tmp_path), max_bytes=0)
+    assert unbounded.entry_count() == 1
+
+
+def test_freeze_params_distinguishes_bool_from_int():
+    # Regression: bool is an int subclass, so True froze identically to
+    # 1 and the two bindings shared one cache entry.
+    assert freeze_params({"x": True}) != freeze_params({"x": 1})
+    assert freeze_params({"x": False}) != freeze_params({"x": 0})
+    assert freeze_params([True]) != freeze_params([1])
+    # Equal bindings still freeze equal, and the dict stays order-free.
+    assert freeze_params({"x": True, "y": 2}) == freeze_params(
+        {"y": 2, "x": True}
+    )
+    # Positional and keyword spellings remain distinct keys.
+    assert freeze_params([1]) != freeze_params({"x": 1})

@@ -10,8 +10,10 @@ def test_ablation_rows_cover_the_catalog_and_hold_shape():
     )
     stats = ablation.check_shape(rows)
     assert len(stats) == len(rows)
-    # Differential simulation: every design bit-identical across levels.
+    # Differential simulation: every design bit-identical across levels
+    # and across simulation backends (interpreter vs compiled).
     assert all(row.equivalent for row in rows)
+    assert all(row.backends_agree for row in rows)
     # The headline claim: cleanup passes shrink at least three designs.
     assert sum(1 for row in rows if row.cleanup_removed() > 0) >= 3
 
@@ -35,3 +37,17 @@ def test_ablation_check_shape_rejects_divergence():
         assert "unsound" in str(error)
     else:
         raise AssertionError("divergent row should fail the shape check")
+
+
+def test_ablation_check_shape_rejects_backend_divergence():
+    bad = ablation.AblationRow(
+        "toy", 100, 90, True, 1.0, 1.0, {}, backends_agree=False
+    )
+    try:
+        ablation.check_shape([bad])
+    except AssertionError as error:
+        assert "code generation is unsound" in str(error)
+    else:
+        raise AssertionError("backend divergence should fail the check")
+    text = ablation.render([bad])
+    assert "NO" in text

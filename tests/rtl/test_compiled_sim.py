@@ -1,0 +1,193 @@
+"""The compiled simulation backend: bit-identical to the interpreter.
+
+The contract under test is total interchangeability behind the
+``SimBackend`` surface: same poke/peek namespace, same two-phase
+semantics, and — the differential gate — identical outputs to the
+interpreter on every cycle of seeded stimulus, across every catalog
+design at both optimization levels and on a FIFO-heavy synthetic
+module the datapath designs don't cover.
+"""
+
+import pytest
+
+from repro.designs import fifo_pipeline
+from repro.designs.catalog import DESIGNS, design_point
+from repro.driver import CompileSession
+from repro.rtl import (
+    SIM_BACKENDS,
+    CompiledSimulator,
+    Module,
+    NetlistError,
+    SimBackend,
+    Simulator,
+    compile_netlist,
+    differential_check,
+    make_simulator,
+    random_stimulus,
+    resolve_backend,
+)
+
+
+def _alu(width=8) -> Module:
+    module = Module("alu")
+    a = module.add_input("a", width)
+    b = module.add_input("b", width)
+    sel = module.add_input("sel", 1)
+    out = module.add_output("out", width)
+    total = module.binop("add", a, b, width)
+    delta = module.binop("sub", a, b, width)
+    picked = module.mux(sel, total, delta)
+    module.add_cell("not", {"a": picked, "out": out})
+    return module
+
+
+def _registered_counter(width=8) -> Module:
+    module = Module("counter")
+    en = module.add_input("en", 1)
+    out = module.add_output("out", width)
+    one = module.constant(1, width)
+    q = module.fresh_net(width, "q")
+    total = module.binop("add", q, one, width)
+    module.add_cell("regen", {"d": total, "en": en, "q": q}, {"init": 5})
+    module.add_cell("shl", {"a": q, "out": out}, {"amount": 0})
+    return module
+
+
+# -- unit-level parity --------------------------------------------------
+
+
+def test_compiled_matches_interpreter_on_comb_logic():
+    assert differential_check(_alu(), cycles=200, seed=3)
+
+
+def test_compiled_matches_interpreter_on_registers():
+    assert differential_check(_registered_counter(), cycles=200, seed=4)
+
+
+def test_compiled_matches_interpreter_on_fifo_pipeline():
+    module = fifo_pipeline(stages=5, width=16, depth=3)
+    assert differential_check(module, cycles=300, seed=11)
+    # Corner-biased stimulus stresses full/empty transitions harder.
+    assert differential_check(module, cycles=300, seed=11, bias=0.5)
+
+
+def test_compiled_peek_poke_tick_parity():
+    module = _registered_counter()
+    interp, compiled = Simulator(module), CompiledSimulator(module)
+    for sim in (interp, compiled):
+        sim.poke({"en": 1})
+        sim.evaluate()
+    assert compiled.peek("out") == interp.peek("out")
+    for sim in (interp, compiled):
+        sim.tick()
+        sim.evaluate()
+    assert compiled.peek("out") == interp.peek("out") == 6
+    assert compiled.cycle == interp.cycle == 1
+    # Internal nets are visible under the same names in both engines.
+    for net_name in module.nets:
+        assert compiled.peek_net(net_name) == interp.peek_net(net_name)
+
+
+def test_compiled_rejects_unknown_ports_like_interpreter():
+    compiled = CompiledSimulator(_alu())
+    with pytest.raises(NetlistError):
+        compiled.poke({"nope": 1})
+    with pytest.raises(NetlistError):
+        compiled.peek("nope")
+    with pytest.raises(NetlistError):
+        compiled.peek_net("nope")
+
+
+def test_compiled_poke_masks_to_width():
+    compiled = CompiledSimulator(_alu(width=8))
+    compiled.poke({"a": 0x1FF, "b": 0, "sel": 0})
+    compiled.evaluate()
+    interp = Simulator(_alu(width=8))
+    interp.poke({"a": 0x1FF, "b": 0, "sel": 0})
+    interp.evaluate()
+    assert compiled.peek("out") == interp.peek("out")
+
+
+# -- memoization --------------------------------------------------------
+
+
+def test_structurally_equal_modules_share_one_compilation():
+    first, second = _alu(), _alu()
+    assert first is not second
+    assert compile_netlist(first) is compile_netlist(second)
+
+
+def test_distinct_structures_compile_separately():
+    assert (
+        compile_netlist(_alu(width=8))
+        is not compile_netlist(_alu(width=9))
+    )
+
+
+# -- backend registry ---------------------------------------------------
+
+
+def test_backend_registry_resolves_both_engines():
+    assert resolve_backend("interp") is Simulator
+    assert resolve_backend("compiled") is CompiledSimulator
+    assert set(SIM_BACKENDS) == {"interp", "compiled"}
+    with pytest.raises(ValueError):
+        resolve_backend("verilator")
+
+
+def test_make_simulator_instances_satisfy_the_protocol():
+    module = _alu()
+    for name in SIM_BACKENDS:
+        sim = make_simulator(module, name)
+        assert isinstance(sim, SimBackend)
+        assert sim.run_random(16, seed=1) == make_simulator(
+            module, name
+        ).run_random(16, seed=1)
+
+
+# -- the full catalog, both levels --------------------------------------
+
+
+@pytest.mark.parametrize("name", sorted(DESIGNS))
+@pytest.mark.parametrize("opt_level", [0, 2])
+def test_catalog_designs_bit_identical_across_backends(name, opt_level):
+    source, component, generators, params = design_point(name)
+    session = CompileSession(opt_level=opt_level)
+    module = session.optimize(source, component, params, generators).value.module
+    assert differential_check(module, cycles=64, seed=0xA5)
+
+
+# -- corner-biased stimulus ---------------------------------------------
+
+
+def test_biased_stimulus_zero_bias_preserves_historical_stream():
+    module = _alu(width=32)
+    assert random_stimulus(module, 50, seed=9) == random_stimulus(
+        module, 50, seed=9, bias=0.0
+    )
+
+
+def test_biased_stimulus_is_deterministic_and_hits_corners():
+    module = _alu(width=32)
+    first = random_stimulus(module, 400, seed=2, bias=0.25)
+    second = random_stimulus(module, 400, seed=2, bias=0.25)
+    assert first == second
+    corners = {0, (1 << 32) - 1, 1 << 31}
+    seen = [vec["a"] for vec in first] + [vec["b"] for vec in first]
+    # Pure 32-bit uniform draws essentially never produce these values;
+    # the bias must make them common.
+    assert len([v for v in seen if v in corners]) > 50
+    # ... without turning the stream all-corner.
+    assert any(v not in corners for v in seen)
+
+
+def test_biased_stimulus_full_bias_only_emits_corners():
+    module = _alu(width=16)
+    corners = {0, (1 << 16) - 1, 1 << 15}
+    for vector in random_stimulus(module, 100, seed=1, bias=1.0):
+        assert vector["a"] in corners and vector["b"] in corners
+
+
+def test_biased_stimulus_rejects_bad_bias():
+    with pytest.raises(ValueError):
+        random_stimulus(_alu(), 10, seed=0, bias=1.5)
