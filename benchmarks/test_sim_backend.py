@@ -1,30 +1,55 @@
-"""Benchmark: compiled vs interpreted simulation, cold vs warm sessions.
+"""Benchmark: compiled vs interpreted simulation, batched lanes, cold vs
+warm sessions, and thread- vs process-grid scaling.
 
 Seeds the repository's perf trajectory with ``BENCH_sim.json`` (written
 at the repo root): per-design simulation throughput for both backends,
-the one-time code-generation overhead the compiled backend pays, and the
+the batched multi-lane throughput sweep (lanes in {1, 4, 16, 64},
+measured in *lane-cycles* per second — cycles times lanes — the honest
+unit for batch mode), the one-time code-generation overhead, the
 wall-clock of a cold-then-warm session pair over the persistent disk
-cache.  The assertions encode the PR's acceptance bar — the compiled
-backend must be ≥3× the interpreter on the largest catalog design, and
-the warm session must be served almost entirely from disk.
+cache, and an :class:`EvalGrid` thread-vs-process comparison whose
+results must be bit-identical.
+
+The assertions encode the acceptance bars — the compiled backend ≥3x
+the interpreter on the largest catalog design, the 16-lane batched mode
+≥3x single-lane compiled throughput on that same design (tunable down
+via ``$REPRO_BENCH_MIN_LANE_SPEEDUP`` for reduced-cycle CI smoke runs),
+and the warm session served almost entirely from disk.  Cycle counts
+scale down via ``$REPRO_BENCH_CYCLES``.
 """
 
 import json
+import os
 import pathlib
 import time
 
 from repro.designs.catalog import DESIGNS, design_point
-from repro.driver import CompileSession
-from repro.rtl import CompiledSimulator, Simulator, compile_netlist, random_stimulus
+from repro.driver import CompileSession, EvalGrid
+from repro.rtl import (
+    BatchedCompiledSimulator,
+    CompiledSimulator,
+    Simulator,
+    compile_netlist,
+    random_stimulus,
+    random_stimulus_batch,
+)
 
-CYCLES = 256
+CYCLES = int(os.environ.get("REPRO_BENCH_CYCLES", "256"))
 SEED = 0xBE
+LANE_SWEEP = (1, 4, 16, 64)
+#: 16-lane batched vs single-lane compiled on the largest design; CI
+#: smoke jobs at reduced cycle counts relax it to "batched wins at all".
+MIN_LANE_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_LANE_SPEEDUP", "3.0"))
 BENCH_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_sim.json"
 
 #: The cold/warm pair sweeps a slice of the catalog through the full
 #: pipeline (synthesize + simulate at -O2) — enough stages to be
 #: representative without doubling the benchmark's runtime.
 WARM_DESIGNS = ("fpu", "fft", "blas")
+
+#: The grid comparison simulates every design at -O2 on the compiled
+#: backend — CPU-bound work, which is what process mode exists for.
+GRID_CYCLES = max(16, CYCLES // 4)
 
 
 def _throughput(sim_cls, module, stimulus) -> float:
@@ -33,6 +58,17 @@ def _throughput(sim_cls, module, stimulus) -> float:
     simulator.run(stimulus)
     seconds = time.perf_counter() - start
     return len(stimulus) / seconds if seconds else float("inf")
+
+
+def _lane_throughput(module, lanes, cycles) -> float:
+    """Steady-state lane-cycles/sec (codegen warmed before timing)."""
+    streams = random_stimulus_batch(module, cycles, lanes, SEED)
+    BatchedCompiledSimulator(module, lanes)  # pay codegen outside timing
+    simulator = BatchedCompiledSimulator(module, lanes)
+    start = time.perf_counter()
+    simulator.run(streams)
+    seconds = time.perf_counter() - start
+    return cycles * lanes / seconds if seconds else float("inf")
 
 
 def _design_rows(session):
@@ -45,6 +81,10 @@ def _design_rows(session):
         stimulus = random_stimulus(module, CYCLES, SEED)
         interp_cps = _throughput(Simulator, module, stimulus)
         compiled_cps = _throughput(CompiledSimulator, module, stimulus)
+        lanes = {
+            str(k): round(_lane_throughput(module, k, CYCLES), 1)
+            for k in LANE_SWEEP
+        }
         rows.append(
             {
                 "name": name,
@@ -53,6 +93,10 @@ def _design_rows(session):
                 "interp_cycles_per_sec": round(interp_cps, 1),
                 "compiled_cycles_per_sec": round(compiled_cps, 1),
                 "speedup": round(compiled_cps / interp_cps, 2),
+                "batched_lane_cycles_per_sec": lanes,
+                "lane16_speedup_vs_scalar": round(
+                    lanes["16"] / compiled_cps, 2
+                ),
                 "compile_seconds": round(
                     compile_netlist(module).compile_seconds, 6
                 ),
@@ -75,6 +119,23 @@ def _timed_session(cache_dir):
     return time.perf_counter() - start, session
 
 
+def _grid_trace(session, name):
+    """Module-level so the process pool can pickle it."""
+    source, component, generators, params = design_point(name)
+    return session.simulate(
+        source, component, params, generators,
+        cycles=GRID_CYCLES, seed=SEED, opt_level=2, backend="compiled",
+    ).value.outputs
+
+
+def _timed_grid(executor, cache_dir):
+    session = CompileSession(opt_level=2, cache_dir=cache_dir)
+    grid = EvalGrid(session, max_workers=4, executor=executor)
+    start = time.perf_counter()
+    results = grid.map(_grid_trace, sorted(DESIGNS))
+    return time.perf_counter() - start, results
+
+
 def test_sim_backend_benchmark(tmp_path):
     rows = _design_rows(CompileSession())
 
@@ -82,12 +143,23 @@ def test_sim_backend_benchmark(tmp_path):
     warm_seconds, warm_session = _timed_session(str(tmp_path / "bench-cache"))
     disk = warm_session.disk_stats()
 
+    # Thread vs process grid over separate cold caches: identical
+    # results, wall-clocks recorded for the scaling trajectory.
+    thread_seconds, thread_results = _timed_grid(
+        "thread", str(tmp_path / "grid-thread")
+    )
+    process_seconds, process_results = _timed_grid(
+        "process", str(tmp_path / "grid-process")
+    )
+    assert process_results == thread_results
+
     largest = max(rows, key=lambda row: row["cells"])
     payload = {
         "generated_by": "benchmarks/test_sim_backend.py",
         "designs": rows,
         "largest_design": largest["name"],
         "largest_design_speedup": largest["speedup"],
+        "largest_design_lane16_speedup": largest["lane16_speedup_vs_scalar"],
         "warm_vs_cold": {
             "designs": list(WARM_DESIGNS),
             "stages": ["synthesize", "simulate"],
@@ -98,25 +170,45 @@ def test_sim_backend_benchmark(tmp_path):
             "speedup": round(cold_seconds / warm_seconds, 2),
             "warm_disk_hit_rate": disk["hit_rate"],
         },
+        "grid": {
+            "points": sorted(DESIGNS),
+            "cycles": GRID_CYCLES,
+            "workers": 4,
+            "thread_seconds": round(thread_seconds, 4),
+            "process_seconds": round(process_seconds, 4),
+            "results_identical": True,
+        },
     }
     BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
 
     print(f"\nSimulation backends over {CYCLES} cycles (cycles/sec):\n")
     for row in rows:
+        lanes = row["batched_lane_cycles_per_sec"]
         print(
             f"  {row['name']:8s} {row['cells']:5d} cells  "
             f"interp {row['interp_cycles_per_sec']:10.0f}  "
             f"compiled {row['compiled_cycles_per_sec']:10.0f}  "
             f"({row['speedup']:.2f}x, compile {row['compile_seconds']*1e3:.1f}ms)"
         )
+        print(
+            "           lanes  "
+            + "  ".join(f"{k}: {lanes[str(k)]:.0f}" for k in LANE_SWEEP)
+            + f"  (x16 = {row['lane16_speedup_vs_scalar']:.2f}x scalar)"
+        )
     print(
         f"\n  cold session {cold_seconds:.2f}s -> warm session "
         f"{warm_seconds:.2f}s ({cold_seconds / warm_seconds:.1f}x, "
         f"disk hit rate {disk['hit_rate']:.0%})"
     )
+    print(
+        f"  grid over {len(DESIGNS)} designs: thread {thread_seconds:.2f}s, "
+        f"process {process_seconds:.2f}s (results identical)"
+    )
 
-    # Acceptance: the compiled backend is ≥3× on the largest design and
-    # the disk cache makes the second session nearly free.
+    # Acceptance: the compiled backend is ≥3x interpreter on the largest
+    # design, 16 batched lanes multiply its throughput again, and the
+    # disk cache makes the second session nearly free.
     assert largest["speedup"] >= 3.0, largest
+    assert largest["lane16_speedup_vs_scalar"] >= MIN_LANE_SPEEDUP, largest
     assert disk["hit_rate"] >= 0.9, disk
     assert warm_seconds < cold_seconds, (warm_seconds, cold_seconds)

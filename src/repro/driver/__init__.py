@@ -29,11 +29,12 @@ from .cache import (
     SCHEMA_VERSION,
     ArtifactCache,
     CacheStats,
+    CodegenStore,
     DiskCache,
     freeze_params,
     source_digest,
 )
-from .grid import EvalGrid
+from .grid import EXECUTORS, EvalGrid
 from .session import (
     CompileSession,
     DEFAULT_STAGES,
@@ -42,9 +43,11 @@ from .session import (
 )
 
 __all__ = [
+    "EXECUTORS",
     "SCHEMA_VERSION",
     "ArtifactCache",
     "CacheStats",
+    "CodegenStore",
     "CompileResult",
     "CompileSession",
     "DEFAULT_STAGES",

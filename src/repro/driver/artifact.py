@@ -125,7 +125,14 @@ class OptimizedNetlist:
 
 class SimTrace:
     """Value of the ``simulate`` stage: sampled outputs per cycle of a
-    seeded random-stimulus run, plus the pure simulation wall-clock."""
+    seeded random-stimulus run, plus the pure simulation wall-clock.
+
+    With ``lanes == 1``, ``outputs`` is one trace (a list of per-cycle
+    output dicts).  With ``lanes > 1`` it is a list of ``lanes`` such
+    traces — one per stimulus lane, lane ``k`` driven by the stream
+    seeded with ``derive_lane_seed(seed, k)``, so lane 0 reproduces the
+    single-lane trace for the same seed exactly.
+    """
 
     def __init__(
         self,
@@ -136,6 +143,7 @@ class SimTrace:
         run_seconds: float,
         cells: int,
         backend: str = "interp",
+        lanes: int = 1,
     ):
         self.outputs = outputs
         self.cycles = cycles
@@ -149,11 +157,18 @@ class SimTrace:
         #: traces are bit-identical across backends by contract, but the
         #: perf numbers are only comparable within one backend.
         self.backend = backend
+        #: stimulus lanes simulated together (1 = plain single run).
+        self.lanes = lanes
+
+    @property
+    def lane_cycles(self) -> int:
+        """Total simulated lane-cycles (what throughput divides by)."""
+        return self.cycles * self.lanes
 
     def __repr__(self):
         return (
             f"SimTrace({self.cycles} cycles, seed={self.seed}, "
-            f"-O{self.opt_level}, {self.backend}, "
+            f"-O{self.opt_level}, {self.backend}, lanes={self.lanes}, "
             f"{self.run_seconds * 1000.0:.1f}ms)"
         )
 

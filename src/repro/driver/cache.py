@@ -39,7 +39,10 @@ from .artifact import StageArtifact
 #: backend's ``name@version`` — anything else rides on this constant).
 #: Readers reject (and delete) entries from any other schema, so a
 #: stale cache degrades to cold, never to wrong.
-SCHEMA_VERSION = 1
+#:
+#: v2: simulate keys gained a lane count and ``SimTrace`` gained the
+#: ``lanes`` attribute (multi-lane batched simulation).
+SCHEMA_VERSION = 2
 
 #: Soft size bound for a cache root, in bytes; the oldest entries are
 #: trimmed at attach time once the tree exceeds it.  Overridable via
@@ -316,6 +319,57 @@ class DiskCache:
         if removed:
             self.stats.bump("disk.trimmed", removed)
         return removed
+
+
+class CodegenStore:
+    """Persists compiled-simulator step sources in a :class:`DiskCache`.
+
+    The adapter :func:`repro.rtl.compile.compile_netlist` plugs into:
+    codegen payloads (generated source + slot layout, plain picklable
+    dicts) are wrapped in a ``StageArtifact`` under the pseudo-stage
+    ``"codegen"`` and keyed by ``(structural_hash, lanes,
+    CODEGEN_VERSION)`` — fully value-based, so every process over a
+    structurally equal netlist shares one levelization + generation.
+    Grid workers in process mode rendezvous here: the first worker to
+    compile a netlist pays codegen, the rest load the source and only
+    pay ``compile()`` + ``exec()``.
+
+    Counters on the shared :class:`CacheStats`: ``codegen.disk_hit`` /
+    ``codegen.disk_miss`` per lookup, ``codegen.store`` per write-back
+    (a warm run therefore shows hits and zero stores).
+    """
+
+    def __init__(self, disk: DiskCache):
+        self.disk = disk
+
+    @staticmethod
+    def _key(structural_hash: str, lanes) -> Tuple:
+        from ..rtl.compile import CODEGEN_VERSION
+
+        return ("codegen", structural_hash, lanes, CODEGEN_VERSION)
+
+    def load(self, structural_hash: str, lanes) -> Optional[dict]:
+        from ..rtl.compile import valid_codegen_payload
+
+        artifact = self.disk.load(self._key(structural_hash, lanes))
+        # Validate *before* counting: a hit means a usable entry, not
+        # merely a readable file.
+        if artifact is None or not valid_codegen_payload(
+            artifact.value, structural_hash, lanes
+        ):
+            self.disk.stats.bump("codegen.disk_miss")
+            return None
+        self.disk.stats.bump("codegen.disk_hit")
+        return artifact.value
+
+    def save(self, payload: dict) -> bool:
+        key = self._key(payload["structural_hash"], payload["lanes"])
+        stored = self.disk.store(
+            key, StageArtifact("codegen", key, payload, 0.0)
+        )
+        if stored:
+            self.disk.stats.bump("codegen.store")
+        return stored
 
 
 class ArtifactCache:

@@ -16,10 +16,17 @@ Subcommands:
 Every subcommand accepts ``-O{0,1,2}`` to select the netlist
 optimization level (the pass pipeline of :mod:`repro.rtl.passes`),
 ``--sim-backend {interp,compiled}`` to pick the simulation engine,
-``--cache-dir``/``--no-disk-cache`` to steer the persistent artifact
-cache (on by default — a second ``repro all -O2`` run is served from
-disk), and ``--stats json`` to emit cache + disk + per-pass statistics
-as a single JSON line at the end of the run.
+``--sim-lanes K`` to batch K stimulus lanes through each simulate run
+(one lane-packed step function advances all of them on the compiled
+backend), ``--cache-dir``/``--no-disk-cache`` to steer the persistent
+artifact cache (on by default — a second ``repro all -O2`` run is
+served from disk, including the compiled backend's generated step
+sources), and ``--stats json`` to emit cache + disk + per-pass
+statistics as a single JSON line at the end of the run.  Grid-shaped
+subcommands additionally take ``--executor {thread,process,auto}``:
+process mode fans the evaluation grid over worker processes that
+rendezvous through the disk cache instead of a shared in-memory
+session.
 """
 
 from __future__ import annotations
@@ -36,6 +43,7 @@ from ..lilac.ast import LilacError
 from ..rtl import SIM_BACKENDS
 from ..rtl.passes import OPT_LEVELS
 from .cache import DiskCache
+from .grid import EXECUTORS
 from .session import CompileSession
 from .artifact import CompileResult
 
@@ -58,6 +66,7 @@ def _session_from_args(args) -> CompileSession:
         opt_level=args.opt_level,
         sim_backend=args.sim_backend,
         cache_dir=cache_dir,
+        sim_lanes=args.sim_lanes,
     )
 
 
@@ -68,6 +77,16 @@ def _print_stats(session: CompileSession, mode: Optional[str]) -> None:
     elif mode == "text":
         print(session.stats.render())
         print(session.render_pass_stats())
+
+
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def _parse_params(pairs: List[str]) -> Dict[str, int]:
@@ -154,7 +173,14 @@ def _run_artifacts(names: List[str], args) -> int:
     session = _session_from_args(args)
     for name in names:
         print(f"== {name} ==")
-        print(evalx.run_artifact(name, session=session, workers=args.workers))
+        print(
+            evalx.run_artifact(
+                name,
+                session=session,
+                workers=args.workers,
+                executor=args.executor,
+            )
+        )
         print()
     if args.stats == "json":
         _print_stats(session, "json")
@@ -259,6 +285,13 @@ def build_parser() -> argparse.ArgumentParser:
             "--workers", type=int, default=None,
             help="evaluation-grid worker threads (default: cpu count)",
         )
+        command.add_argument(
+            "--executor", choices=EXECUTORS, default="thread",
+            help="evaluation-grid pool: 'thread' shares one in-memory "
+                 "session; 'process' sidesteps the GIL, workers "
+                 "rendezvous through the disk cache; 'auto' picks "
+                 "process for cacheable CPU-bound sweeps",
+        )
     for command in (compile_, table, figure, all_):
         command.add_argument(
             "-O", dest="opt_level", type=int, choices=OPT_LEVELS, default=0,
@@ -276,6 +309,12 @@ def build_parser() -> argparse.ArgumentParser:
             help="simulation engine for the simulate stage (default: "
                  "interp; 'compiled' code-generates a step function per "
                  "netlist)",
+        )
+        command.add_argument(
+            "--sim-lanes", type=_positive_int, default=1, metavar="K",
+            help="stimulus lanes batched per simulate run (default: 1; "
+                 "on the compiled backend K lanes advance through one "
+                 "lane-packed step function per cycle)",
         )
         command.add_argument(
             "--cache-dir", default=None, metavar="PATH",

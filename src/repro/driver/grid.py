@@ -2,29 +2,73 @@
 
 Tables and figures sweep a design over a grid of points (FloPoCo
 frequency goals, Aetherling parallelisms, …).  :class:`EvalGrid` fans
-the points out over a ``concurrent.futures`` thread pool; the session's
+the points out over a ``concurrent.futures`` pool; the session's
 single-flight artifact cache guarantees each distinct ``(component,
 binding, registry)`` is elaborated exactly once no matter how workers
 interleave, so results are deterministic and independent of the worker
-count.
+count.  When a worker raises, outstanding not-yet-started points are
+cancelled immediately instead of draining the whole pool first.
 
-Threads (not processes) are the right pool here: sessions hold
-unpicklable live objects (programs, netlists, locks), the workloads are
-pure Python either way, and a thread pool keeps every worker on the
-*same* cache so the grid benefits from sharing instead of duplicating
-work per process.
+Two executors:
+
+* ``"thread"`` (default) — every worker shares the session and its
+  in-memory cache, so overlapping points are computed once.  Right for
+  elaboration/synthesis sweeps, which spend their time in shared
+  sub-elaborations, and the only mode that can run closures.
+* ``"process"`` — sidesteps the GIL for CPU-bound sweeps (levelized
+  simulation, differential verification).  Sessions hold unpicklable
+  live objects, so each worker process rebuilds its own from
+  ``session.spec()`` and the workers *rendezvous through the
+  schema-versioned disk cache* instead of sharing memory: the first to
+  need an artifact computes and persists it, the rest load it.  Worker
+  functions must be picklable (module-level defs or ``functools.partial``
+  over them) and results travel back through pickles, so both must be
+  plain data.
+
+``"auto"`` picks ``"process"`` for multi-point sweeps when the session
+has a disk cache to rendezvous through and the worker function pickles,
+else falls back to ``"thread"``.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, List, Optional, Sequence, TypeVar
+import pickle
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
 from .session import CompileSession, default_session
 
 Point = TypeVar("Point")
 Result = TypeVar("Result")
+
+EXECUTORS = ("thread", "process", "auto")
+
+#: spec-key → session, one per worker *process* (module globals are
+#: per-process, so this is the workers' session memo, not the parent's).
+_WORKER_SESSIONS: Dict[Tuple, CompileSession] = {}
+
+
+def _worker_session(spec: Dict[str, object]) -> CompileSession:
+    key = tuple(sorted(spec.items(), key=lambda item: item[0]))
+    session = _WORKER_SESSIONS.get(key)
+    if session is None:
+        session = CompileSession.from_spec(spec)
+        _WORKER_SESSIONS[key] = session
+    return session
+
+
+def _process_point(spec: Dict[str, object], fn, point):
+    """Executed inside a pool worker: rebuild the session, run the point."""
+    return fn(_worker_session(spec), point)
+
+
+def _picklable(fn) -> bool:
+    try:
+        pickle.dumps(fn)
+        return True
+    except Exception:
+        return False
 
 
 class EvalGrid:
@@ -34,14 +78,34 @@ class EvalGrid:
         self,
         session: Optional[CompileSession] = None,
         max_workers: Optional[int] = None,
+        executor: str = "thread",
     ):
+        if executor not in EXECUTORS:
+            raise ValueError(
+                f"unknown executor {executor!r}; available: {EXECUTORS}"
+            )
         self.session = session if session is not None else default_session()
         self.max_workers = max_workers
+        self.executor = executor
 
     def _worker_count(self, points: int) -> int:
         if self.max_workers is not None:
             return max(1, min(self.max_workers, points))
         return max(1, min(os.cpu_count() or 1, points))
+
+    def _resolve_executor(self, fn, points: int, workers: int) -> str:
+        if self.executor != "auto":
+            return self.executor
+        # Process mode only pays off when there is real fan-out, the
+        # workers can rendezvous on a shared disk cache, and the worker
+        # function survives a pickle round-trip.
+        if workers <= 1 or points <= 1:
+            return "thread"
+        if self.session.cache_dir is None:
+            return "thread"
+        if not _picklable(fn):
+            return "thread"
+        return "process"
 
     def map(
         self,
@@ -50,15 +114,38 @@ class EvalGrid:
     ) -> List[Result]:
         """Run ``fn(session, point)`` for every point.
 
-        Results come back in point order.  The first exception raised by
-        a worker propagates to the caller (after the pool drains).
+        Results come back in point order.  The first exception raised
+        by a worker (in point order) propagates to the caller; pending
+        points that have not started yet are cancelled rather than run
+        to completion first.
         """
         points = list(points)
         workers = self._worker_count(len(points))
         if workers <= 1 or len(points) <= 1:
             return [fn(self.session, point) for point in points]
+        mode = self._resolve_executor(fn, len(points), workers)
+        if mode == "process":
+            spec = self.session.spec()
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [
+                    pool.submit(_process_point, spec, fn, point)
+                    for point in points
+                ]
+                return self._gather(futures)
         with ThreadPoolExecutor(max_workers=workers) as pool:
             futures = [
                 pool.submit(fn, self.session, point) for point in points
             ]
+            return self._gather(futures)
+
+    @staticmethod
+    def _gather(futures) -> List[Result]:
+        try:
             return [future.result() for future in futures]
+        except BaseException:
+            # Prune the queue before the pool shutdown joins running
+            # workers: already-running futures finish, never-started
+            # ones are dropped.
+            for future in futures:
+                future.cancel()
+            raise

@@ -55,6 +55,7 @@ from ..rtl import (
     flatten,
     make_simulator,
     random_stimulus,
+    random_stimulus_batch,
     resolve_backend,
 )
 from ..rtl.passes import PassManager, PassStats, pipeline_for_level
@@ -69,6 +70,7 @@ from .artifact import (
 from .cache import (
     ArtifactCache,
     CacheStats,
+    CodegenStore,
     DiskCache,
     freeze_params,
     source_digest,
@@ -115,16 +117,28 @@ class CompileSession:
         opt_level: int = 0,
         sim_backend: str = "interp",
         cache_dir: Optional[str] = None,
+        sim_lanes: int = 1,
     ):
         self.verify = verify
         self.opt_level = int(opt_level)
         pipeline_for_level(self.opt_level)  # reject bad levels eagerly
         resolve_backend(sim_backend)  # reject bad backends eagerly too
         self.sim_backend = sim_backend
+        self.sim_lanes = int(sim_lanes)
+        if self.sim_lanes < 1:
+            raise ValueError(f"sim_lanes must be >= 1, got {sim_lanes!r}")
         self.stats = CacheStats()
         disk = DiskCache(cache_dir, self.stats) if cache_dir else None
         self.cache_dir = disk.root if disk is not None else None
         self.cache = ArtifactCache(self.stats, disk=disk)
+        #: persistent step-source store for the compiled backend; the
+        #: simulate stage hands it to make_simulator so warm processes
+        #: skip levelization + code generation.
+        self._codegen_store = (
+            CodegenStore(self.cache.disk)
+            if self.cache.disk is not None
+            else None
+        )
         self._mutex = threading.Lock()
         #: every PassStats any optimize stage produced, in completion
         #: order — the CLI's end-of-run per-pass report reads this.
@@ -132,6 +146,29 @@ class CompileSession:
         # (source digest, registry fingerprint, verify)
         #   -> (Elaborator, per-elaborator lock)
         self._elaborators: Dict[Tuple, Tuple[Elaborator, threading.Lock]] = {}
+
+    # -- process-pool plumbing ------------------------------------------
+
+    def spec(self) -> Dict[str, object]:
+        """The picklable recipe for an equivalent session.
+
+        Sessions hold live unpicklable state (programs, locks, netlist
+        objects), so :class:`~repro.driver.grid.EvalGrid`'s process mode
+        ships this dict to each worker instead and rebuilds with
+        :meth:`from_spec`; workers sharing a ``cache_dir`` then
+        rendezvous on artifacts through the disk layer.
+        """
+        return {
+            "verify": self.verify,
+            "opt_level": self.opt_level,
+            "sim_backend": self.sim_backend,
+            "sim_lanes": self.sim_lanes,
+            "cache_dir": self.cache_dir,
+        }
+
+    @classmethod
+    def from_spec(cls, spec: Dict[str, object]) -> "CompileSession":
+        return cls(**spec)
 
     # -- key helpers ----------------------------------------------------
 
@@ -325,6 +362,7 @@ class CompileSession:
         seed: int = 0,
         opt_level: Optional[int] = None,
         backend: Optional[str] = None,
+        lanes: Optional[int] = None,
     ) -> StageArtifact:
         """optimized netlist → per-cycle output trace under seeded
         random stimulus (reproducible across runs and machines).
@@ -334,10 +372,21 @@ class CompileSession:
         its own cache key: the artifact records which engine produced it
         and its wall-clock, and the differential gates exist precisely
         to compare the two sides as independently computed traces.
+
+        ``lanes`` (session's ``sim_lanes`` when None) batches that many
+        independent stimulus streams through one run — on the compiled
+        backend a single lane-packed step function advances all of them
+        per call.  The artifact's ``SimTrace.outputs`` then holds one
+        trace per lane; lane seeds derive deterministically from
+        ``seed`` (lane 0 *is* ``seed``, so its trace equals the
+        single-lane artifact's).
         """
         registry = self._registry_of(generators)
         level, pipeline = self._pipeline(opt_level)
         engine = self.sim_backend if backend is None else backend
+        n_lanes = self.sim_lanes if lanes is None else int(lanes)
+        if n_lanes < 1:
+            raise ValueError(f"lanes must be >= 1, got {lanes!r}")
         key = (
             "simulate",
             self._source_key(source, stdlib),
@@ -351,6 +400,7 @@ class CompileSession:
             # name@version, mirroring the pass-pipeline fingerprint: a
             # backend semantics bump invalidates its persisted traces.
             backend_fingerprint(engine),
+            n_lanes,
         )
 
         def compute() -> StageArtifact:
@@ -358,14 +408,25 @@ class CompileSession:
                 source, component, params, registry, stdlib, opt_level=level
             ).value
             start = time.perf_counter()
-            simulator = make_simulator(optimized.module, engine)
-            stimulus = random_stimulus(optimized.module, cycles, seed)
-            run_start = time.perf_counter()
-            outputs = simulator.run(stimulus)
+            simulator = make_simulator(
+                optimized.module, engine,
+                lanes=n_lanes,
+                codegen_store=self._codegen_store,
+            )
+            if n_lanes == 1:
+                stimulus = random_stimulus(optimized.module, cycles, seed)
+                run_start = time.perf_counter()
+                outputs = simulator.run(stimulus)
+            else:
+                streams = random_stimulus_batch(
+                    optimized.module, cycles, n_lanes, seed
+                )
+                run_start = time.perf_counter()
+                outputs = simulator.run_batch(streams)
             run_seconds = time.perf_counter() - run_start
             value = SimTrace(
                 outputs, cycles, seed, level, run_seconds,
-                len(optimized.module.cells), backend=engine,
+                len(optimized.module.cells), backend=engine, lanes=n_lanes,
             )
             return StageArtifact(
                 "simulate", key, value, time.perf_counter() - start
@@ -554,6 +615,7 @@ class CompileSession:
         return {
             "opt_level": self.opt_level,
             "sim_backend": self.sim_backend,
+            "sim_lanes": self.sim_lanes,
             "cache": self.stats.snapshot(),
             "disk": self.disk_stats(),
             "passes": self.pass_summary(),

@@ -11,22 +11,28 @@ on every cycle (differential simulation).
 The same machinery gates the compiled simulation backend: for every
 design, both optimization levels are re-simulated on the ``compiled``
 engine and must agree bit-for-bit with the interpreter (the "Backends"
-column).
+column), and the batched multi-lane mode re-simulates the ``-O2``
+netlist with K stimulus lanes in one pass, which must agree lane for
+lane with K independent single-lane runs at the derived lane seeds
+(the "Lanes" column).
 
 :func:`check_shape` asserts the claims this artifact exists for:
 
-* **soundness** — every design is output-equivalent across levels, and
-  the compiled backend is output-equivalent to the interpreter;
+* **soundness** — every design is output-equivalent across levels, the
+  compiled backend is output-equivalent to the interpreter, and lane
+  batching is output-equivalent to sequential runs;
 * **profit** — dead-cell elimination plus common-cell sharing reduce
   the total cell count on at least three designs.
 """
 
 from __future__ import annotations
 
+import functools
 from typing import Dict, List, Optional
 
 from ..designs.catalog import DESIGNS, design_point
 from ..driver import CompileSession, EvalGrid
+from ..rtl import derive_lane_seed
 from ..synth import format_table
 
 #: Deterministic row order over the whole catalog.
@@ -36,6 +42,10 @@ ABLATION_DESIGNS = tuple(sorted(DESIGNS))
 #: sides of every comparison, reproducible across runs and machines.
 CYCLES = 128
 SEED = 0xA5
+
+#: Stimulus lanes the batched differential drives together (kept small:
+#: the point is exercising the lane-packed codegen, not throughput).
+LANES = 4
 
 
 class AblationRow:
@@ -49,6 +59,7 @@ class AblationRow:
         sim_opt_seconds: float,
         removed_by: Dict[str, int],
         backends_agree: bool = True,
+        lanes_agree: bool = True,
     ):
         self.name = name
         self.cells_base = cells_base
@@ -61,6 +72,9 @@ class AblationRow:
         #: compiled backend bit-identical to the interpreter at both
         #: optimization levels under the shared stimulus.
         self.backends_agree = backends_agree
+        #: batched multi-lane run bit-identical, lane for lane, to the
+        #: corresponding independent single-lane runs.
+        self.lanes_agree = lanes_agree
 
     @property
     def reduction(self) -> float:
@@ -89,11 +103,16 @@ class AblationRow:
             f"{self.speedup:.2f}x",
             "yes" if self.equivalent else "NO",
             "yes" if self.backends_agree else "NO",
+            "yes" if self.lanes_agree else "NO",
         ]
 
 
 def _build_row(
-    session: CompileSession, name: str, cycles: int, seed: int
+    session: CompileSession,
+    name: str,
+    cycles: int = CYCLES,
+    seed: int = SEED,
+    lanes: int = LANES,
 ) -> AblationRow:
     source, component, generators, params = design_point(name)
     base = session.optimize(
@@ -102,13 +121,16 @@ def _build_row(
     opt = session.optimize(
         source, component, params, generators, opt_level=2
     ).value
+    # Every reference trace pins lanes=1 explicitly: the session-level
+    # sim_lanes default must not silently batch the single-run sides of
+    # these comparisons.
     trace_base = session.simulate(
         source, component, params, generators,
-        cycles=cycles, seed=seed, opt_level=0, backend="interp",
+        cycles=cycles, seed=seed, opt_level=0, backend="interp", lanes=1,
     ).value
     trace_opt = session.simulate(
         source, component, params, generators,
-        cycles=cycles, seed=seed, opt_level=2, backend="interp",
+        cycles=cycles, seed=seed, opt_level=2, backend="interp", lanes=1,
     ).value
     # The backend differential: the compiled engine independently
     # re-simulates both levels and must agree bit-for-bit with the
@@ -117,8 +139,26 @@ def _build_row(
         session.simulate(
             source, component, params, generators,
             cycles=cycles, seed=seed, opt_level=level, backend="compiled",
+            lanes=1,
         ).value.outputs == interp.outputs
         for level, interp in ((0, trace_base), (2, trace_opt))
+    )
+    # The batching differential: one K-lane pass over the optimized
+    # netlist, checked lane-by-lane against the K independent runs at
+    # the derived lane seeds (lane 0's seed is the batch seed, so that
+    # lane also revalidates against trace-opt's stimulus).
+    batch = session.simulate(
+        source, component, params, generators,
+        cycles=cycles, seed=seed, opt_level=2, backend="compiled",
+        lanes=lanes,
+    ).value
+    lanes_agree = all(
+        batch.outputs[lane] == session.simulate(
+            source, component, params, generators,
+            cycles=cycles, seed=derive_lane_seed(seed, lane),
+            opt_level=2, backend="compiled", lanes=1,
+        ).value.outputs
+        for lane in range(lanes)
     )
     removed_by: Dict[str, int] = {}
     for stat in opt.pass_stats:
@@ -134,6 +174,7 @@ def _build_row(
         trace_opt.run_seconds,
         removed_by,
         backends_agree=backends_agree,
+        lanes_agree=lanes_agree,
     )
 
 
@@ -142,17 +183,22 @@ def build_rows(
     workers: Optional[int] = None,
     cycles: int = CYCLES,
     seed: int = SEED,
+    lanes: int = LANES,
+    executor: str = "thread",
 ) -> List[AblationRow]:
-    grid = EvalGrid(session, max_workers=workers)
+    grid = EvalGrid(session, max_workers=workers, executor=executor)
+    # partial over the module-level builder (not a lambda) so the grid's
+    # process mode can pickle the worker function.
     return grid.map(
-        lambda s, name: _build_row(s, name, cycles, seed), ABLATION_DESIGNS
+        functools.partial(_build_row, cycles=cycles, seed=seed, lanes=lanes),
+        ABLATION_DESIGNS,
     )
 
 
 def render(rows: List[AblationRow]) -> str:
     return format_table(
         ["Design", "Cells -O0", "Cells -O2", "Reduction", "Sim speedup",
-         "Equivalent", "Backends"],
+         "Equivalent", "Backends", "Lanes"],
         [row.cells() for row in rows],
     )
 
@@ -169,6 +215,10 @@ def check_shape(rows: List[AblationRow]) -> Dict[str, float]:
             f"{row.name}: compiled backend diverges from the interpreter "
             f"under shared stimulus — code generation is unsound"
         )
+        assert row.lanes_agree, (
+            f"{row.name}: batched multi-lane run diverges from the "
+            f"independent single-lane runs — lane batching is unsound"
+        )
         assert row.cells_opt <= row.cells_base, (
             f"{row.name}: optimization grew the netlist"
         )
@@ -183,9 +233,18 @@ def check_shape(rows: List[AblationRow]) -> Dict[str, float]:
 
 
 def run(
-    session: Optional[CompileSession] = None, workers: Optional[int] = None
+    session: Optional[CompileSession] = None,
+    workers: Optional[int] = None,
+    executor: str = "thread",
 ) -> str:
-    rows = build_rows(session=session, workers=workers)
+    # A session tuned for more lanes (--sim-lanes) widens the batched
+    # differential accordingly.
+    lanes = LANES
+    if session is not None and session.sim_lanes > 1:
+        lanes = session.sim_lanes
+    rows = build_rows(
+        session=session, workers=workers, lanes=lanes, executor=executor
+    )
     stats = check_shape(rows)
     lines = [render(rows), "", "shape statistics:"]
     for key, value in stats.items():

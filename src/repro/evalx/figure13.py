@@ -17,6 +17,7 @@ stays roughly constant.
 
 from __future__ import annotations
 
+import functools
 from typing import Dict, List, NamedTuple, Optional
 
 from ..designs.gbp_la import GBP_SOURCE, gbp_registry
@@ -48,11 +49,13 @@ def build_rows(
     width: int = 16,
     session: Optional[CompileSession] = None,
     workers: Optional[int] = None,
+    executor: str = "thread",
 ) -> List[Figure13Row]:
-    grid = EvalGrid(session, max_workers=workers)
+    grid = EvalGrid(session, max_workers=workers, executor=executor)
+    # partial over the module-level builder (not a lambda) so the grid's
+    # process mode can pickle the worker function.
     return grid.map(
-        lambda s, parallelism: _build_point(s, parallelism, width),
-        parallelisms,
+        functools.partial(_build_point, width=width), parallelisms
     )
 
 
@@ -87,9 +90,11 @@ def summary(rows: List[Figure13Row]) -> Dict[str, float]:
 
 
 def run(
-    session: Optional[CompileSession] = None, workers: Optional[int] = None
+    session: Optional[CompileSession] = None,
+    workers: Optional[int] = None,
+    executor: str = "thread",
 ) -> str:
-    rows = build_rows(session=session, workers=workers)
+    rows = build_rows(session=session, workers=workers, executor=executor)
     stats = check_shape(rows)
     lines = [render(rows), "", "section 7.2 headline statistics:"]
     for key, value in stats.items():

@@ -90,8 +90,12 @@ def check_shape(rows: List[Figure8Row]) -> None:
 
 
 def run(
-    session: Optional[CompileSession] = None, workers: Optional[int] = None
+    session: Optional[CompileSession] = None,
+    workers: Optional[int] = None,
+    executor: str = "thread",
 ) -> str:
+    # No grid here: workers/executor accepted for the uniform artifact
+    # surface and ignored.
     rows = build_rows(session=session)
     check_shape(rows)
     return render(rows)

@@ -16,6 +16,7 @@ in :func:`check_shape`.
 
 from __future__ import annotations
 
+import functools
 from typing import Dict, List, Optional, Tuple
 
 from ..designs.fpu import FPU_LA_SOURCE, LiFpu, fpu_generators
@@ -60,10 +61,13 @@ def build_rows(
     width: int = 32,
     session: Optional[CompileSession] = None,
     workers: Optional[int] = None,
+    executor: str = "thread",
 ) -> List[Table1Row]:
-    grid = EvalGrid(session, max_workers=workers)
+    grid = EvalGrid(session, max_workers=workers, executor=executor)
+    # partial over the module-level builder (not a lambda) so the grid's
+    # process mode can pickle the worker function.
     per_point = grid.map(
-        lambda s, frequency: _build_point(s, frequency, width), DESIGN_POINTS
+        functools.partial(_build_point, width=width), DESIGN_POINTS
     )
     return [row for rows in per_point for row in rows]
 
@@ -76,10 +80,12 @@ def render(rows: List[Table1Row]) -> str:
 
 
 def run(
-    session: Optional[CompileSession] = None, workers: Optional[int] = None
+    session: Optional[CompileSession] = None,
+    workers: Optional[int] = None,
+    executor: str = "thread",
 ) -> str:
     """Build, verify and render the table (the CLI entry point)."""
-    rows = build_rows(session=session, workers=workers)
+    rows = build_rows(session=session, workers=workers, executor=executor)
     stats = check_shape(rows)
     lines = [render(rows), "", "shape statistics:"]
     for key, value in stats.items():

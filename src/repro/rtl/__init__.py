@@ -10,14 +10,25 @@ from .netlist import (
     SEQUENTIAL_KINDS,
     flatten,
 )
-from .simulate import Simulator, eval_comb_cell, random_stimulus
+from .simulate import (
+    Simulator,
+    derive_lane_seed,
+    eval_comb_cell,
+    random_stimulus,
+    random_stimulus_batch,
+)
 from .compile import (
+    CODEGEN_VERSION,
     SIM_BACKENDS,
     SIM_BACKEND_VERSIONS,
     backend_fingerprint,
+    batched_stride,
+    BatchedCompiledSimulator,
     CompiledNetlist,
     CompiledSimulator,
     SimBackend,
+    clear_compile_memo,
+    compile_memo_size,
     compile_netlist,
     differential_check,
     make_simulator,
@@ -26,6 +37,8 @@ from .compile import (
 from .verilog import emit_verilog
 
 __all__ = [
+    "BatchedCompiledSimulator",
+    "CODEGEN_VERSION",
     "Cell",
     "COMBINATIONAL_KINDS",
     "CompiledNetlist",
@@ -39,12 +52,17 @@ __all__ = [
     "SimBackend",
     "Simulator",
     "backend_fingerprint",
+    "batched_stride",
+    "clear_compile_memo",
+    "compile_memo_size",
     "compile_netlist",
+    "derive_lane_seed",
     "differential_check",
     "emit_verilog",
     "eval_comb_cell",
     "make_simulator",
     "random_stimulus",
+    "random_stimulus_batch",
     "resolve_backend",
     "flatten",
 ]

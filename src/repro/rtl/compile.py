@@ -21,10 +21,34 @@ mirrors :func:`~repro.rtl.simulate.eval_comb_cell` (unsigned modulo
 bit-for-bit on every output, every cycle.
 
 Both backends present the same :class:`SimBackend` surface
-(poke/evaluate/peek/peek_net/tick/step/run/run_random), selected by name
-through :data:`SIM_BACKENDS` / :func:`make_simulator` — which is how
+(poke/evaluate/peek/peek_net/tick/step/run/run_random, plus the batched
+run_batch/run_random_batch), selected by name through
+:data:`SIM_BACKENDS` / :func:`make_simulator` — which is how
 ``CompileSession(sim_backend=...)`` and the CLI's ``--sim-backend``
 choose an engine without caring which one they got.
+
+**Batched multi-lane mode.**  ``compile_netlist(module, lanes=K)``
+generates a *lane-parallel* step function: every net slot holds one
+Python integer packing K lane values at a fixed bit stride, and each
+combinational cell becomes one or two big-integer operations that
+advance all K lanes at once (SWAR — SIMD within a register, except the
+register is a CPython bignum and its arithmetic runs in C).  Adds carry
+into a per-lane guard bit, subtracts borrow against an injected guard,
+compares reduce through the lane's top bit, and muxes blend through a
+spread select mask; only ``mul``/``div``/``mod`` (true cross-products)
+and out-of-stride shifts fall back to a per-lane loop over byte-sliced
+lane fields.  Register state latches as a single reference copy per
+cell — K lanes for the cost of one — which is why register-heavy
+netlists batch best.  :class:`BatchedCompiledSimulator` owns the packed
+state; scalar backends reach it through ``run_batch``.
+
+**Persistent codegen.**  Generating the step source levelizes the
+netlist and builds a netlist-sized string — for large modules that is
+the dominant cost of a cold simulator.  ``compile_netlist`` therefore
+accepts a ``store`` (see ``repro.driver.cache.CodegenStore``): the
+generated source and slot layout are persisted keyed by
+``(structural_hash, lanes)``, so a warm process skips levelization and
+code generation entirely and only pays ``compile()`` + ``exec()``.
 """
 
 from __future__ import annotations
@@ -32,12 +56,24 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from typing import Protocol, runtime_checkable
 
 from .netlist import Cell, Module, NetlistError, comb_topo_order, flatten
-from .simulate import Simulator, random_stimulus
+from .simulate import (
+    Simulator,
+    derive_lane_seed,
+    random_stimulus,
+    random_stimulus_batch,
+)
+
+#: Version of the *generated code's* shape.  Part of every persisted
+#: codegen entry's key: bump it whenever ``_generate_source`` /
+#: ``_generate_batched_source`` change what they emit (or the payload
+#: dict changes shape), so stale persisted sources become cache misses
+#: instead of resurrecting old step semantics.
+CODEGEN_VERSION = 1
 
 
 @runtime_checkable
@@ -71,9 +107,31 @@ class SimBackend(Protocol):
         self, cycles: int, seed: int = 0, bias: float = 0.0
     ) -> List[Dict[str, int]]: ...
 
+    def run_batch(
+        self, input_streams: Sequence[List[Dict[str, int]]]
+    ) -> List[List[Dict[str, int]]]: ...
+
+    def run_random_batch(
+        self, cycles: int, lanes: int, seed: int = 0, bias: float = 0.0
+    ) -> List[List[Dict[str, int]]]: ...
+
 
 def _mask_literal(width: int) -> int:
     return (1 << width) - 1
+
+
+def _flattened(module: Module) -> Module:
+    """The validated flat module a simulator runs (shared preamble)."""
+    if any(c.kind == "submodule" for c in module.cells.values()):
+        module = flatten(module)
+    module.validate()
+    return module
+
+
+def _lane_unit(lanes: int, stride: int) -> int:
+    """1 at every lane field's base bit; multiplying a (< 2^stride)
+    scalar by it replicates the scalar into every lane."""
+    return ((1 << (lanes * stride)) - 1) // ((1 << stride) - 1)
 
 
 class CompiledNetlist:
@@ -95,6 +153,9 @@ class CompiledNetlist:
         "latch",
         "source",
         "compile_seconds",
+        "lanes",
+        "stride",
+        "from_store",
     )
 
     def __init__(
@@ -109,6 +170,9 @@ class CompiledNetlist:
         latch,
         source: str,
         compile_seconds: float,
+        lanes: Optional[int] = None,
+        stride: int = 0,
+        from_store: bool = False,
     ):
         self.structural_hash = structural_hash
         self.slot_of = slot_of
@@ -121,11 +185,19 @@ class CompiledNetlist:
         self.latch = latch
         self.source = source
         self.compile_seconds = compile_seconds
+        #: lane count the step code was generated for (None = scalar).
+        self.lanes = lanes
+        #: bit stride between lane fields in packed mode (0 = scalar).
+        self.stride = stride
+        #: True when the source came from a persistent codegen store
+        #: rather than being generated in this process.
+        self.from_store = from_store
 
     def __repr__(self):
         return (
             f"CompiledNetlist({self.structural_hash}, {self.n_slots} slots, "
-            f"{len(self.reg_cells)} regs, {len(self.fifo_cells)} fifos)"
+            f"{len(self.reg_cells)} regs, {len(self.fifo_cells)} fifos, "
+            f"lanes={self.lanes})"
         )
 
 
@@ -261,44 +333,636 @@ def _generate_source(module: Module, slot: Dict[str, int]) -> Tuple[
     return source, reg_cells, reg_inits, fifo_cells, fifo_depths
 
 
-#: structural hash → CompiledNetlist, shared process-wide.  Keyed on the
-#: full structural identity, so a pass pipeline that rewrites a module
-#: (new hash) can never be served stale step code.
-_MEMO: Dict[str, CompiledNetlist] = {}
+# -- batched (multi-lane) code generation -------------------------------
+
+
+#: Comb-cell kinds the packed (SWAR) encoding can express; the rest —
+#: true per-lane arithmetic (cross products, quotients) — always take
+#: the per-lane loop.
+_SWAR_KINDS = frozenset((
+    "const", "add", "sub", "and", "or", "xor", "not",
+    "eq", "lt", "mux", "shl", "shr", "slice", "concat",
+))
+
+
+def _swar_eligible(cell: Cell, stride: int) -> bool:
+    """Can this cell be emitted as packed whole-batch operations?
+
+    Every pin must fit a lane field (width <= stride - 2: one guard bit
+    for carries, one top bit for the compare/borrow tricks) and the
+    cell's shifts must stay inside one field.
+    """
+    if cell.kind not in _SWAR_KINDS:
+        return False
+    pins = cell.pins
+    if max(pin.width for pin in pins.values()) > stride - 2:
+        return False
+    if cell.kind == "shl":
+        return pins["a"].width + int(cell.params["amount"]) <= stride
+    if cell.kind == "shr":
+        return int(cell.params["amount"]) + pins["out"].width <= stride
+    if cell.kind == "slice":
+        lsb = int(cell.params["lsb"])
+        if lsb == 0 and pins["a"].width <= pins["out"].width:
+            return True
+        return lsb + pins["out"].width <= stride
+    if cell.kind == "concat":
+        return pins["a"].width + pins["b"].width <= stride
+    return True
+
+
+def batched_stride(module: Module, lanes: int = 16) -> int:
+    """Pick the lane-field bit stride for one batched compilation.
+
+    Wider strides let more cells take the packed path (fields must hold
+    the widest pin plus guard/top bits) but make *every* packed integer
+    proportionally longer, taxing every operation — a handful of wide
+    bus nets must not force a giant stride onto thousands of narrow
+    cells.  Candidate strides (multiples of 64 up to the widest net)
+    are scored with a small cost model: a packed cell costs ~1 plus a
+    term linear in the packed integer's limb count, a lane-loop cell
+    costs ~2 per lane.  Nets wider than the chosen stride's fields live
+    as per-lane lists and their cells take the lane loop.
+    """
+    cells = [
+        c for c in module.cells.values()
+        if c.kind not in ("reg", "regen", "fifo", "submodule")
+    ]
+    maxw = max((net.width for net in module.nets.values()), default=1)
+    limit = max(64, ((maxw + 2 + 63) // 64) * 64)
+    lane_unit = 2.0 * lanes
+    best, best_cost = 64, None
+    for stride in range(64, limit + 1, 64):
+        swar_unit = 0.75 + 0.024 * (lanes * stride / 64.0)
+        cost = sum(
+            swar_unit if _swar_eligible(cell, stride) else lane_unit
+            for cell in cells
+        )
+        if best_cost is None or cost < best_cost:
+            best, best_cost = stride, cost
+    return best
+
+
+class _LaneConsts:
+    """Packed-constant pool for one batched compilation.
+
+    Every lane-replicated constant (masks, guards, the all-lanes ``1``)
+    is emitted once as a module-level hex literal in the generated
+    source and handed to the step functions as a keyword default, so
+    inside the hot loop it is a ``LOAD_FAST`` instead of a dict lookup.
+    """
+
+    def __init__(self, lanes: int, stride: int):
+        self.lanes = lanes
+        self.stride = stride
+        self.unit = _lane_unit(lanes, stride)
+        self._names: Dict[int, str] = {}
+        self.defs: List[Tuple[str, int]] = []
+
+    def rep(self, scalar: int, hint: str, uses: set) -> str:
+        """The name bound to ``scalar`` replicated into every lane."""
+        packed = scalar * self.unit
+        name = self._names.get(packed)
+        if name is None:
+            name = f"_{hint}"
+            if any(name == existing for existing, _ in self.defs):
+                name = f"_{hint}x{len(self.defs)}"
+            self._names[packed] = name
+            self.defs.append((name, packed))
+        uses.add(name)
+        return name
+
+    def mask(self, width: int, uses: set) -> str:
+        return self.rep((1 << width) - 1, f"M{width}", uses)
+
+
+def _generate_batched_source(
+    module: Module, slot: Dict[str, int], lanes: int
+) -> Tuple[str, List[str], List[int], List[str], List[int], int]:
+    """Generate the lane-parallel evaluate/latch pair.
+
+    Two representations coexist, chosen per net by width:
+
+    * **packed** (width <= stride - 2): lane ``k`` occupies bits
+      ``[k*stride, k*stride + width)`` of one integer, and cells whose
+      pins are all packed advance every lane in a couple of bignum ops;
+    * **per-lane list** (wider): the slot holds K separate ints, and
+      any cell touching one runs a per-lane loop, converting packed
+      operands through byte-sliced ``_unpack``/``_pack`` helpers.
+
+    The invariant every emitted statement preserves is that lane values
+    are *clean* — strictly below ``2^width`` — which is what lets
+    packed neighbours share one integer without masking on read.
+    """
+    stride = batched_stride(module, lanes)
+    consts = _LaneConsts(lanes, stride)
+    top_bit = stride - 1
+    uses_ev: set = set()
+    uses_lt: set = set()
+    helpers_needed = [False]
+
+    def wide(net) -> bool:
+        return net.width > stride - 2
+
+    def one(uses):
+        return consts.rep(1, "ONE", uses)
+
+    def top(uses):
+        return consts.rep(1 << top_bit, "TOP", uses)
+
+    def full(uses):
+        return consts.rep((1 << top_bit) - 1, "FULL", uses)
+
+    def rd_lanes(net) -> str:
+        """Expression yielding the net's per-lane value list."""
+        if wide(net):
+            return f"s[{slot[net.name]}]"
+        helpers_needed[0] = True
+        return f"_unpack(s[{slot[net.name]}])"
+
+    def comb_swar(cell: Cell) -> List[str]:
+        pins = cell.pins
+        kind = cell.kind
+        out = pins["out"]
+        so = slot[out.name]
+        wo = out.width
+
+        def sl(pin: str) -> str:
+            return f"s[{slot[pins[pin].name]}]"
+
+        def w(pin: str) -> int:
+            return pins[pin].width
+
+        if kind == "const":
+            value = int(cell.params["value"]) & ((1 << wo) - 1)
+            return [f"    s[{so}] = {consts.rep(value, f'V{so}', uses_ev)}"]
+        if kind == "add":
+            expr = f"({sl('a')} + {sl('b')})"
+            if wo < max(w("a"), w("b")) + 1:
+                expr += f" & {consts.mask(wo, uses_ev)}"
+            return [f"    s[{so}] = {expr}"]
+        if kind == "sub":
+            guard = max(w("a"), w("b"), wo)
+            hname = consts.rep(1 << guard, f"H{guard}", uses_ev)
+            return [
+                f"    s[{so}] = (({sl('a')} | {hname}) - {sl('b')})"
+                f" & {consts.mask(wo, uses_ev)}"
+            ]
+        if kind == "and":
+            expr = f"{sl('a')} & {sl('b')}"
+            if min(w("a"), w("b")) > wo:
+                expr = f"({expr}) & {consts.mask(wo, uses_ev)}"
+            return [f"    s[{so}] = {expr}"]
+        if kind in ("or", "xor"):
+            op = "|" if kind == "or" else "^"
+            expr = f"{sl('a')} {op} {sl('b')}"
+            if max(w("a"), w("b")) > wo:
+                expr = f"({expr}) & {consts.mask(wo, uses_ev)}"
+            return [f"    s[{so}] = {expr}"]
+        if kind == "not":
+            flip = consts.mask(max(w("a"), wo), uses_ev)
+            expr = f"{sl('a')} ^ {flip}"
+            if w("a") > wo:
+                expr = f"({expr}) & {consts.mask(wo, uses_ev)}"
+            return [f"    s[{so}] = {expr}"]
+        if kind == "eq":
+            # Zero-detect per field: (t | TOP) - 1 clears the top bit
+            # exactly when the field was zero (the borrow never crosses
+            # fields — each holds at least TOP before the subtract).
+            o, t = one(uses_ev), top(uses_ev)
+            return [
+                f"    _t = {sl('a')} ^ {sl('b')}",
+                f"    s[{so}] = ((((_t | {t}) - {o}) >> {top_bit})"
+                f" & {o}) ^ {o}",
+            ]
+        if kind == "lt":
+            # a + TOP - b keeps the top bit iff a >= b (values occupy
+            # at most stride-2 bits, so neither the sum nor the borrow
+            # crosses a field boundary).
+            o, t = one(uses_ev), top(uses_ev)
+            return [
+                f"    _t = ({sl('a')} | {t}) - {sl('b')}",
+                f"    s[{so}] = ((_t >> {top_bit}) & {o}) ^ {o}",
+            ]
+        if kind == "mux":
+            # Spread each lane's select bit into a full out-width mask:
+            # (e << wo) - e is 2^wo - 1 where e is 1, 0 where it is 0.
+            o = one(uses_ev)
+            m = consts.mask(wo, uses_ev)
+            return [
+                f"    _e = {sl('sel')} & {o}",
+                f"    _m = (_e << {wo}) - _e",
+                f"    s[{so}] = ({sl('a')} & _m) | ({sl('b')} & (_m ^ {m}))",
+            ]
+        if kind == "shl":
+            amount = int(cell.params["amount"])
+            expr = f"({sl('a')} << {amount})"
+            if w("a") + amount > wo:
+                expr += f" & {consts.mask(wo, uses_ev)}"
+            return [f"    s[{so}] = {expr}"]
+        if kind == "shr":
+            amount = int(cell.params["amount"])
+            return [
+                f"    s[{so}] = ({sl('a')} >> {amount})"
+                f" & {consts.mask(wo, uses_ev)}"
+            ]
+        if kind == "slice":
+            lsb = int(cell.params["lsb"])
+            if lsb == 0 and w("a") <= wo:
+                return [f"    s[{so}] = {sl('a')}"]
+            return [
+                f"    s[{so}] = ({sl('a')} >> {lsb})"
+                f" & {consts.mask(wo, uses_ev)}"
+            ]
+        # concat (the only _SWAR_KINDS member left)
+        expr = f"(({sl('a')} << {w('b')}) | {sl('b')})"
+        if w("a") + w("b") > wo:
+            expr += f" & {consts.mask(wo, uses_ev)}"
+        return [f"    s[{so}] = {expr}"]
+
+    def comb_lane(cell: Cell) -> List[str]:
+        """Per-lane loop mirroring :func:`eval_comb_cell` exactly."""
+        pins = cell.pins
+        kind = cell.kind
+        out = pins["out"]
+        so = slot[out.name]
+        wo = out.width
+        omask = (1 << wo) - 1
+        wide_out = wide(out)
+
+        def wr(listcomp: str) -> str:
+            if wide_out:
+                return f"    s[{so}] = {listcomp}"
+            helpers_needed[0] = True
+            return f"    s[{so}] = _pack({listcomp})"
+
+        if kind == "const":
+            value = int(cell.params["value"]) & omask
+            if wide_out:
+                return [f"    s[{so}] = [{value}] * _LANES"]
+            return [
+                f"    s[{so}] = {consts.rep(value, f'V{so}', uses_ev)}"
+            ]
+        if kind == "mux":
+            return [wr(
+                f"[(_p if _c & 1 else _q) & {omask} for _c, _p, _q in "
+                f"zip({rd_lanes(pins['sel'])}, {rd_lanes(pins['a'])},"
+                f" {rd_lanes(pins['b'])})]"
+            )]
+        binary = {
+            "add": f"(_p + _q) & {omask}",
+            "sub": f"(_p - _q) & {omask}",
+            "mul": f"(_p * _q) & {omask}",
+            "div": f"(_p // _q if _q else 0) & {omask}",
+            "mod": f"(_p % _q if _q else 0) & {omask}",
+            "and": f"(_p & _q) & {omask}",
+            "or": f"(_p | _q) & {omask}",
+            "xor": f"(_p ^ _q) & {omask}",
+            "eq": "1 if _p == _q else 0",
+            "lt": "1 if _p < _q else 0",
+        }
+        if kind == "concat":
+            binary["concat"] = (
+                f"((_p << {pins['b'].width}) | _q) & {omask}"
+            )
+        if kind in binary:
+            return [wr(
+                f"[{binary[kind]} for _p, _q in "
+                f"zip({rd_lanes(pins['a'])}, {rd_lanes(pins['b'])})]"
+            )]
+        if kind == "slice" and int(cell.params["lsb"]) == 0 \
+                and pins["a"].width <= wo and wide(pins["a"]) == wide_out:
+            return [f"    s[{so}] = s[{slot[pins['a'].name]}]"]
+        unary = {
+            "not": f"(~_p) & {omask}",
+            "shl": lambda: f"(_p << {int(cell.params['amount'])}) & {omask}",
+            "shr": lambda: f"(_p >> {int(cell.params['amount'])}) & {omask}",
+            "slice": lambda: f"(_p >> {int(cell.params['lsb'])}) & {omask}",
+        }
+        if kind in unary:
+            expr = unary[kind]
+            expr = expr if isinstance(expr, str) else expr()
+            return [wr(f"[{expr} for _p in {rd_lanes(pins['a'])}]")]
+        raise NetlistError(f"cannot compile cell kind {kind!r}")
+
+    reg_cells = sorted(
+        name for name, c in module.cells.items() if c.kind in ("reg", "regen")
+    )
+    fifo_cells = sorted(
+        name for name, c in module.cells.items() if c.kind == "fifo"
+    )
+    reg_index = {name: i for i, name in enumerate(reg_cells)}
+    fifo_index = {name: i for i, name in enumerate(fifo_cells)}
+    # Inits are pre-masked to the q width: the scalar engine masks at
+    # the q drive instead, but out-of-width init bits are unobservable
+    # either way, and clean fields are the packed invariant.
+    reg_inits = [
+        int(module.cells[name].params.get("init", 0))
+        & ((1 << module.cells[name].pins["q"].width) - 1)
+        for name in reg_cells
+    ]
+    fifo_depths = [
+        int(module.cells[name].params.get("depth", 2)) for name in fifo_cells
+    ]
+
+    ev: List[str] = []
+    for name in reg_cells:
+        cell = module.cells[name]
+        q, d = cell.pins["q"], cell.pins["d"]
+        i = reg_index[name]
+        qmask = (1 << q.width) - 1
+        if wide(d) or wide(q):  # storage is a per-lane list
+            if not wide(q):
+                helpers_needed[0] = True
+                ev.append(
+                    f"    s[{slot[q.name]}] = "
+                    f"_pack([_v & {qmask} for _v in r[{i}]])"
+                )
+            elif d.width > q.width:
+                ev.append(
+                    f"    s[{slot[q.name]}] = "
+                    f"[_v & {qmask} for _v in r[{i}]]"
+                )
+            else:
+                ev.append(f"    s[{slot[q.name]}] = r[{i}]")
+        elif d.width <= q.width:
+            # Latched values are clean at d's width already: the whole
+            # K-lane drive is one reference copy.
+            ev.append(f"    s[{slot[q.name]}] = r[{i}]")
+        else:
+            ev.append(
+                f"    s[{slot[q.name]}] = r[{i}]"
+                f" & {consts.mask(q.width, uses_ev)}"
+            )
+    for name in fifo_cells:
+        cell = module.cells[name]
+        pins = cell.pins
+        index = fifo_index[name]
+        od = pins["out_data"]
+        od_mask = (1 << od.width) - 1
+        ev.append("    _ir = 0")
+        ev.append("    _ov = 0")
+        ev.append("    _od = []" if wide(od) else "    _od = 0")
+        ev.append(f"    for _sh, _fq in zip(_SHIFTS, f[{index}]):")
+        ev.append(f"        if len(_fq) < {fifo_depths[index]}:")
+        ev.append("            _ir |= 1 << _sh")
+        if wide(od):
+            ev.append("        if _fq:")
+            ev.append("            _ov |= 1 << _sh")
+            ev.append(f"            _od.append(_fq[0] & {od_mask})")
+            ev.append("        else:")
+            ev.append("            _od.append(0)")
+        else:
+            ev.append("        if _fq:")
+            ev.append("            _ov |= 1 << _sh")
+            ev.append(f"            _od |= (_fq[0] & {od_mask}) << _sh")
+        ev.append(f"    s[{slot[pins['in_ready'].name]}] = _ir")
+        ev.append(f"    s[{slot[pins['out_valid'].name]}] = _ov")
+        ev.append(f"    s[{slot[od.name]}] = _od")
+    for cell in comb_topo_order(module):
+        if _swar_eligible(cell, stride):
+            ev.extend(comb_swar(cell))
+        else:
+            ev.extend(comb_lane(cell))
+    if not ev:
+        ev.append("    pass")
+
+    lt: List[str] = []
+    for name in reg_cells:
+        cell = module.cells[name]
+        d = cell.pins["d"]
+        q = cell.pins["q"]
+        i = reg_index[name]
+        if wide(d) or wide(q):
+            source_expr = rd_lanes(d)
+            if cell.kind == "reg":
+                lt.append(f"    r[{i}] = {source_expr}")
+            else:  # regen, per-lane blend off the packed enable bits
+                en = slot[cell.pins["en"].name]
+                lt.append(f"    _eb = s[{en}]")
+                lt.append(
+                    f"    r[{i}] = [(_dv if (_eb >> _sh) & 1 else _rv)"
+                    f" for _sh, _dv, _rv in"
+                    f" zip(_SHIFTS, {source_expr}, r[{i}])]"
+                )
+        elif cell.kind == "reg":
+            lt.append(f"    r[{i}] = s[{slot[d.name]}]")
+        else:  # regen: blend every lane through its spread enable bit
+            en = slot[cell.pins["en"].name]
+            o = one(uses_lt)
+            fl = full(uses_lt)
+            lt.append(f"    _e = s[{en}] & {o}")
+            lt.append(f"    _m = (_e << {top_bit}) - _e")
+            lt.append(
+                f"    r[{i}] = (s[{slot[d.name]}] & _m)"
+                f" | (r[{i}] & (_m ^ {fl}))"
+            )
+    for name in fifo_cells:
+        cell = module.cells[name]
+        pins = cell.pins
+        in_data = pins["in_data"]
+        id_mask = (1 << in_data.width) - 1
+        lt.append(f"    _ot = s[{slot[pins['out_ready'].name]}]")
+        lt.append(f"    _ov = s[{slot[pins['out_valid'].name]}]")
+        lt.append(f"    _iv = s[{slot[pins['in_valid'].name]}]")
+        lt.append(f"    _ir = s[{slot[pins['in_ready'].name]}]")
+        if wide(in_data):
+            lt.append(
+                f"    for _sh, _fq, _dv in"
+                f" zip(_SHIFTS, f[{fifo_index[name]}],"
+                f" s[{slot[in_data.name]}]):"
+            )
+            lt.append("        if _fq and (_ot >> _sh) & (_ov >> _sh) & 1:")
+            lt.append("            _fq.popleft()")
+            lt.append("        if (_iv >> _sh) & (_ir >> _sh) & 1:")
+            lt.append("            _fq.append(_dv)")
+        else:
+            lt.append(f"    _id = s[{slot[in_data.name]}]")
+            lt.append(
+                f"    for _sh, _fq in zip(_SHIFTS, f[{fifo_index[name]}]):"
+            )
+            lt.append("        if _fq and (_ot >> _sh) & (_ov >> _sh) & 1:")
+            lt.append("            _fq.popleft()")
+            lt.append("        if (_iv >> _sh) & (_ir >> _sh) & 1:")
+            lt.append(f"            _fq.append((_id >> _sh) & {id_mask})")
+    if not lt:
+        lt.append("    pass")
+
+    # -- assemble: prelude (constants, helpers), then the two defs ----
+    prelude: List[str] = [
+        f"_LANES = {lanes}",
+        f"_STRIDE = {stride}",
+        f"_SHIFTS = tuple(range(0, {lanes * stride}, {stride}))",
+    ]
+    for name, value in consts.defs:
+        prelude.append(f"{name} = {hex(value)}")
+    helper_names: List[str] = []
+    if helpers_needed[0]:
+        nb, sb = lanes * stride // 8, stride // 8
+        prelude += [
+            f"_NB = {nb}",
+            f"_SB = {sb}",
+            f"_OFFS = tuple(range(0, {nb}, {sb}))",
+            "",
+            "",
+            "def _unpack(v, _NB=_NB, _SB=_SB, _OFFS=_OFFS):",
+            '    _b = v.to_bytes(_NB, "little")',
+            '    return [int.from_bytes(_b[_i:_i + _SB], "little")'
+            " for _i in _OFFS]",
+            "",
+            "",
+            "def _pack(vals, _SB=_SB):",
+            '    return int.from_bytes(b"".join(_v.to_bytes(_SB, "little")'
+            ' for _v in vals), "little")',
+        ]
+        helper_names = ["_unpack", "_pack"]
+
+    def signature(uses: set) -> str:
+        extras = sorted(uses) + helper_names
+        defaults = "".join(f", {n}={n}" for n in extras)
+        return f"(s, r, f{defaults}):"
+
+    source = "\n".join(
+        prelude
+        + ["", "", f"def _evaluate{signature(uses_ev)}"]
+        + ev
+        + ["", "", f"def _latch{signature(uses_lt)}"]
+        + lt
+    ) + "\n"
+    return source, reg_cells, reg_inits, fifo_cells, fifo_depths, stride
+
+
+#: (structural hash, lanes) → CompiledNetlist, shared process-wide.
+#: Keyed on the full structural identity plus the lane count, so a pass
+#: pipeline that rewrites a module (new hash) or a different batch width
+#: can never be served stale step code.
+_MEMO: Dict[Tuple[str, int], CompiledNetlist] = {}
 _MEMO_LOCK = threading.Lock()
 
+#: Required keys of a persisted codegen payload (see ``CodegenStore``).
+_PAYLOAD_FIELDS = frozenset(
+    (
+        "structural_hash",
+        "lanes",
+        "stride",
+        "source",
+        "slot_of",
+        "reg_cells",
+        "reg_inits",
+        "fifo_cells",
+        "fifo_depths",
+    )
+)
 
-def compile_netlist(module: Module) -> CompiledNetlist:
+
+def valid_codegen_payload(payload, structural_hash: str, lanes) -> bool:
+    """Is ``payload`` a well-formed codegen entry for this exact key?
+
+    The single validation authority for persisted codegen: the store
+    applies it on load (so its hit/miss counters reflect *usable*
+    entries) and ``compile_netlist`` re-applies it as a cheap guard
+    against arbitrary duck-typed stores.
+    """
+    return (
+        isinstance(payload, dict)
+        and _PAYLOAD_FIELDS <= set(payload)
+        and payload["structural_hash"] == structural_hash
+        and payload["lanes"] == lanes
+    )
+
+
+def _generate_payload(
+    module: Module, key: str, lanes: Optional[int]
+) -> Dict:
+    slot = {name: index for index, name in enumerate(sorted(module.nets))}
+    if lanes is None:
+        (source, reg_cells, reg_inits,
+         fifo_cells, fifo_depths) = _generate_source(module, slot)
+        stride = 0
+    else:
+        (source, reg_cells, reg_inits, fifo_cells, fifo_depths,
+         stride) = _generate_batched_source(module, slot, lanes)
+    return {
+        "structural_hash": key,
+        "lanes": lanes,
+        "stride": stride,
+        "source": source,
+        "slot_of": slot,
+        "reg_cells": reg_cells,
+        "reg_inits": reg_inits,
+        "fifo_cells": fifo_cells,
+        "fifo_depths": fifo_depths,
+    }
+
+
+def _materialize(
+    payload: Dict, module_name: str, start: float, from_store: bool
+) -> CompiledNetlist:
+    namespace: Dict[str, object] = {}
+    code = compile(
+        payload["source"],
+        f"<compiled:{module_name}:{payload['structural_hash']}"
+        f":x{payload['lanes']}>",
+        "exec",
+    )
+    exec(code, namespace)
+    return CompiledNetlist(
+        payload["structural_hash"],
+        payload["slot_of"],
+        payload["reg_cells"],
+        payload["reg_inits"],
+        payload["fifo_cells"],
+        payload["fifo_depths"],
+        namespace["_evaluate"],
+        namespace["_latch"],
+        payload["source"],
+        time.perf_counter() - start,
+        lanes=payload["lanes"],
+        stride=payload["stride"],
+        from_store=from_store,
+    )
+
+
+def compile_netlist(
+    module: Module, lanes: Optional[int] = None, store=None
+) -> CompiledNetlist:
     """Compile a flat module to specialized step code (memoized).
 
-    The module must already be flat and valid — ``CompiledSimulator``
-    takes care of flattening; direct callers flatten themselves.
+    The module must already be flat and valid — the simulator classes
+    take care of flattening; direct callers flatten themselves.
+    ``lanes=None`` (the default) selects the scalar generator; any
+    integer ``lanes >= 1`` selects the packed multi-lane generator for
+    exactly that many lanes (a one-lane packed program is distinct from
+    the scalar one — it still uses the packed encoding).  ``store``
+    (duck-typed: ``load(structural_hash, lanes) -> payload | None`` and
+    ``save(payload)``, see ``repro.driver.cache.CodegenStore``) lets a
+    warm process reuse previously generated source instead of
+    levelizing and generating again.
     """
-    key = module.structural_hash()
+    if lanes is not None:
+        lanes = int(lanes)
+        if lanes < 1:
+            raise NetlistError(f"lanes must be >= 1, got {lanes}")
+    structural = module.structural_hash()
+    key = (structural, lanes)
     with _MEMO_LOCK:
         cached = _MEMO.get(key)
     if cached is not None:
         return cached
     start = time.perf_counter()
-    slot = {name: index for index, name in enumerate(sorted(module.nets))}
-    source, reg_cells, reg_inits, fifo_cells, fifo_depths = _generate_source(
-        module, slot
-    )
-    namespace: Dict[str, object] = {}
-    code = compile(source, f"<compiled:{module.name}:{key}>", "exec")
-    exec(code, namespace)
-    compiled = CompiledNetlist(
-        key,
-        slot,
-        reg_cells,
-        reg_inits,
-        fifo_cells,
-        fifo_depths,
-        namespace["_evaluate"],
-        namespace["_latch"],
-        source,
-        time.perf_counter() - start,
-    )
+    payload = None
+    if store is not None:
+        payload = store.load(structural, lanes)
+        if payload is not None and not valid_codegen_payload(
+            payload, structural, lanes
+        ):
+            payload = None
+    loaded = payload is not None
+    if payload is None:
+        payload = _generate_payload(module, structural, lanes)
+    compiled = _materialize(payload, module.name, start, loaded)
+    if store is not None and not loaded:
+        store.save(payload)
     with _MEMO_LOCK:
         # A racing thread may have published first; either object is
         # valid (pure function of the structural key), keep the winner.
@@ -325,13 +989,10 @@ class CompiledSimulator:
     per-cell dispatch over ``Net``-keyed dicts.
     """
 
-    def __init__(self, module: Module):
-        if any(c.kind == "submodule" for c in module.cells.values()):
-            self.module = flatten(module)
-        else:
-            self.module = module
-        self.module.validate()
-        self.program = compile_netlist(self.module)
+    def __init__(self, module: Module, codegen_store=None):
+        self.module = _flattened(module)
+        self._codegen_store = codegen_store
+        self.program = compile_netlist(self.module, store=codegen_store)
         self._slots: List[int] = [0] * self.program.n_slots
         self._regs: List[int] = list(self.program.reg_inits)
         self._fifos: List[deque] = [deque() for _ in self.program.fifo_depths]
@@ -399,6 +1060,277 @@ class CompiledSimulator:
     ) -> List[Dict[str, int]]:
         return self.run(random_stimulus(self.module, cycles, seed, bias))
 
+    def run_batch(
+        self, input_streams: Sequence[List[Dict[str, int]]]
+    ) -> List[List[Dict[str, int]]]:
+        """Advance all streams together through one lane-packed step
+        function (each lane from reset); one trace per stream."""
+        if not input_streams:
+            return []  # mirror the interpreter's empty-batch behavior
+        batched = BatchedCompiledSimulator(
+            self.module, len(input_streams), codegen_store=self._codegen_store
+        )
+        return batched.run(input_streams)
+
+    def run_random_batch(
+        self, cycles: int, lanes: int, seed: int = 0, bias: float = 0.0
+    ) -> List[List[Dict[str, int]]]:
+        return self.run_batch(
+            random_stimulus_batch(self.module, cycles, lanes, seed, bias)
+        )
+
+
+class BatchedCompiledSimulator:
+    """K independent stimulus lanes behind one packed step function.
+
+    Lane ``k`` of every net lives at bit offset ``k * stride`` of the
+    net's slot integer; the code-generated evaluate/latch advance all
+    lanes per call (see the module docstring for the SWAR encoding).
+    Lanes never interact — outputs are bit-identical to ``lanes``
+    separate single-lane runs by construction, and the batched
+    differential gates assert it.
+
+    The scalar-facing surface is vectorized: ``poke`` takes ``{port:
+    [v0..vK-1]}``, ``peek``/``peek_net`` return per-lane lists, and
+    ``step``/``run`` exchange one input/output dict per lane.
+    """
+
+    def __init__(self, module: Module, lanes: int, codegen_store=None):
+        self.module = _flattened(module)
+        self.lanes = int(lanes)
+        if self.lanes < 1:
+            raise NetlistError(f"lanes must be >= 1, got {lanes!r}")
+        self.program = compile_netlist(
+            self.module, lanes=self.lanes, store=codegen_store
+        )
+        stride = self.program.stride
+        self._shifts = tuple(range(0, self.lanes * stride, stride))
+        slot_of = self.program.slot_of
+        # Nets wider than a lane field live as per-lane lists; packed
+        # nets as one integer (see _generate_batched_source).
+        self._wide_slots = frozenset(
+            slot_of[net.name]
+            for net in self.module.nets.values()
+            if net.width > stride - 2
+        )
+        self._slots: List[object] = [
+            [0] * self.lanes if index in self._wide_slots else 0
+            for index in range(self.program.n_slots)
+        ]
+        # Replicate each (pre-masked) register init into every lane.
+        unit = _lane_unit(self.lanes, stride)
+        self._regs: List[object] = []
+        for name, init in zip(self.program.reg_cells, self.program.reg_inits):
+            pins = self.module.cells[name].pins
+            if max(pins["d"].width, pins["q"].width) > stride - 2:
+                self._regs.append([init] * self.lanes)
+            else:
+                self._regs.append(init * unit)
+        self._fifos: List[List[deque]] = [
+            [deque() for _ in range(self.lanes)]
+            for _ in self.program.fifo_depths
+        ]
+        self._evaluate = self.program.evaluate
+        self._latch = self.program.latch
+        self._input_slots = {
+            name: (slot_of[net.name], _mask_literal(net.width))
+            for name, net in self.module.inputs()
+        }
+        self._output_slots = [
+            (
+                name,
+                slot_of[net.name],
+                _mask_literal(net.width),
+                slot_of[net.name] in self._wide_slots,
+            )
+            for name, net in self.module.outputs()
+        ]
+        self.cycle = 0
+
+    # ------------------------------------------------------------------
+
+    def poke(self, inputs: Dict[str, Sequence[int]]) -> None:
+        """Drive ports with per-lane value lists (one value per lane)."""
+        slots = self._slots
+        shifts = self._shifts
+        for name, values in inputs.items():
+            entry = self._input_slots.get(name)
+            if entry is None:
+                raise NetlistError(
+                    f"{self.module.name}: no input port {name!r}"
+                )
+            if len(values) != self.lanes:
+                raise NetlistError(
+                    f"{self.module.name}: port {name!r} got {len(values)} "
+                    f"values for {self.lanes} lanes"
+                )
+            index, mask = entry
+            if index in self._wide_slots:
+                slots[index] = [int(value) & mask for value in values]
+                continue
+            packed = 0
+            for shift, value in zip(shifts, values):
+                packed |= (int(value) & mask) << shift
+            slots[index] = packed
+
+    def _poke_vectors(self, vectors: Sequence[Dict[str, int]]) -> None:
+        """Per-lane input dicts (lane k's ports in ``vectors[k]``).
+
+        Lanes may drive different port subsets (exactly like K separate
+        scalar ``step`` calls): a port a lane omits keeps that lane's
+        previous value.  Stimulus streams drive every port every cycle,
+        so the uniform case stays on the overwrite-the-slot fast path.
+        """
+        if len(vectors) != self.lanes:
+            raise NetlistError(
+                f"{self.module.name}: got {len(vectors)} input vectors "
+                f"for {self.lanes} lanes"
+            )
+        slots = self._slots
+        shifts = self._shifts
+        first = vectors[0]
+        uniform = all(vector.keys() == first.keys() for vector in vectors)
+        if uniform:
+            for name in first:
+                entry = self._input_slots.get(name)
+                if entry is None:
+                    raise NetlistError(
+                        f"{self.module.name}: no input port {name!r}"
+                    )
+                index, mask = entry
+                if index in self._wide_slots:
+                    slots[index] = [
+                        int(vector[name]) & mask for vector in vectors
+                    ]
+                    continue
+                packed = 0
+                for shift, vector in zip(shifts, vectors):
+                    packed |= (int(vector[name]) & mask) << shift
+                slots[index] = packed
+            return
+        names = set(first)
+        for vector in vectors[1:]:
+            names.update(vector)
+        for name in names:
+            entry = self._input_slots.get(name)
+            if entry is None:
+                raise NetlistError(
+                    f"{self.module.name}: no input port {name!r}"
+                )
+            index, mask = entry
+            if index in self._wide_slots:
+                slots[index] = [
+                    (int(vector[name]) & mask) if name in vector else old
+                    for vector, old in zip(vectors, slots[index])
+                ]
+                continue
+            packed = slots[index]
+            for shift, vector in zip(shifts, vectors):
+                if name in vector:
+                    packed = (packed & ~(mask << shift)) | (
+                        (int(vector[name]) & mask) << shift
+                    )
+            slots[index] = packed
+
+    def evaluate(self) -> None:
+        self._evaluate(self._slots, self._regs, self._fifos)
+
+    def peek(self, name: str) -> List[int]:
+        net = self.module.ports.get(name)
+        if net is None:
+            raise NetlistError(f"{self.module.name}: no port {name!r}")
+        return self._unpack_slot(self.program.slot_of[net.name], net.width)
+
+    def peek_net(self, net_name: str) -> List[int]:
+        index = self.program.slot_of.get(net_name)
+        if index is None:
+            raise NetlistError(f"{self.module.name}: no net {net_name!r}")
+        return self._unpack_slot(
+            index, self.module.nets[net_name].width
+        )
+
+    def _unpack_slot(self, index: int, width: int) -> List[int]:
+        value = self._slots[index]
+        if index in self._wide_slots:
+            return list(value)
+        mask = _mask_literal(width)
+        return [(value >> shift) & mask for shift in self._shifts]
+
+    def tick(self) -> None:
+        self._latch(self._slots, self._regs, self._fifos)
+        self.cycle += 1
+
+    def step(
+        self, vectors: Optional[Sequence[Dict[str, int]]] = None
+    ) -> List[Dict[str, int]]:
+        """One cycle for every lane; returns one output dict per lane."""
+        if vectors:
+            self._poke_vectors(vectors)
+        slots = self._slots
+        self._evaluate(slots, self._regs, self._fifos)
+        outputs = [
+            {
+                name: (
+                    slots[index][lane]
+                    if is_wide
+                    else (slots[index] >> shift) & mask
+                )
+                for name, index, mask, is_wide in self._output_slots
+            }
+            for lane, shift in enumerate(self._shifts)
+        ]
+        self._latch(slots, self._regs, self._fifos)
+        self.cycle += 1
+        return outputs
+
+    def run(
+        self, input_streams: Sequence[List[Dict[str, int]]]
+    ) -> List[List[Dict[str, int]]]:
+        """Feed K equal-length streams; returns K per-lane traces."""
+        streams = [list(stream) for stream in input_streams]
+        if len(streams) != self.lanes:
+            raise NetlistError(
+                f"{self.module.name}: got {len(streams)} streams for "
+                f"{self.lanes} lanes"
+            )
+        lengths = {len(stream) for stream in streams}
+        if len(lengths) > 1:
+            raise NetlistError(
+                f"{self.module.name}: lane streams differ in length: "
+                f"{sorted(lengths)}"
+            )
+        traces: List[List[Dict[str, int]]] = [[] for _ in streams]
+        step = self.step
+        for vectors in zip(*streams):
+            for trace, outputs in zip(traces, step(vectors)):
+                trace.append(outputs)
+        return traces
+
+    def run_random(
+        self, cycles: int, seed: int = 0, bias: float = 0.0
+    ) -> List[List[Dict[str, int]]]:
+        """Seeded per-lane stimulus (lane seeds via derive_lane_seed)."""
+        return self.run(
+            random_stimulus_batch(self.module, cycles, self.lanes, seed, bias)
+        )
+
+    def run_batch(
+        self, input_streams: Sequence[List[Dict[str, int]]]
+    ) -> List[List[Dict[str, int]]]:
+        """Alias for :meth:`run`, matching the scalar backends' batch
+        surface so callers can hold either kind of engine uniformly."""
+        return self.run(input_streams)
+
+    def run_random_batch(
+        self, cycles: int, lanes: int, seed: int = 0, bias: float = 0.0
+    ) -> List[List[Dict[str, int]]]:
+        if int(lanes) != self.lanes:
+            raise NetlistError(
+                f"{self.module.name}: simulator compiled for {self.lanes} "
+                f"lanes, asked to run {lanes}"
+            )
+        return self.run_random(cycles, seed, bias)
+
 
 #: backend name → engine class; the vocabulary ``CompileSession`` and
 #: the CLI's ``--sim-backend`` validate against.
@@ -434,21 +1366,58 @@ def resolve_backend(name: str):
         ) from None
 
 
-def make_simulator(module: Module, backend: str = "interp") -> SimBackend:
-    """Instantiate the named engine over ``module``."""
-    return resolve_backend(backend)(module)
+def make_simulator(
+    module: Module,
+    backend: str = "interp",
+    *,
+    lanes: int = 1,
+    codegen_store=None,
+):
+    """Instantiate the named engine over ``module``.
+
+    ``codegen_store`` (a persistent source store, see
+    ``repro.driver.cache.CodegenStore``) only matters to the compiled
+    backend; the interpreter ignores it.  ``lanes > 1`` on the compiled
+    backend returns a :class:`BatchedCompiledSimulator` directly — the
+    lane-packed program is the only one compiled, the scalar one is
+    never touched.  The interpreter has no lane parallelism, so there
+    it returns the plain engine whose ``run_batch`` loops.
+    """
+    cls = resolve_backend(backend)
+    if cls is CompiledSimulator:
+        if lanes > 1:
+            return BatchedCompiledSimulator(
+                module, lanes, codegen_store=codegen_store
+            )
+        return cls(module, codegen_store=codegen_store)
+    return cls(module)
 
 
 def differential_check(
-    module: Module, cycles: int = 128, seed: int = 0, bias: float = 0.0
+    module: Module,
+    cycles: int = 128,
+    seed: int = 0,
+    bias: float = 0.0,
+    lanes: int = 1,
 ) -> bool:
     """True iff both backends agree bit-for-bit under shared stimulus.
 
     The correctness gate for the compiled backend: identical seeded
     input vectors drive a fresh interpreter and a fresh compiled
-    simulator; every output must match on every cycle.
+    simulator; every output must match on every cycle.  With
+    ``lanes > 1`` the same gate covers the batched engine: the
+    interpreter runs the K derived-seed streams sequentially, the
+    compiled side advances them through one lane-packed step function,
+    and all K traces must agree — which simultaneously proves batched
+    outputs bit-identical to K independent single-lane runs.
     """
     interp = Simulator(module)
-    compiled = CompiledSimulator(module)
-    stimulus = random_stimulus(interp.module, cycles, seed, bias)
-    return interp.run(stimulus) == compiled.run(stimulus)
+    if lanes == 1:
+        compiled = CompiledSimulator(interp.module)
+        stimulus = random_stimulus(interp.module, cycles, seed, bias)
+        return interp.run(stimulus) == compiled.run(stimulus)
+    # Build the batched engine directly: only the lane-packed program
+    # is compiled, never the scalar one this check wouldn't run.
+    batched = BatchedCompiledSimulator(interp.module, lanes)
+    streams = random_stimulus_batch(interp.module, cycles, lanes, seed, bias)
+    return interp.run_batch(streams) == batched.run(streams)

@@ -123,3 +123,28 @@ def test_ablation_command(capsys):
 def test_unknown_command_is_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
+
+
+def test_sim_lanes_flag_reaches_the_session(capsys):
+    assert main([
+        "table", "3", "--sim-lanes", "4", "--sim-backend", "compiled",
+        "--stats", "json",
+    ]) == 0
+    payload = json.loads(capsys.readouterr().out.splitlines()[-1])
+    assert payload["sim_lanes"] == 4
+    assert payload["sim_backend"] == "compiled"
+
+
+def test_ablation_with_lanes_and_process_executor(capsys):
+    assert main([
+        "ablation", "--workers", "2", "--executor", "process",
+        "--sim-lanes", "2", "--sim-backend", "compiled",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "Lanes" in out
+    assert "NO" not in out  # batched lanes bit-identical everywhere
+
+
+def test_executor_flag_rejects_unknown_pool():
+    with pytest.raises(SystemExit):
+        main(["ablation", "--executor", "fiber"])

@@ -1,6 +1,7 @@
 """EvalGrid: parallel fan-out with worker-count-independent results."""
 
 import threading
+import time
 
 import pytest
 
@@ -63,6 +64,100 @@ def test_worker_exception_propagates():
     grid = EvalGrid(CompileSession(), max_workers=2)
     with pytest.raises(RuntimeError, match="grid point failed"):
         grid.map(boom, [1, 2, 3])
+
+
+def test_failing_worker_cancels_outstanding_points():
+    """A raise prunes the queue instead of draining the whole grid.
+
+    Two workers (the pool path — one worker short-circuits to a plain
+    loop) and an immediately-failing first point: the failure cancels
+    the ~40 queued points, so only the couple already in flight run.
+    The old drain-then-raise behavior executed every one of them.
+    """
+    executed = []
+
+    def worker(session, point):
+        if point == "boom":
+            raise RuntimeError("first point fails")
+        executed.append(point)
+        time.sleep(0.005)
+        return point
+
+    points = ["boom"] + list(range(40))
+    grid = EvalGrid(CompileSession(), max_workers=2)
+    with pytest.raises(RuntimeError, match="first point fails"):
+        grid.map(worker, points)
+    assert len(executed) < 10, executed
+
+
+def test_grid_rejects_unknown_executor():
+    with pytest.raises(ValueError, match="unknown executor"):
+        EvalGrid(CompileSession(), executor="fiber")
+
+
+# -- process executor ---------------------------------------------------
+
+
+def _simulate_trace(session, name):
+    """Module-level (hence picklable) worker: a compiled simulate."""
+    from repro.designs.catalog import design_point
+
+    source, component, generators, params = design_point(name)
+    return session.simulate(
+        source, component, params, generators,
+        cycles=24, seed=0xA5, opt_level=2, backend="compiled",
+    ).value.outputs
+
+
+def test_process_grid_matches_thread_grid(tmp_path):
+    """Workers rebuilt from session.spec() in separate processes must
+    produce bit-identical results, rendezvousing via the disk cache."""
+    cache = str(tmp_path / "grid-cache")
+    points = ("fpu", "risc", "blas")
+    thread = EvalGrid(
+        CompileSession(opt_level=2, cache_dir=cache),
+        max_workers=3,
+        executor="thread",
+    ).map(_simulate_trace, points)
+    process = EvalGrid(
+        CompileSession(opt_level=2, cache_dir=cache),
+        max_workers=3,
+        executor="process",
+    ).map(_simulate_trace, points)
+    assert process == thread
+
+
+def test_process_workers_rendezvous_through_the_disk_cache(tmp_path):
+    cache = str(tmp_path / "grid-cache")
+    EvalGrid(
+        CompileSession(opt_level=2, cache_dir=cache),
+        max_workers=2,
+        executor="process",
+    ).map(_simulate_trace, ("fpu", "risc"))
+    # The children persisted their artifacts: a warm in-process session
+    # over the same directory is served without computing anything.
+    from repro.designs.catalog import design_point
+
+    warm = CompileSession(opt_level=2, cache_dir=cache)
+    source, component, generators, params = design_point("fpu")
+    artifact = warm.simulate(
+        source, component, params, generators,
+        cycles=24, seed=0xA5, opt_level=2, backend="compiled",
+    )
+    assert artifact.from_cache
+    assert warm.stats.counter("disk.hit") >= 1
+
+
+def test_auto_executor_falls_back_to_thread_for_closures(tmp_path):
+    cached = CompileSession(cache_dir=str(tmp_path / "c"))
+    grid = EvalGrid(cached, max_workers=4, executor="auto")
+    # Closures don't pickle -> thread; module-level fns -> process.
+    assert grid._resolve_executor(lambda s, p: p, 4, 4) == "thread"
+    assert grid._resolve_executor(_simulate_trace, 4, 4) == "process"
+    assert grid._resolve_executor(_simulate_trace, 1, 1) == "thread"
+    # No disk cache to rendezvous through -> thread.
+    uncached = EvalGrid(CompileSession(), max_workers=4, executor="auto")
+    assert uncached._resolve_executor(_simulate_trace, 4, 4) == "thread"
 
 
 def test_figure13_rows_match_across_worker_counts():

@@ -223,3 +223,52 @@ def test_freeze_params_is_order_insensitive_for_dicts():
 def test_source_digest_is_stable_and_content_sensitive():
     assert source_digest("abc") == source_digest("abc")
     assert source_digest("abc") != source_digest("abd")
+
+
+# ---------------------------------------------------------------------------
+# Multi-lane simulate.
+
+
+def test_simulate_lanes_are_distinct_cache_entries():
+    session = CompileSession(sim_backend="compiled")
+    single = session.simulate(FPU_LA_SOURCE, "FPU", {"#W": 32},
+                              generators(), cycles=16)
+    batch = session.simulate(FPU_LA_SOURCE, "FPU", {"#W": 32},
+                             generators(), cycles=16, lanes=4)
+    assert single is not batch
+    assert session.stats.miss_count("simulate") == 2
+    assert batch.value.lanes == 4
+    assert len(batch.value.outputs) == 4
+    # Lane 0 reproduces the single-lane trace (same derived seed).
+    assert batch.value.outputs[0] == single.value.outputs
+    # Requesting the same batch again is a hit.
+    assert session.simulate(FPU_LA_SOURCE, "FPU", {"#W": 32},
+                            generators(), cycles=16, lanes=4) is batch
+
+
+def test_session_default_lanes_drive_simulate():
+    session = CompileSession(sim_backend="compiled", sim_lanes=3)
+    trace = session.simulate(FPU_LA_SOURCE, "FPU", {"#W": 32},
+                             generators(), cycles=8).value
+    assert trace.lanes == 3
+    explicit = session.simulate(FPU_LA_SOURCE, "FPU", {"#W": 32},
+                                generators(), cycles=8, lanes=1).value
+    assert explicit.lanes == 1
+    assert trace.outputs[0] == explicit.outputs
+
+
+def test_session_rejects_bad_lane_counts():
+    with pytest.raises(ValueError):
+        CompileSession(sim_lanes=0)
+    session = CompileSession()
+    with pytest.raises(ValueError):
+        session.simulate(FPU_LA_SOURCE, "FPU", {"#W": 32},
+                         generators(), cycles=8, lanes=0)
+
+
+def test_session_spec_round_trips():
+    session = CompileSession(
+        verify=False, opt_level=2, sim_backend="compiled", sim_lanes=4
+    )
+    clone = CompileSession.from_spec(session.spec())
+    assert clone.spec() == session.spec()
