@@ -31,6 +31,7 @@ from .cache import (
     CacheStats,
     CodegenStore,
     DiskCache,
+    ObligationStore,
     freeze_params,
     source_digest,
 )
@@ -54,6 +55,7 @@ __all__ = [
     "Diagnostic",
     "DiskCache",
     "EvalGrid",
+    "ObligationStore",
     "OptimizedNetlist",
     "STAGES",
     "SimTrace",

@@ -42,7 +42,12 @@ from .artifact import StageArtifact
 #:
 #: v2: simulate keys gained a lane count and ``SimTrace`` gained the
 #: ``lanes`` attribute (multi-lane batched simulation).
-SCHEMA_VERSION = 2
+#:
+#: v3: new ``"smt"`` pseudo-stage (persistent obligation verdicts keyed
+#: ``(digest, SOLVER_VERSION)`` — see :class:`ObligationStore`), and SMT
+#: terms inside pickled typecheck artifacts became hash-consed (their
+#: pickle shape re-enters the intern table via ``__reduce__``).
+SCHEMA_VERSION = 3
 
 #: Soft size bound for a cache root, in bytes; the oldest entries are
 #: trimmed at attach time once the tree exceeds it.  Overridable via
@@ -369,6 +374,66 @@ class CodegenStore:
         )
         if stored:
             self.disk.stats.bump("codegen.store")
+        return stored
+
+
+class ObligationStore:
+    """Persists SMT obligation verdicts in a :class:`DiskCache`.
+
+    The adapter the type checker's discharge loop plugs into: verdict
+    payloads (status plus the SAT model in *canonical* variable names —
+    see :mod:`repro.smt.canon`) are wrapped in a ``StageArtifact`` under
+    the pseudo-stage ``"smt"`` and keyed by ``(obligation_digest,
+    SOLVER_VERSION)``.  The digest is the alpha-renamed, sorted,
+    structural hash of the full assertion set, so every process that
+    reaches a structurally equal obligation — across components,
+    designs, and runs — shares one solver verdict, and a warm
+    ``repro all`` skips the solver entirely.
+
+    Counters on the shared :class:`CacheStats`: ``smt.disk_hit`` /
+    ``smt.disk_miss`` per lookup, ``smt.store`` per write-back.
+    Corrupt or shape-invalid entries are quarantined by the underlying
+    :class:`DiskCache` exactly like any other artifact.
+    """
+
+    #: statuses a payload may carry (mirrors repro.smt.solver).
+    _STATUSES = ("sat", "unsat")
+
+    def __init__(self, disk: DiskCache):
+        self.disk = disk
+
+    @staticmethod
+    def _key(digest: str) -> Tuple:
+        from ..smt.solver import SOLVER_VERSION
+
+        return ("smt", digest, SOLVER_VERSION)
+
+    def load(self, digest: str) -> Optional[dict]:
+        artifact = self.disk.load(self._key(digest))
+        payload = artifact.value if artifact is not None else None
+        # Validate before counting: a hit means a usable verdict.
+        if (
+            not isinstance(payload, dict)
+            or payload.get("digest") != digest
+            or payload.get("status") not in self._STATUSES
+            or not (
+                payload.get("model") is None
+                or isinstance(payload.get("model"), dict)
+            )
+        ):
+            self.disk.stats.bump("smt.disk_miss")
+            return None
+        self.disk.stats.bump("smt.disk_hit")
+        return payload
+
+    def save(self, digest: str, status: str, model) -> bool:
+        key = self._key(digest)
+        payload = {"digest": digest, "status": status, "model": model}
+        stored = self.disk.store(
+            key, StageArtifact("smt", key, payload, 0.0)
+        )
+        if stored:
+            self.disk.stats.bump("smt.store")
         return stored
 
 

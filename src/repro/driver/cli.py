@@ -67,6 +67,8 @@ def _session_from_args(args) -> CompileSession:
         sim_backend=args.sim_backend,
         cache_dir=cache_dir,
         sim_lanes=args.sim_lanes,
+        typecheck_jobs=args.typecheck_jobs,
+        typecheck_executor=args.typecheck_executor,
     )
 
 
@@ -200,6 +202,45 @@ def _run_artifacts(names: List[str], args) -> int:
     return 0
 
 
+def _cmd_typecheck(args) -> int:
+    session = _session_from_args(args)
+    if args.source:
+        with open(args.source) as handle:
+            source = handle.read()
+    else:
+        source, _, _, _ = design_point(
+            args.design, args.freq, args.parallelism
+        )
+    artifact = session.typecheck(source, component=args.component)
+    reports = artifact.value
+    if not isinstance(reports, list):
+        reports = [reports]
+    failures = 0
+    for report in reports:
+        if report.obligations == 0 and not report.errors:
+            continue
+        status = "ok" if report.ok else f"{len(report.errors)} ERROR(S)"
+        print(
+            f"  {report.component:24s} {report.obligations:4d} obligations"
+            f"  {status}"
+        )
+        failures += len(report.errors)
+        for error in report.errors:
+            print("    " + error.render().replace("\n", "\n    "))
+    total = sum(r.obligations for r in reports)
+    tc = session.typecheck_stats()
+    print(
+        f"{'FAILED' if failures else 'ok'}: {total} obligations, "
+        f"{tc['solver_queries']} solver queries, "
+        f"{tc['memo_hits']} memo hits, {tc['disk_hits']} disk hits "
+        f"({artifact.seconds * 1000.0:.0f} ms"
+        f"{', cached artifact' if artifact.from_cache else ''})"
+    )
+    if args.stats:
+        _print_stats(session, args.stats)
+    return 1 if failures else 0
+
+
 def _cmd_table(args) -> int:
     return _run_artifacts([f"table{args.number}"], args)
 
@@ -257,6 +298,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     compile_.set_defaults(fn=_cmd_compile)
 
+    typecheck = sub.add_parser(
+        "typecheck",
+        help="run the SMT-backed type checker over a design or source "
+             "(per-component obligations, solver query counts, cache "
+             "hits; warm runs answer from the persistent 'smt' store)",
+    )
+    tc_group = typecheck.add_mutually_exclusive_group()
+    tc_group.add_argument(
+        "--design", choices=sorted(PRESETS), default="fpu",
+        help="bundled design preset (default: fpu)",
+    )
+    tc_group.add_argument("--source", help="path to a Lilac source file")
+    typecheck.add_argument(
+        "--component", default=None,
+        help="check one component only (default: every comp)",
+    )
+    typecheck.add_argument(
+        "--freq", type=int, default=400,
+        help="FloPoCo frequency goal in MHz (default: 400)",
+    )
+    typecheck.add_argument(
+        "--parallelism", type=int, default=16,
+        help="Aetherling parallelism for the gbp preset (default: 16)",
+    )
+    typecheck.set_defaults(fn=_cmd_typecheck, opt_level=0)
+
     table = sub.add_parser("table", help="regenerate a paper table")
     table.add_argument("number", type=int, choices=(1, 2, 3))
     table.set_defaults(fn=_cmd_table)
@@ -298,7 +365,21 @@ def build_parser() -> argparse.ArgumentParser:
             metavar="LEVEL",
             help="netlist optimization level (default: 0 — no passes)",
         )
-    for command in (compile_, table, figure, ablation, all_):
+    for command in (compile_, typecheck, table, figure, ablation, all_):
+        command.add_argument(
+            "--typecheck-jobs", type=_positive_int, default=None,
+            metavar="N",
+            help="fan whole-program typechecks over N parallel workers "
+                 "(default: sequential)",
+        )
+        command.add_argument(
+            "--typecheck-executor", choices=("thread", "process"),
+            default="thread",
+            help="pool for --typecheck-jobs: threads share the session; "
+                 "processes sidestep the GIL and rendezvous through the "
+                 "disk cache's 'smt' store",
+        )
+    for command in (compile_, typecheck, table, figure, ablation, all_):
         command.add_argument(
             "--stats", choices=("text", "json"), default=None,
             help="end-of-run cache + per-pass statistics; 'json' prints "

@@ -72,6 +72,7 @@ from .cache import (
     CacheStats,
     CodegenStore,
     DiskCache,
+    ObligationStore,
     freeze_params,
     source_digest,
 )
@@ -118,6 +119,8 @@ class CompileSession:
         sim_backend: str = "interp",
         cache_dir: Optional[str] = None,
         sim_lanes: int = 1,
+        typecheck_jobs: Optional[int] = None,
+        typecheck_executor: str = "thread",
     ):
         self.verify = verify
         self.opt_level = int(opt_level)
@@ -127,6 +130,18 @@ class CompileSession:
         self.sim_lanes = int(sim_lanes)
         if self.sim_lanes < 1:
             raise ValueError(f"sim_lanes must be >= 1, got {sim_lanes!r}")
+        self.typecheck_jobs = (
+            None if typecheck_jobs is None else int(typecheck_jobs)
+        )
+        if self.typecheck_jobs is not None and self.typecheck_jobs < 1:
+            raise ValueError(
+                f"typecheck_jobs must be >= 1, got {typecheck_jobs!r}"
+            )
+        if typecheck_executor not in ("thread", "process"):
+            raise ValueError(
+                f"unknown typecheck executor {typecheck_executor!r}"
+            )
+        self.typecheck_executor = typecheck_executor
         self.stats = CacheStats()
         disk = DiskCache(cache_dir, self.stats) if cache_dir else None
         self.cache_dir = disk.root if disk is not None else None
@@ -136,6 +151,14 @@ class CompileSession:
         #: skip levelization + code generation.
         self._codegen_store = (
             CodegenStore(self.cache.disk)
+            if self.cache.disk is not None
+            else None
+        )
+        #: persistent obligation-verdict store for the typecheck stage;
+        #: warm sessions answer solver queries from disk (the "smt"
+        #: pseudo-stage) instead of running DPLL(T).
+        self._obligation_store = (
+            ObligationStore(self.cache.disk)
             if self.cache.disk is not None
             else None
         )
@@ -164,6 +187,10 @@ class CompileSession:
             "sim_backend": self.sim_backend,
             "sim_lanes": self.sim_lanes,
             "cache_dir": self.cache_dir,
+            # Workers never fan out further: nested pools would
+            # oversubscribe, and the outer grid already parallelizes.
+            "typecheck_jobs": None,
+            "typecheck_executor": self.typecheck_executor,
         }
 
     @classmethod
@@ -214,29 +241,89 @@ class CompileSession:
         source: str,
         component: Optional[str] = None,
         stdlib: bool = True,
+        jobs: Optional[int] = None,
     ) -> StageArtifact:
         """Check one component (or, with ``component=None``, every
         ``comp`` in the program).  Errors become diagnostics — the
-        artifact is returned either way; inspect ``artifact.ok``."""
+        artifact is returned either way; inspect ``artifact.ok``.
+
+        Obligation verdicts are answered through the session's
+        persistent :class:`~repro.driver.cache.ObligationStore` when a
+        disk cache is attached, so a warm session skips the SMT solver.
+        ``jobs`` (session's ``typecheck_jobs`` when None) fans whole-
+        program checks out over an :class:`~repro.driver.grid.EvalGrid`,
+        one component per point; per-component stage artifacts make the
+        fan-out cacheable and, in process mode, let workers rendezvous
+        through the disk cache.
+        """
         key = ("typecheck", self._source_key(source, stdlib), component)
+        n_jobs = self.typecheck_jobs if jobs is None else int(jobs)
 
         def compute() -> StageArtifact:
             program = self.parse(source, stdlib).value
             start = time.perf_counter()
             if component is None:
-                reports = check_program(program, raise_on_error=False)
+                names = [c.name for c in program]
+                if n_jobs is not None and n_jobs > 1 and len(names) > 1:
+                    reports = self._typecheck_parallel(
+                        source, stdlib, names, n_jobs
+                    )
+                else:
+                    reports = check_program(
+                        program,
+                        raise_on_error=False,
+                        obligation_store=self._obligation_store,
+                        stats=self.stats,
+                    )
             else:
-                reports = [check_component(program, component)]
+                reports = [
+                    check_component(
+                        program,
+                        component,
+                        obligation_store=self._obligation_store,
+                        stats=self.stats,
+                    )
+                ]
             seconds = time.perf_counter() - start
             diagnostics = [
                 Diagnostic("error", "typecheck", error.render())
                 for report in reports
                 for error in report.errors
             ]
+            sub_timings: Dict[str, float] = {}
+            for report in reports:
+                for name, value in report.timings.items():
+                    sub_timings[name] = sub_timings.get(name, 0.0) + value
             value = reports[0] if component is not None else reports
-            return StageArtifact("typecheck", key, value, seconds, diagnostics)
+            return StageArtifact(
+                "typecheck", key, value, seconds, diagnostics,
+                sub_timings=sub_timings,
+            )
 
         return self.cache.get_or_compute(key, compute)
+
+    def _typecheck_parallel(
+        self, source: str, stdlib: bool, names: List[str], jobs: int
+    ):
+        """Whole-program typecheck over the evaluation grid.
+
+        Components are independent; each grid point runs the cached
+        per-component typecheck stage.  In process mode the obligation
+        store doubles as the rendezvous: workers persist their verdicts
+        and the parent (re-)assembles reports from per-component
+        artifacts served warm from disk.
+        """
+        import functools
+
+        from .grid import EvalGrid  # local import: grid imports session
+
+        grid = EvalGrid(
+            self, max_workers=jobs, executor=self.typecheck_executor
+        )
+        return grid.map(
+            functools.partial(_typecheck_point, stdlib=stdlib),
+            [(source, name) for name in names],
+        )
 
     def _elaborator_for(
         self, source: str, stdlib: bool, registry: GeneratorRegistry
@@ -610,6 +697,31 @@ class CompileSession:
             "hit_rate": (hits / lookups) if lookups else None,
         }
 
+    def typecheck_stats(self) -> Dict[str, object]:
+        """The front end's solver picture: query counts, cache layers.
+
+        ``queries`` is the number of obligations the DPLL(T) engine
+        actually solved; ``memo_hits``/``disk_hits`` were answered by
+        the in-process canonical memo and the persistent "smt" store.
+        """
+        counters = self.stats.snapshot()["counters"]
+        queries = counters.get("smt.queries", 0)
+        memo_hits = counters.get("smt.memo_hit", 0)
+        disk_hits = counters.get("smt.disk_hit", 0)
+        total = queries + memo_hits + disk_hits
+        return {
+            "jobs": self.typecheck_jobs,
+            "executor": self.typecheck_executor,
+            "solver_queries": queries,
+            "memo_hits": memo_hits,
+            "disk_hits": disk_hits,
+            "disk_stores": counters.get("smt.store", 0),
+            "obligations": total,
+            "cache_hit_rate": (
+                (memo_hits + disk_hits) / total if total else None
+            ),
+        }
+
     def stats_dict(self) -> Dict[str, object]:
         """Machine-readable cache + pass statistics (``--stats json``)."""
         return {
@@ -619,7 +731,15 @@ class CompileSession:
             "cache": self.stats.snapshot(),
             "disk": self.disk_stats(),
             "passes": self.pass_summary(),
+            "typecheck": self.typecheck_stats(),
         }
+
+
+def _typecheck_point(session: "CompileSession", point, stdlib: bool = True):
+    """Grid worker for parallel typecheck (module-level: process pools
+    must pickle it)."""
+    source, name = point
+    return session.typecheck(source, component=name, stdlib=stdlib).value
 
 
 # ---------------------------------------------------------------------------

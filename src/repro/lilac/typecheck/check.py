@@ -28,6 +28,8 @@ occupancy windows across all pipelined re-executions.
 from __future__ import annotations
 
 import itertools
+import os
+import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ... import smt
@@ -62,6 +64,47 @@ from ..ast import (
     Signature,
 )
 from .diagnostics import CheckReport, TypeCheckError, format_counterexample
+
+
+def use_incremental_discharge() -> bool:
+    """Whether obligations go through the shared incremental solver.
+
+    Default on; ``REPRO_SMT_INCREMENTAL=0`` selects the per-obligation
+    one-shot engine, and ``REPRO_SMT_LEGACY=1`` (the benchmark baseline)
+    implies it.
+    """
+    if _legacy_discharge():
+        return False
+    return os.environ.get("REPRO_SMT_INCREMENTAL", "1") not in ("", "0")
+
+
+def _legacy_discharge() -> bool:
+    from ...smt.terms import legacy_mode
+
+    return legacy_mode()
+
+
+def _engine_tag() -> str:
+    """Cache-key tag for the active discharge engine.
+
+    Engines agree on every obligation the designs exercise, but their
+    axiom instantiation differs in reach (the incremental pipeline
+    axiomatizes unions of queries), so verdicts are never shared across
+    engines through the cache.
+    """
+    if _legacy_discharge():
+        return "legacy"
+    return "inc" if use_incremental_discharge() else "oneshot"
+
+
+#: Process-wide obligation-verdict memo: canonical digest -> (status,
+#: model in canonical names).  Sits above the persistent
+#: ``ObligationStore``; hit on every alpha-equivalent re-discharge.
+_OBLIGATION_MEMO: Dict[str, Tuple[str, Optional[Dict[str, int]]]] = {}
+
+
+def clear_obligation_memo() -> None:
+    _OBLIGATION_MEMO.clear()
 
 
 class Obligation:
@@ -176,13 +219,31 @@ class _Write:
 
 
 class ComponentChecker:
-    """Checks a single ``comp`` component against its signature."""
+    """Checks a single ``comp`` component against its signature.
 
-    def __init__(self, program: Program, component: Component):
+    ``obligation_store`` (optional) is a persistent verdict store with
+    ``load(digest)``/``save(digest, status, model)`` — normally a
+    :class:`repro.driver.cache.ObligationStore`; ``stats`` (optional) is
+    a counter sink with ``bump(name, amount)`` — normally the session's
+    :class:`repro.driver.cache.CacheStats`.  Both are duck-typed so this
+    module never imports the driver.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        component: Component,
+        obligation_store=None,
+        stats=None,
+    ):
         if component.signature.kind != COMP:
             raise LilacError("only comp components have bodies to check")
         self.program = program
         self.component = component
+        self.obligation_store = obligation_store
+        self.stats = stats
+        self.counters: Dict[str, int] = {}
+        self.timings: Dict[str, float] = {}
         self.sig = component.signature
         self.errors: List[TypeCheckError] = []
         self.obligations: List[Obligation] = []
@@ -549,8 +610,16 @@ class ComponentChecker:
         except LilacError as err:
             self.errors.append(TypeCheckError(self.sig.name, str(err), {}))
             return CheckReport(self.sig.name, self.errors, 0)
+        start = time.perf_counter()
         self._discharge()
-        return CheckReport(self.sig.name, self.errors, len(self.obligations))
+        self.timings["smt.discharge"] = time.perf_counter() - start
+        return CheckReport(
+            self.sig.name,
+            self.errors,
+            len(self.obligations),
+            counters=dict(self.counters),
+            timings=dict(self.timings),
+        )
 
     def _setup_signature(self) -> None:
         for param in self.sig.params:
@@ -1008,41 +1077,203 @@ class ComponentChecker:
     # Discharge.
 
     def _discharge(self) -> None:
+        """Discharge every obligation, reporting SAT results as errors.
+
+        Two engines: the default *incremental* engine shares one
+        :class:`repro.smt.IncrementalSolver` (preprocessing state,
+        Tseitin encoding of the facts, learned theory lemmas) across all
+        of the component's obligations; the one-shot engine builds a
+        fresh solver per obligation over a symbol-pruned fact set.  Set
+        ``REPRO_SMT_INCREMENTAL=0`` (or ``REPRO_SMT_LEGACY=1``) to force
+        the one-shot path.
+        """
+        if use_incremental_discharge():
+            self._discharge_incremental()
+        else:
+            self._discharge_oneshot()
+
+    def _bump(self, name: str, amount: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + amount
+        if self.stats is not None:
+            self.stats.bump(name, amount)
+
+    def _time(self, name: str, start: float) -> None:
+        self.timings[name] = (
+            self.timings.get(name, 0.0) + time.perf_counter() - start
+        )
+
+    def _obligation_assertions(
+        self, obligation: Obligation
+    ) -> Tuple[List[smt.Term], int]:
+        """The full assertion set the obligation's verdict is a function
+        of (visible facts + local facts + path + negated goal)."""
+        upto = (
+            len(self.facts)
+            if obligation.facts_upto < 0
+            else obligation.facts_upto
+        )
+        assertions = (
+            list(self.facts[:upto])
+            + list(obligation.facts)
+            + [obligation.path, smt.Not(obligation.goal)]
+        )
+        return assertions, upto
+
+    def _cached_discharge(self, assertions, solve) -> "smt.Result":
+        """Dispatch one obligation through the verdict caches.
+
+        Layering: canonical digest → in-process memo → persistent store
+        → ``solve()`` (the actual engine).  Verdicts are stored with
+        models in canonical names; a hit translates the model back into
+        this query's own names.  Legacy mode bypasses the caches so the
+        benchmark baseline stays faithful to the pre-cache pipeline.
+        """
+        if _legacy_discharge():
+            self._bump("smt.queries")
+            start = time.perf_counter()
+            result = solve()
+            self._time("smt.solve", start)
+            return result
+        start = time.perf_counter()
+        canon = smt.canonical_query(assertions, tag=_engine_tag())
+        self._time("smt.canonicalize", start)
+        entry = _OBLIGATION_MEMO.get(canon.digest)
+        if entry is not None:
+            self._bump("smt.memo_hit")
+        elif self.obligation_store is not None:
+            payload = self.obligation_store.load(canon.digest)
+            if payload is not None:
+                entry = (payload["status"], payload["model"])
+                _OBLIGATION_MEMO[canon.digest] = entry
+        if entry is None:
+            self._bump("smt.queries")
+            start = time.perf_counter()
+            result = solve()
+            self._time("smt.solve", start)
+            canonical_model = smt.translate_model(
+                result.model, canon.to_canonical
+            )
+            _OBLIGATION_MEMO[canon.digest] = (result.status, canonical_model)
+            if self.obligation_store is not None:
+                self.obligation_store.save(
+                    canon.digest, result.status, canonical_model
+                )
+            return result
+        status, canonical_model = entry
+        return smt.Result(
+            status, smt.translate_model(canonical_model, canon.to_original)
+        )
+
+    def _solve_obligation(self, obligation: Obligation) -> "smt.Result":
+        """One-shot discharge of a single obligation (also the reference
+        engine for differential tests)."""
+        visible = (
+            self.facts
+            if obligation.facts_upto < 0
+            else self.facts[: obligation.facts_upto]
+        )
+        relevant = _prune_facts(
+            list(visible) + list(obligation.facts),
+            [obligation.goal, obligation.path],
+        )
+        solver = smt.Solver()
+        solver.add(*relevant)
+        solver.add(obligation.path)
+        solver.add(smt.Not(obligation.goal))
+        return solver.check()
+
+    def _record_result(self, obligation: Obligation, result) -> None:
+        if result.is_sat:
+            counterexample = format_counterexample(
+                result.model or {}, self.display
+            )
+            self.errors.append(
+                TypeCheckError(
+                    self.sig.name, obligation.message, counterexample,
+                    kind=obligation.kind,
+                )
+            )
+
+    def _discharge_oneshot(self) -> None:
         for obligation in self.obligations:
-            visible = (
-                self.facts
-                if obligation.facts_upto < 0
-                else self.facts[: obligation.facts_upto]
+            assertions, _ = self._obligation_assertions(obligation)
+            result = self._cached_discharge(
+                assertions,
+                lambda obligation=obligation: self._solve_obligation(
+                    obligation
+                ),
             )
-            relevant = _prune_facts(
-                list(visible) + list(obligation.facts),
-                [obligation.goal, obligation.path],
+            self._record_result(obligation, result)
+
+    def _discharge_incremental(self) -> None:
+        """All obligations through one shared incremental solver.
+
+        Obligations are processed in fact-visibility order — the shared
+        solver asserts facts permanently, so an obligation must not run
+        after facts beyond its snapshot are asserted (the snapshot
+        exists precisely to keep where-clause proofs non-vacuous).  The
+        solver itself is created lazily: a fully cache-served component
+        never builds one.  Errors are still reported in obligation
+        order.
+        """
+        total = len(self.facts)
+        order = sorted(
+            range(len(self.obligations)),
+            key=lambda i: (
+                total
+                if self.obligations[i].facts_upto < 0
+                else self.obligations[i].facts_upto,
+                i,
+            ),
+        )
+        engine: Dict[str, object] = {"solver": None, "asserted": 0}
+
+        def solve_incremental(obligation: Obligation, upto: int):
+            solver = engine["solver"]
+            if solver is None:
+                solver = engine["solver"] = smt.IncrementalSolver()
+            if upto > engine["asserted"]:
+                solver.add(*self.facts[engine["asserted"] : upto])
+                engine["asserted"] = upto
+            # Obligation-local facts (renamed copies for pair
+            # obligations) are filtered by the same goal-anchored
+            # relevance closure the one-shot engine applies; the solver
+            # restricts the permanently asserted facts internally.
+            kept = set(
+                _prune_facts(
+                    list(self.facts[:upto]) + list(obligation.facts),
+                    [obligation.goal, obligation.path],
+                )
             )
-            solver = smt.Solver()
-            solver.add(*relevant)
-            solver.add(obligation.path)
-            solver.add(smt.Not(obligation.goal))
-            result = solver.check()
-            if result.is_sat:
-                counterexample = format_counterexample(
-                    result.model or {}, self.display
-                )
-                self.errors.append(
-                    TypeCheckError(
-                        self.sig.name, obligation.message, counterexample,
-                        kind=obligation.kind,
-                    )
-                )
+            extras = [fact for fact in obligation.facts if fact in kept]
+            return solver.check(
+                *extras, obligation.path, smt.Not(obligation.goal)
+            )
+
+        results: Dict[int, object] = {}
+        for index in order:
+            obligation = self.obligations[index]
+            assertions, upto = self._obligation_assertions(obligation)
+            results[index] = self._cached_discharge(
+                assertions,
+                lambda obligation=obligation, upto=upto: solve_incremental(
+                    obligation, upto
+                ),
+            )
+        for index, obligation in enumerate(self.obligations):
+            self._record_result(obligation, results[index])
 
 
 def _symbols(term: smt.Term):
-    """Variable names and UF symbols occurring in a term."""
-    names = set()
-    for sub in smt.subterms(term):
-        if sub.op == "var":
-            names.add(sub.name)
-        elif sub.op == "app":
-            names.add(f"@{sub.name}")
+    """Variable names and UF symbols occurring in a term.
+
+    Built from the per-term cached ``free_vars``/``apps`` sets, so the
+    repeated closures the discharge loop runs cost hash lookups, not
+    term walks.
+    """
+    names = {v.name for v in smt.free_vars(term)}
+    for app in smt.apps(term):
+        names.add(f"@{app.name}")
     return names
 
 
@@ -1075,19 +1306,38 @@ def _prune_facts(facts, anchors):
     return kept
 
 
-def check_component(program: Program, name: str) -> CheckReport:
+def check_component(
+    program: Program,
+    name: str,
+    obligation_store=None,
+    stats=None,
+) -> CheckReport:
     """Type check one component of a program."""
     component = program.get(name)
     if component.signature.kind != COMP:
         return CheckReport(name, [], 0)
-    return ComponentChecker(program, component).check()
+    return ComponentChecker(
+        program, component, obligation_store=obligation_store, stats=stats
+    ).check()
 
 
-def check_program(program: Program, raise_on_error: bool = True) -> List[CheckReport]:
+def check_program(
+    program: Program,
+    raise_on_error: bool = True,
+    obligation_store=None,
+    stats=None,
+) -> List[CheckReport]:
     """Type check every ``comp`` component in the program."""
     reports = []
     for component in program:
-        reports.append(check_component(program, component.name))
+        reports.append(
+            check_component(
+                program,
+                component.name,
+                obligation_store=obligation_store,
+                stats=stats,
+            )
+        )
     if raise_on_error:
         failures = [r for r in reports if r.errors]
         if failures:

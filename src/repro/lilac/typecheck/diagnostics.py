@@ -32,6 +32,16 @@ class TypeCheckError(LilacError):
         self.kind = kind
         super().__init__(self.render())
 
+    def __reduce__(self):
+        # Exception's default reduce replays ``args`` (the rendered
+        # text) into __init__, which does not match this signature —
+        # reports carrying errors must survive pickling for the disk
+        # cache and the process-pool typecheck executor.
+        return (
+            TypeCheckError,
+            (self.component, self.reason, self.counterexample, self.kind),
+        )
+
     def render(self) -> str:
         lines = [f"[{self.component}] {self.reason}"]
         if self.counterexample:
@@ -44,12 +54,26 @@ class TypeCheckError(LilacError):
 
 
 class CheckReport:
-    """Outcome of checking one component."""
+    """Outcome of checking one component.
 
-    def __init__(self, component: str, errors: List[TypeCheckError], obligations: int):
+    ``counters``/``timings`` carry the discharge loop's solver
+    statistics (query counts, cache hits, per-phase wall time) — the
+    session aggregates them into ``--stats json``.
+    """
+
+    def __init__(
+        self,
+        component: str,
+        errors: List[TypeCheckError],
+        obligations: int,
+        counters: Optional[Dict[str, int]] = None,
+        timings: Optional[Dict[str, float]] = None,
+    ):
         self.component = component
         self.errors = errors
         self.obligations = obligations
+        self.counters = counters or {}
+        self.timings = timings or {}
 
     @property
     def ok(self) -> bool:

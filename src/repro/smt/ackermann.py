@@ -6,6 +6,12 @@ input parameters (section 4.2 of the paper): ``Max[#A,#B]::#O`` becomes
 with few distinct applications, so Ackermann's reduction — replace each
 application with a fresh variable and add pairwise functional-consistency
 implications — is a simple, complete way to reach pure linear arithmetic.
+
+:class:`Ackermannizer` is the stateful core: one instance keeps the
+application-to-variable mapping alive across many formulas, so the
+incremental solver reuses fresh variables for repeated applications and
+emits each pairwise consistency constraint exactly once (new
+applications are paired against everything seen before them).
 """
 
 from __future__ import annotations
@@ -15,53 +21,85 @@ from typing import Dict, List, Tuple
 from .terms import Term, And, Eq, Implies, Int, apps, substitute
 
 
+class Ackermannizer:
+    """Stateful Ackermann reduction shared across formulas."""
+
+    def __init__(self):
+        #: application term -> fresh integer variable, insertion-ordered.
+        self.mapping: Dict[Term, Term] = {}
+        self._order: List[Term] = []
+        self._counter = 0
+
+    def _fresh_for(self, app: Term) -> Term:
+        self._counter += 1
+        return Int(f"@{app.name}!{self._counter}")
+
+    def process(self, formula: Term) -> Tuple[Term, List[Term]]:
+        """Remove all uninterpreted applications from ``formula``.
+
+        Returns ``(reduced_formula, new_consistency_constraints)``; the
+        constraints cover every (new, previously seen) pair plus the new
+        pairs among themselves, so over a sequence of calls the full
+        pairwise set is emitted exactly once.
+        """
+        fresh_start = len(self._order)
+        current = formula
+        # Innermost-first rounds: nested applications (log2(exp2(x))) need
+        # their arguments rewritten before the outer application is keyed.
+        while True:
+            remaining = [a for a in apps(current) if not apps_in_args(a)]
+            if not remaining:
+                if apps(current):
+                    # Only nested apps remain whose args still contain apps —
+                    # impossible since we remove innermost each round.
+                    raise AssertionError("ackermannization failed to converge")
+                break
+            round_map = {}
+            for app in sorted(remaining, key=lambda t: t.sexpr()):
+                if app not in self.mapping:
+                    var = self._fresh_for(app)
+                    self.mapping[app] = var
+                    self._order.append(app)
+                round_map[app] = self.mapping[app]
+            current = substitute(current, round_map)
+
+        # Pair every application with each *new* one after it, in the
+        # same (first, second) lexicographic order the one-shot
+        # reduction always used — constraint order feeds Tseitin
+        # variable numbering and hence the search trajectory, so parity
+        # matters for reproducibility, not just semantics.
+        constraints: List[Term] = []
+        for index, first in enumerate(self._order):
+            for second_index in range(
+                max(index + 1, fresh_start), len(self._order)
+            ):
+                second = self._order[second_index]
+                if (
+                    first.name != second.name
+                    or len(first.args) != len(second.args)
+                ):
+                    continue
+                args_equal = And(
+                    *[Eq(a, b) for a, b in zip(first.args, second.args)]
+                )
+                constraints.append(
+                    Implies(
+                        args_equal, Eq(self.mapping[first], self.mapping[second])
+                    )
+                )
+        return current, constraints
+
+
 def ackermannize(formula: Term) -> Tuple[Term, List[Term], Dict[Term, Term]]:
-    """Remove all uninterpreted applications from ``formula``.
+    """One-shot wrapper: remove all uninterpreted applications.
 
     Returns ``(reduced_formula, consistency_constraints, mapping)`` where
     ``mapping`` sends each original application term to its fresh variable
     (useful for reporting models in terms of output parameters).
     """
-    mapping: Dict[Term, Term] = {}
-    order: List[Term] = []
-    counter = [0]
-
-    def fresh_for(app: Term) -> Term:
-        counter[0] += 1
-        return Int(f"@{app.name}!{counter[0]}")
-
-    current = formula
-    # Innermost-first rounds: nested applications (log2(exp2(x))) need their
-    # arguments rewritten before the outer application is keyed.
-    while True:
-        remaining = [a for a in apps(current) if not apps_in_args(a)]
-        if not remaining:
-            if apps(current):
-                # Only nested apps remain whose args still contain apps —
-                # impossible since we remove innermost each round.
-                raise AssertionError("ackermannization failed to converge")
-            break
-        round_map = {}
-        for app in sorted(remaining, key=lambda t: t.sexpr()):
-            if app not in mapping:
-                var = fresh_for(app)
-                mapping[app] = var
-                order.append(app)
-            round_map[app] = mapping[app]
-        current = substitute(current, round_map)
-
-    constraints: List[Term] = []
-    for i, first in enumerate(order):
-        for second in order[i + 1 :]:
-            if first.name != second.name or len(first.args) != len(second.args):
-                continue
-            args_equal = And(
-                *[Eq(a, b) for a, b in zip(first.args, second.args)]
-            )
-            constraints.append(
-                Implies(args_equal, Eq(mapping[first], mapping[second]))
-            )
-    return current, constraints, mapping
+    reducer = Ackermannizer()
+    reduced, constraints = reducer.process(formula)
+    return reduced, constraints, reducer.mapping
 
 
 def apps_in_args(app: Term) -> bool:

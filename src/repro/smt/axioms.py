@@ -30,7 +30,41 @@ EXP2 = "exp2"
 
 def instantiate_axioms(formula: Term) -> List[Term]:
     """Produce axioms for every log2/exp2 application in ``formula``."""
-    applications = sorted(apps(formula), key=lambda t: t.sexpr())
+    return _axioms_for(sorted(apps(formula), key=lambda t: t.sexpr()))
+
+
+class AxiomInstantiator:
+    """Stateful instantiation across a growing application population.
+
+    Each call re-derives the axiom set over *all* log2/exp2 applications
+    seen so far and returns only the axioms not emitted before, so
+    cross-formula pairs (monotonicity, shift facts) are covered exactly
+    once — incremental queries see at least the axioms a one-shot query
+    over the same conjunction would.
+    """
+
+    def __init__(self):
+        self._apps: set = set()
+        self._emitted: set = set()
+
+    def process(self, formulas) -> List[Term]:
+        changed = False
+        for formula in formulas:
+            for app in apps(formula):
+                if app.name in (LOG2, EXP2) and app not in self._apps:
+                    self._apps.add(app)
+                    changed = True
+        if not changed:
+            return []
+        fresh: List[Term] = []
+        for axiom in _axioms_for(sorted(self._apps, key=lambda t: t.sexpr())):
+            if axiom not in self._emitted:
+                self._emitted.add(axiom)
+                fresh.append(axiom)
+        return fresh
+
+
+def _axioms_for(applications) -> List[Term]:
     log_apps = [a for a in applications if a.name == LOG2]
     exp_apps = [a for a in applications if a.name == EXP2]
     axioms: List[Term] = []

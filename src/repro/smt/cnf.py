@@ -8,10 +8,11 @@ inequalities over integer terms) are mapped to boolean variables through an
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Set, Tuple
 
 from .terms import (
     Term,
+    subterms,
     OP_AND,
     OP_OR,
     OP_NOT,
@@ -83,6 +84,27 @@ class CnfBuilder:
             return
         literal = self._encode(formula)
         self.clauses.append((literal,))
+
+    def literal_of(self, formula: Term) -> int:
+        """Encode ``formula`` and return its representing literal
+        *without* asserting it — the incremental solver asserts it under
+        an assumption guard instead."""
+        return self._encode(formula)
+
+    def vars_of(self, formula: Term) -> Set[int]:
+        """Boolean variables of an already-encoded formula's DAG.
+
+        Every boolean-sorted subterm the Tseitin cache knows contributes
+        its variable; the result is the decision set a query needs to be
+        searched completely (atoms plus definitional variables), however
+        long ago its shared subformulas were first encoded.
+        """
+        out: Set[int] = set()
+        for sub in subterms(formula):
+            literal = self._cache.get(sub)
+            if literal is not None:
+                out.add(abs(literal))
+        return out
 
     def _encode(self, term: Term) -> int:
         """Return a literal equisatisfiably representing ``term``."""

@@ -24,7 +24,7 @@ from __future__ import annotations
 from math import gcd
 from typing import Dict, List, Optional, Tuple
 
-from .terms import Term, Int
+from .terms import Term, Int, legacy_mode as _legacy
 
 Model = Dict[Term, int]
 
@@ -46,38 +46,64 @@ class LinExpr:
                     self.coeffs[var] = coeff
         self.const = const
 
+    @classmethod
+    def _raw(cls, coeffs: Dict[Term, int], const: int) -> "LinExpr":
+        """Internal fast path: adopt a pre-filtered coefficient dict.
+
+        The public constructor re-filters zero coefficients on every
+        call; the arithmetic methods below never produce zeros (integer
+        products of non-zeros are non-zero, sums drop zeros eagerly),
+        so they skip that pass — it dominated solver profiles.
+        """
+        self = object.__new__(cls)
+        self.coeffs = coeffs
+        self.const = const
+        return self
+
     @staticmethod
     def constant(value: int) -> "LinExpr":
-        return LinExpr(const=value)
+        return LinExpr._raw({}, value)
 
     @staticmethod
     def of_var(var: Term, coeff: int = 1) -> "LinExpr":
-        return LinExpr({var: coeff})
+        if coeff == 0:
+            return LinExpr._raw({}, 0)
+        return LinExpr._raw({var: coeff}, 0)
 
     def copy(self) -> "LinExpr":
-        return LinExpr(dict(self.coeffs), self.const)
+        return LinExpr._raw(dict(self.coeffs), self.const)
 
     def add(self, other: "LinExpr") -> "LinExpr":
-        out = self.copy()
+        coeffs = dict(self.coeffs)
+        get = coeffs.get
         for var, coeff in other.coeffs.items():
-            new = out.coeffs.get(var, 0) + coeff
+            new = get(var, 0) + coeff
             if new:
-                out.coeffs[var] = new
+                coeffs[var] = new
             else:
-                out.coeffs.pop(var, None)
-        out.const += other.const
-        return out
+                del coeffs[var]
+        return LinExpr._raw(coeffs, self.const + other.const)
 
     def scale(self, factor: int) -> "LinExpr":
         if factor == 0:
-            return LinExpr()
-        return LinExpr(
+            return LinExpr._raw({}, 0)
+        if factor == 1:
+            return self
+        return LinExpr._raw(
             {var: coeff * factor for var, coeff in self.coeffs.items()},
             self.const * factor,
         )
 
     def sub(self, other: "LinExpr") -> "LinExpr":
-        return self.add(other.scale(-1))
+        coeffs = dict(self.coeffs)
+        get = coeffs.get
+        for var, coeff in other.coeffs.items():
+            new = get(var, 0) - coeff
+            if new:
+                coeffs[var] = new
+            else:
+                del coeffs[var]
+        return LinExpr._raw(coeffs, self.const - other.const)
 
     def is_const(self) -> bool:
         return not self.coeffs
@@ -86,9 +112,9 @@ class LinExpr:
         return self.coeffs.get(var, 0)
 
     def without(self, var: Term) -> "LinExpr":
-        out = self.copy()
-        out.coeffs.pop(var, None)
-        return out
+        coeffs = dict(self.coeffs)
+        coeffs.pop(var, None)
+        return LinExpr._raw(coeffs, self.const)
 
     def substitute(self, var: Term, replacement: "LinExpr") -> "LinExpr":
         coeff = self.coeffs.get(var)
@@ -120,14 +146,40 @@ class LinExpr:
         return " + ".join(parts)
 
 
+#: Interned-term -> LinExpr memo.  Hash-consed terms make the key O(1)
+#: and the conversion is referentially transparent; every LinExpr
+#: operation returns a fresh object, so sharing memoized results is
+#: safe as long as callers never mutate ``coeffs`` in place (none do).
+_LINEXPR_MEMO: Dict[Term, LinExpr] = {}
+
+
+def clear_linexpr_memo() -> None:
+    _LINEXPR_MEMO.clear()
+    _ELIM_PLAN_MEMO.clear()
+
+
 def linexpr_of_term(term: Term) -> LinExpr:
-    """Convert an integer term into a LinExpr.
+    """Convert an integer term into a LinExpr (memoized on identity).
 
     Variables and uninterpreted applications become atomic variables.
     Multiplication is only allowed when at most one factor is non-constant;
     anything else raises :class:`NonLinearError` (the solver abstracts
     non-linear products before reaching this point).
     """
+    # Memo first: this is the theory layer's hottest entry point, and
+    # the legacy-mode env check belongs on the miss path only.  Legacy
+    # runs start from cleared caches and never *store*, so they stay
+    # memo-free in practice without paying an environ lookup per call.
+    hit = _LINEXPR_MEMO.get(term)
+    if hit is not None:
+        return hit
+    out = _linexpr_of_term(term)
+    if not _legacy():
+        _LINEXPR_MEMO[term] = out
+    return out
+
+
+def _linexpr_of_term(term: Term) -> LinExpr:
     op = term.op
     if op == "intval":
         return LinExpr.constant(term.value)
@@ -202,15 +254,78 @@ def solve_system(
     """Decide ``/\\ eq == 0  /\\  ineq <= 0`` over the integers.
 
     Returns a model (dict mapping variable Terms to ints) when satisfiable
-    and None when unsatisfiable.
+    and None when unsatisfiable.  LinExprs are never mutated by the
+    procedure (every operation returns a fresh object), so the inputs
+    are used as-is — which also lets the equality-elimination plan cache
+    key on row identity.
     """
     fresh = _FreshVars()
-    return _solve(
-        [e.copy() for e in equalities],
-        [i.copy() for i in inequalities],
-        fresh,
-        max_splinter_depth,
-    )
+    return _solve(list(equalities), list(inequalities), fresh,
+                  max_splinter_depth)
+
+
+#: Equality-set (by row object ids) -> elimination plan.  Elimination
+#: derives its substitutions from the equalities alone; the DPLL(T) hook
+#: re-solves systems over the same (memoized, shared) equality rows with
+#: varying inequality sides thousands of times, so the plan is computed
+#: once per distinct set.  The value holds strong references to the rows,
+#: which pins their ids and makes the id-based key collision-free.
+_ELIM_PLAN_MEMO: Dict[tuple, tuple] = {}
+_INFEASIBLE = object()
+
+
+def _apply_map(expr: LinExpr, mapping: Dict[Term, LinExpr]) -> LinExpr:
+    """Simultaneous substitution of variables by linear expressions."""
+    touched = [var for var in expr.coeffs if var in mapping]
+    if not touched:
+        return expr
+    coeffs: Dict[Term, int] = {}
+    const = expr.const
+    for var, coeff in expr.coeffs.items():
+        replacement = mapping.get(var)
+        if replacement is None:
+            new = coeffs.get(var, 0) + coeff
+            if new:
+                coeffs[var] = new
+            else:
+                coeffs.pop(var, None)
+            continue
+        const += replacement.const * coeff
+        for other, weight in replacement.coeffs.items():
+            new = coeffs.get(other, 0) + weight * coeff
+            if new:
+                coeffs[other] = new
+            else:
+                coeffs.pop(other, None)
+    return LinExpr._raw(coeffs, const)
+
+
+def _elimination_plan(eqs: List[LinExpr]):
+    """``(substitutions, composed_map)`` eliminating ``eqs``, or
+    ``_INFEASIBLE`` when the equalities alone have no integer solution.
+
+    ``substitutions`` is the sequential record (model rebuild applies it
+    in reverse); ``composed_map`` is the same sequence composed into one
+    simultaneous substitution, so each inequality is rewritten in a
+    single pass instead of once per eliminated equality.
+    """
+    key = tuple(sorted(map(id, eqs)))
+    hit = _ELIM_PLAN_MEMO.get(key)
+    if hit is not None:
+        return hit[1]
+    substitutions: List[Tuple[Term, LinExpr]] = []
+    result = _eliminate_equalities(list(eqs), [], substitutions)
+    if result is None:
+        plan = _INFEASIBLE
+    else:
+        composed: Dict[Term, LinExpr] = {}
+        for var, replacement in reversed(substitutions):
+            composed[var] = _apply_map(replacement, composed)
+        plan = (tuple(substitutions), composed)
+    if len(_ELIM_PLAN_MEMO) >= 100_000:
+        _ELIM_PLAN_MEMO.clear()
+    _ELIM_PLAN_MEMO[key] = (list(eqs), plan)
+    return plan
 
 
 def _solve(
@@ -219,11 +334,20 @@ def _solve(
     fresh: _FreshVars,
     depth: int,
 ) -> Optional[Model]:
-    substitutions: List[Tuple[Term, LinExpr]] = []
-    result = _eliminate_equalities(eqs, ineqs, substitutions)
-    if result is None:
-        return None
-    ineqs = result
+    if _legacy():
+        substitutions: List[Tuple[Term, LinExpr]] = []
+        result = _eliminate_equalities(eqs, ineqs, substitutions)
+        if result is None:
+            return None
+        ineqs = result
+    else:
+        plan = _elimination_plan(eqs)
+        if plan is _INFEASIBLE:
+            return None
+        sequential, composed = plan
+        substitutions = list(sequential)
+        if composed:
+            ineqs = [_apply_map(i, composed) for i in ineqs]
     model = _solve_inequalities(ineqs, fresh, depth)
     if model is None:
         return None
@@ -312,17 +436,40 @@ def _solve_inequalities(
     fresh: _FreshVars,
     depth: int,
 ) -> Optional[Model]:
-    # Normalize, drop trivial, fail fast on constant violations.
-    work: List[LinExpr] = []
-    for ineq in ineqs:
-        norm = _normalize_ineq(ineq)
-        if norm.is_const():
-            if norm.const > 0:
-                return None
-            continue
-        work.append(norm)
-    if not work:
-        return {}
+    # Normalize, drop trivial, fail fast on constant violations, and
+    # keep only the tightest bound per coefficient vector: the checker's
+    # queries contain many parallel copies of the same inequality
+    # (renamed loop facts, congruence instances), and every redundant
+    # row multiplies Fourier--Motzkin's output.  ``expr <= 0`` means
+    # ``sum <= -const``, so for one vector the largest const dominates.
+    if _legacy():
+        # Pre-PR5 behaviour for the benchmark baseline: normalize and
+        # keep every row, including dominated duplicates.
+        work = []
+        for ineq in ineqs:
+            norm = _normalize_ineq(ineq)
+            if norm.is_const():
+                if norm.const > 0:
+                    return None
+                continue
+            work.append(norm)
+        if not work:
+            return {}
+    else:
+        tightest: Dict[frozenset, LinExpr] = {}
+        for ineq in ineqs:
+            norm = _normalize_ineq(ineq)
+            if norm.is_const():
+                if norm.const > 0:
+                    return None
+                continue
+            key = frozenset(norm.coeffs.items())
+            prev = tightest.get(key)
+            if prev is None or norm.const > prev.const:
+                tightest[key] = norm
+        work = list(tightest.values())
+        if not work:
+            return {}
 
     variables = set()
     for ineq in work:
@@ -399,6 +546,156 @@ def _solve_inequalities(
             if model is not None:
                 return model
     return None
+
+
+# ---------------------------------------------------------------------------
+# Certificate extraction: a provenance-tracking re-run of the decision
+# procedure that returns *which input rows* derive a contradiction.
+# Used by conflict minimization — one certificate run replaces dozens of
+# deletion probes.  Only sound derivations contribute: when a non-exact
+# dark-shadow step (or depth exhaustion) would be needed, no certificate
+# is produced and the caller falls back to deletion minimization.
+
+def core_of_system(
+    eqs: List[Tuple[LinExpr, frozenset]],
+    ineqs: List[Tuple[LinExpr, frozenset]],
+    depth: int = 64,
+) -> Optional[frozenset]:
+    """An unsatisfiable subset of the tagged rows, as a union of tags.
+
+    Rows are ``(expr, tags)`` meaning ``expr == 0`` / ``expr <= 0``;
+    every derived constraint carries the union of its parents' tags, so
+    a constant violation's tag set is a genuine Farkas-style certificate.
+    Returns None when the system is satisfiable *or* no certificate
+    could be established.
+    """
+    eqs = [(expr.copy(), tags) for expr, tags in eqs]
+    ineqs = [(expr.copy(), tags) for expr, tags in ineqs]
+    out = _core_eliminate_equalities(eqs, ineqs)
+    if isinstance(out, frozenset):
+        return out
+    return _core_inequalities(out, depth)
+
+
+def _core_eliminate_equalities(eqs, ineqs):
+    """Tagged equality elimination; returns a core or the rewritten
+    inequality rows."""
+    eqs = list(eqs)
+    ineqs = list(ineqs)
+    while eqs:
+        eq, tags = eqs.pop()
+        if eq.is_const():
+            if eq.const != 0:
+                return tags
+            continue
+        g = 0
+        for coeff in eq.coeffs.values():
+            g = gcd(g, abs(coeff))
+        if eq.const % g != 0:
+            return tags
+        if g > 1:
+            eq = LinExpr(
+                {var: coeff // g for var, coeff in eq.coeffs.items()},
+                eq.const // g,
+            )
+        var = _pick_equality_var(eq)
+        coeff = eq.coeffs[var]
+        if abs(coeff) == 1:
+            rest = eq.without(var).scale(-1 if coeff > 0 else 1)
+            eqs = [
+                (e.substitute(var, rest), t | tags if var in e.coeffs else t)
+                for e, t in eqs
+            ]
+            ineqs = [
+                (i.substitute(var, rest), t | tags if var in i.coeffs else t)
+                for i, t in ineqs
+            ]
+            continue
+        replacement = LinExpr.of_var(var)
+        changed = False
+        for other, other_coeff in list(eq.coeffs.items()):
+            if other is var:
+                continue
+            quotient = other_coeff // coeff
+            if quotient:
+                replacement = replacement.add(LinExpr.of_var(other, -quotient))
+                changed = True
+        const_quotient = eq.const // coeff
+        if const_quotient:
+            replacement = replacement.add(LinExpr.constant(-const_quotient))
+            changed = True
+        if not changed:
+            raise AssertionError("equality elimination made no progress")
+        # The unimodular rewrite redefines ``var`` in terms of itself and
+        # the other variables; the equation stays in play, so its tags
+        # ride along with the rewritten equation rather than the rows.
+        eqs.append((eq.substitute(var, replacement), tags))
+        ineqs = [(i.substitute(var, replacement), t) for i, t in ineqs]
+    return ineqs
+
+
+def _core_inequalities(rows, depth: int) -> Optional[frozenset]:
+    if depth <= 0:
+        return None
+    tightest: Dict[frozenset, Tuple[LinExpr, frozenset]] = {}
+    for expr, tags in rows:
+        norm = _normalize_ineq(expr)
+        if norm.is_const():
+            if norm.const > 0:
+                return tags
+            continue
+        key = frozenset(norm.coeffs.items())
+        prev = tightest.get(key)
+        if prev is None or norm.const > prev[0].const:
+            tightest[key] = (norm, tags)
+    work = list(tightest.values())
+    if not work:
+        return None  # satisfiable
+
+    variables = set()
+    for expr, _ in work:
+        variables.update(expr.variables())
+
+    # One-sided variables cannot participate in a contradiction; peel.
+    for var in sorted(variables, key=lambda v: v.sexpr()):
+        lowers = [row for row in work if row[0].coeff(var) < 0]
+        uppers = [row for row in work if row[0].coeff(var) > 0]
+        if lowers and uppers:
+            continue
+        rest = [row for row in work if row[0].coeff(var) == 0]
+        return _core_inequalities(rest, depth)
+
+    def cost(var: Term) -> Tuple[int, str]:
+        lows = sum(1 for row in work if row[0].coeff(var) < 0)
+        ups = sum(1 for row in work if row[0].coeff(var) > 0)
+        return (lows * ups, var.sexpr())
+
+    var = min(variables, key=cost)
+    lowers = []
+    uppers = []
+    rest = []
+    for expr, tags in work:
+        coeff = expr.coeff(var)
+        if coeff < 0:
+            lowers.append((-coeff, expr.without(var), tags))
+        elif coeff > 0:
+            uppers.append((coeff, expr.without(var).scale(-1), tags))
+        else:
+            rest.append((expr, tags))
+
+    exact = all(a == 1 for a, _, _ in lowers) or all(
+        c == 1 for c, _, _ in uppers
+    )
+    if not exact:
+        # The dark shadow under-approximates: a contradiction through it
+        # is not a certificate, and covering the splinters would need
+        # model extraction.  Give up; the caller falls back.
+        return None
+    shadow = list(rest)
+    for a, b, tags_low in lowers:
+        for c, d, tags_up in uppers:
+            shadow.append((b.scale(c).sub(d.scale(a)), tags_low | tags_up))
+    return _core_inequalities(shadow, depth - 1)
 
 
 def _assign_free_var(model: Model, var: Term, lowers, uppers) -> None:

@@ -47,118 +47,187 @@ class _Fresh:
         return Int(f"{self.prefix}{self.count}")
 
 
-def eliminate_divmod(formula: Term) -> Tuple[Term, List[Term]]:
-    """Replace div/mod terms with fresh variables plus defining constraints.
+class DivModEliminator:
+    """Stateful div/mod elimination.
 
     For ``div(a, c)`` / ``mod(a, c)`` we introduce ``q``/``r`` with
 
         c >= 1  =>  a == c*q + r  and  0 <= r <= c - 1
 
-    The same (a, c) pair shares one quotient/remainder, so both operators
-    stay consistent.  When the divisor can be non-positive the definition is
-    vacuous and the fresh variables are unconstrained, which can only make
-    the query easier to satisfy (a conservative direction for a checker that
-    reports SAT results as counterexamples).
+    The same (a, c) pair shares one quotient/remainder across *every*
+    formula processed through one instance (both operators and repeated
+    obligations stay consistent), and each pair's defining constraint is
+    emitted exactly once — the incremental solver asserts it permanently
+    the first time the pair appears.  When the divisor can be
+    non-positive the definition is vacuous and the fresh variables are
+    unconstrained, which can only make the query easier to satisfy (a
+    conservative direction for a checker that reports SAT results as
+    counterexamples).
     """
-    fresh_q = _Fresh("$q")
-    fresh_r = _Fresh("$r")
-    table: Dict[Tuple[Term, Term], Tuple[Term, Term]] = {}
-    side: List[Term] = []
 
-    def lookup(num: Term, den: Term) -> Tuple[Term, Term]:
-        key = (num, den)
-        hit = table.get(key)
-        if hit is not None:
-            return hit
-        quotient, remainder = fresh_q.make(), fresh_r.make()
-        table[key] = (quotient, remainder)
-        definition = And(
-            Eq(num, Plus(Times(den, quotient), remainder)),
-            Ge(remainder, 0),
-            Le(remainder, Plus(den, IntVal(-1))),
-        )
-        if den.op == OP_INTVAL and den.value >= 1:
-            side.append(definition)
-        else:
-            side.append(Implies(Ge(den, 1), definition))
-        return quotient, remainder
+    def __init__(self):
+        self._fresh_q = _Fresh("$q")
+        self._fresh_r = _Fresh("$r")
+        self._table: Dict[Tuple[Term, Term], Tuple[Term, Term]] = {}
+        self._memo: Dict[Term, Term] = {}
 
-    def walk(term: Term) -> Term:
-        if not term.args:
-            return term
-        new_args = tuple(walk(a) for a in term.args)
-        if term.op == OP_DIV:
-            quotient, _ = lookup(new_args[0], new_args[1])
-            return quotient
-        if term.op == OP_MOD:
-            _, remainder = lookup(new_args[0], new_args[1])
-            return remainder
-        return rebuild(term, new_args)
+    def process(self, formula: Term) -> Tuple[Term, List[Term]]:
+        side: List[Term] = []
 
-    return walk(formula), side
+        def lookup(num: Term, den: Term) -> Tuple[Term, Term]:
+            key = (num, den)
+            hit = self._table.get(key)
+            if hit is not None:
+                return hit
+            quotient, remainder = self._fresh_q.make(), self._fresh_r.make()
+            self._table[key] = (quotient, remainder)
+            definition = And(
+                Eq(num, Plus(Times(den, quotient), remainder)),
+                Ge(remainder, 0),
+                Le(remainder, Plus(den, IntVal(-1))),
+            )
+            if den.op == OP_INTVAL and den.value >= 1:
+                side.append(definition)
+            else:
+                side.append(Implies(Ge(den, 1), definition))
+            return quotient, remainder
+
+        memo = self._memo
+
+        def walk(term: Term) -> Term:
+            if not term.args:
+                return term
+            hit = memo.get(term)
+            if hit is not None:
+                return hit
+            new_args = tuple(walk(a) for a in term.args)
+            if term.op == OP_DIV:
+                result, _ = lookup(new_args[0], new_args[1])
+            elif term.op == OP_MOD:
+                _, result = lookup(new_args[0], new_args[1])
+            else:
+                result = rebuild(term, new_args)
+            memo[term] = result
+            return result
+
+        return walk(formula), side
+
+
+def eliminate_divmod(formula: Term) -> Tuple[Term, List[Term]]:
+    """One-shot wrapper around :class:`DivModEliminator`."""
+    return DivModEliminator().process(formula)
+
+
+class IteEliminator:
+    """Stateful integer-``ite`` elimination: one fresh variable (and one
+    pair of defining implications, emitted once) per distinct ``ite``
+    term across every formula processed through one instance."""
+
+    def __init__(self):
+        self._fresh = _Fresh("$ite")
+        self._cache: Dict[Term, Term] = {}
+        self._memo: Dict[Term, Term] = {}
+
+    def process(self, formula: Term) -> Tuple[Term, List[Term]]:
+        side: List[Term] = []
+        cache = self._cache
+        memo = self._memo
+
+        def walk(term: Term) -> Term:
+            if not term.args:
+                return term
+            hit = memo.get(term)
+            if hit is not None:
+                return hit
+            new_args = tuple(walk(a) for a in term.args)
+            if term.op == OP_ITE:
+                rebuilt = rebuild(term, new_args)
+                result = cache.get(rebuilt)
+                if result is None:
+                    result = self._fresh.make()
+                    cond, then, other = new_args
+                    side.append(Implies(cond, Eq(result, then)))
+                    side.append(Or(cond, Eq(result, other)))
+                    cache[rebuilt] = result
+            else:
+                result = rebuild(term, new_args)
+            memo[term] = result
+            return result
+
+        return walk(formula), side
 
 
 def eliminate_ite(formula: Term) -> Tuple[Term, List[Term]]:
-    """Replace integer ``ite`` terms with fresh variables plus definitions."""
-    fresh = _Fresh("$ite")
-    side: List[Term] = []
-    cache: Dict[Term, Term] = {}
+    """One-shot wrapper around :class:`IteEliminator`."""
+    return IteEliminator().process(formula)
 
-    def walk(term: Term) -> Term:
-        if not term.args:
-            return term
-        new_args = tuple(walk(a) for a in term.args)
-        if term.op == OP_ITE:
-            rebuilt = rebuild(term, new_args)
-            hit = cache.get(rebuilt)
+
+class NonlinearAbstractor:
+    """Stateful abstraction of non-linear products with ``@mul``.
+
+    The @mul application is later Ackermannized like any uninterpreted
+    function; the axioms recover the facts Lilac designs rely on (signs,
+    units, zero annihilation).  Pairwise axioms (shared-factor
+    monotonicity, distributivity) are recomputed over *all* products the
+    instance has seen and deduplicated, so products discovered by later
+    formulas still get cross-axioms against earlier ones — incremental
+    queries are therefore at least as strongly axiomatized as a one-shot
+    query over the same conjunction.
+    """
+
+    def __init__(self):
+        self._seen: Dict[Term, List[Term]] = {}
+        self._memo: Dict[Term, Term] = {}
+        self._emitted: set = set()
+
+    def process(self, formula: Term) -> Tuple[Term, List[Term]]:
+        axioms: List[Term] = []
+        seen = self._seen
+        memo = self._memo
+
+        def walk(term: Term) -> Term:
+            if not term.args:
+                return term
+            hit = memo.get(term)
             if hit is not None:
                 return hit
-            var = fresh.make()
-            cond, then, other = new_args
-            side.append(Implies(cond, Eq(var, then)))
-            side.append(Or(cond, Eq(var, other)))
-            cache[rebuilt] = var
-            return var
-        return rebuild(term, new_args)
+            new_args = tuple(walk(a) for a in term.args)
+            result = None
+            if term.op == OP_MUL:
+                const = 1
+                factors = []
+                for arg in new_args:
+                    if arg.op == OP_INTVAL:
+                        const *= arg.value
+                    else:
+                        factors.append(arg)
+                if len(factors) >= 2:
+                    factors.sort(key=lambda t: t.sexpr())
+                    product = App("@mul", *factors)
+                    if product not in seen:
+                        seen[product] = factors
+                        axioms.extend(_mul_axioms(product, factors))
+                    result = Times(IntVal(const), product)
+            if result is None:
+                result = rebuild(term, new_args)
+            memo[term] = result
+            return result
 
-    return walk(formula), side
+        reduced = walk(formula)
+        for axiom in _shared_factor_axioms(seen):
+            if axiom not in self._emitted:
+                self._emitted.add(axiom)
+                axioms.append(axiom)
+        for axiom in _distributivity_axioms(seen):
+            if axiom not in self._emitted:
+                self._emitted.add(axiom)
+                axioms.append(axiom)
+        return reduced, axioms
 
 
 def abstract_nonlinear(formula: Term) -> Tuple[Term, List[Term]]:
-    """Replace products of two or more non-constant factors with ``@mul``.
-
-    The @mul application is later Ackermannized like any uninterpreted
-    function; the axioms below recover the facts Lilac designs rely on
-    (signs, units, zero annihilation).
-    """
-    axioms: List[Term] = []
-    seen: Dict[Term, List[Term]] = {}
-
-    def walk(term: Term) -> Term:
-        if not term.args:
-            return term
-        new_args = tuple(walk(a) for a in term.args)
-        if term.op == OP_MUL:
-            const = 1
-            factors = []
-            for arg in new_args:
-                if arg.op == OP_INTVAL:
-                    const *= arg.value
-                else:
-                    factors.append(arg)
-            if len(factors) >= 2:
-                factors.sort(key=lambda t: t.sexpr())
-                product = App("@mul", *factors)
-                if product not in seen:
-                    seen[product] = factors
-                    axioms.extend(_mul_axioms(product, factors))
-                return Times(IntVal(const), product)
-        return rebuild(term, new_args)
-
-    reduced = walk(formula)
-    axioms.extend(_shared_factor_axioms(seen))
-    axioms.extend(_distributivity_axioms(seen))
-    return reduced, axioms
+    """One-shot wrapper around :class:`NonlinearAbstractor`."""
+    return NonlinearAbstractor().process(formula)
 
 
 def _distributivity_axioms(seen: Dict[Term, List[Term]]) -> List[Term]:

@@ -5,17 +5,43 @@ queries over linear integer arithmetic extended with uninterpreted functions
 (used to encode output parameters and ``log2``/``exp2``).  This module defines
 the term representation shared by every stage of the solver pipeline.
 
-Terms are immutable and structurally hashable.  Smart constructors perform
-light normalization (constant folding, flattening of associative operators)
-so that downstream passes see a small canonical surface.
+Terms are immutable, structurally hashable, and *hash-consed*: the
+constructor interns every term in a process-wide table, so two
+structurally equal terms are one object.  That buys three things the
+solver pipeline leans on heavily:
+
+* equality is (almost always) a pointer comparison, and the structural
+  hash is computed exactly once per distinct term;
+* per-term analyses (``free_vars``, ``apps``) are cached on the term
+  itself, and shared subterms are processed once by every memoizing
+  pass (substitution, div/mod elimination, Tseitin conversion, …);
+* dictionaries keyed by terms (atom tables, theory-check memos, the
+  canonical obligation cache) hash and probe in O(1) per node.
+
+Pickling survives interning: ``__reduce__`` routes unpickling back
+through the constructor, so terms loaded from the persistent artifact
+cache re-intern and the identity invariant holds across processes.
+
+Smart constructors perform light normalization (constant folding,
+flattening of associative operators) so that downstream passes see a
+small canonical surface.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Tuple
+import os
+from typing import Dict, Iterable, Optional, Tuple
 
 INT = "Int"
 BOOL = "Bool"
+
+
+def legacy_mode() -> bool:
+    """Whether ``$REPRO_SMT_LEGACY`` selects the pre-acceleration code
+    paths (the typecheck benchmark's baseline).  One shared helper for
+    the whole ``smt`` package; read dynamically because benchmarks and
+    tests toggle it at runtime."""
+    return os.environ.get("REPRO_SMT_LEGACY", "0") not in ("", "0")
 
 # Operator tags.  Grouped by arity/behaviour; the solver dispatches on these.
 OP_INTVAL = "intval"
@@ -40,9 +66,28 @@ _ARITH_OPS = frozenset({OP_ADD, OP_MUL, OP_DIV, OP_MOD, OP_NEG})
 _PRED_OPS = frozenset({OP_EQ, OP_LE, OP_LT})
 _BOOL_OPS = frozenset({OP_NOT, OP_AND, OP_OR, OP_IMPLIES})
 
+#: The hash-consing table: (op, args, name, value, sort) -> Term.
+#: Concurrent interning from grid threads is benign — the worst case is
+#: a transient duplicate whose structural __eq__ fallback still holds.
+_INTERN: Dict[tuple, "Term"] = {}
+
+
+def intern_size() -> int:
+    """Number of distinct live terms in the intern table."""
+    return len(_INTERN)
+
+
+def clear_intern() -> None:
+    """Drop the intern table (benchmarks' cold-start; long processes).
+
+    Terms created before the clear remain valid — they compare equal to
+    re-interned copies structurally, just no longer by identity.
+    """
+    _INTERN.clear()
+
 
 class Term:
-    """An immutable SMT term.
+    """An immutable, interned SMT term.
 
     Attributes:
         op: operator tag (one of the ``OP_*`` constants).
@@ -50,24 +95,47 @@ class Term:
         name: variable or function-symbol name (for ``var``/``app``).
         value: payload for integer/boolean literals.
         sort: ``INT`` or ``BOOL``.
+
+    Construction goes through ``__new__``: structurally equal terms are
+    the *same object* (hash-consing), so identity comparison decides
+    equality and per-term caches (``_fvs``, ``_apps``) are shared by
+    every holder of the term.
     """
 
-    __slots__ = ("op", "args", "name", "value", "sort", "_hash")
+    __slots__ = ("op", "args", "name", "value", "sort", "_hash",
+                 "_fvs", "_apps", "_sexpr")
 
-    def __init__(
-        self,
+    def __new__(
+        cls,
         op: str,
         args: Tuple["Term", ...] = (),
         name: Optional[str] = None,
         value=None,
         sort: str = INT,
     ):
+        if type(args) is not tuple:
+            args = tuple(args)
+        key = (op, args, name, value, sort)
+        self = _INTERN.get(key)
+        if self is not None:
+            return self
+        self = object.__new__(cls)
         self.op = op
         self.args = args
         self.name = name
         self.value = value
         self.sort = sort
-        self._hash = hash((op, args, name, value, sort))
+        self._hash = hash(key)
+        self._fvs = None
+        self._apps = None
+        self._sexpr = None
+        _INTERN[key] = self
+        return self
+
+    def __reduce__(self):
+        # Unpickling re-enters __new__, so terms loaded from the disk
+        # cache re-intern and the identity invariant survives pickling.
+        return (Term, (self.op, self.args, self.name, self.value, self.sort))
 
     def __hash__(self) -> int:
         return self._hash
@@ -77,6 +145,9 @@ class Term:
             return True
         if not isinstance(other, Term):
             return NotImplemented
+        # Interning makes structurally equal terms identical, so this
+        # fallback only matters for terms that straddle a cleared intern
+        # table; keep it structural for robustness.
         return (
             self._hash == other._hash
             and self.op == other.op
@@ -90,18 +161,24 @@ class Term:
         return f"Term({self.sexpr()})"
 
     def sexpr(self) -> str:
-        """Render the term as an SMT-LIB style s-expression."""
+        """Render the term as an SMT-LIB style s-expression (cached)."""
+        text = self._sexpr
+        if text is not None:
+            return text
         if self.op == OP_INTVAL:
-            return str(self.value)
-        if self.op == OP_BOOLVAL:
-            return "true" if self.value else "false"
-        if self.op == OP_VAR:
-            return str(self.name)
-        if self.op == OP_APP:
+            text = str(self.value)
+        elif self.op == OP_BOOLVAL:
+            text = "true" if self.value else "false"
+        elif self.op == OP_VAR:
+            text = str(self.name)
+        elif self.op == OP_APP:
             inner = " ".join(a.sexpr() for a in self.args)
-            return f"({self.name} {inner})" if inner else f"({self.name})"
-        inner = " ".join(a.sexpr() for a in self.args)
-        return f"({self.op} {inner})"
+            text = f"({self.name} {inner})" if inner else f"({self.name})"
+        else:
+            inner = " ".join(a.sexpr() for a in self.args)
+            text = f"({self.op} {inner})"
+        self._sexpr = text
+        return text
 
     # Convenience operator overloads make the type checker's encoding
     # rules read close to the paper's mathematical notation.
@@ -140,19 +217,13 @@ def _coerce(value) -> Term:
     raise TypeError(f"cannot coerce {value!r} to a Term")
 
 
-_INT_CACHE: dict = {}
 _TRUE = Term(OP_BOOLVAL, value=True, sort=BOOL)
 _FALSE = Term(OP_BOOLVAL, value=False, sort=BOOL)
 
 
 def IntVal(value: int) -> Term:
     """Integer literal."""
-    term = _INT_CACHE.get(value)
-    if term is None:
-        term = Term(OP_INTVAL, value=int(value), sort=INT)
-        if len(_INT_CACHE) < 4096:
-            _INT_CACHE[value] = term
-    return term
+    return Term(OP_INTVAL, value=int(value), sort=INT)
 
 
 def BoolVal(value: bool) -> Term:
@@ -387,22 +458,65 @@ def _dedup(terms):
 
 
 def subterms(term: Term):
-    """Iterate over all subterms (pre-order, may repeat shared nodes)."""
+    """Iterate over all distinct subterms (pre-order).
+
+    Interning makes identity deduplication structural: each shared
+    subterm is yielded exactly once, so walks over heavily shared DAGs
+    are linear in the number of distinct nodes.
+    """
+    seen = {id(term)}
     stack = [term]
     while stack:
         current = stack.pop()
         yield current
-        stack.extend(current.args)
+        for arg in current.args:
+            if id(arg) not in seen:
+                seen.add(id(arg))
+                stack.append(arg)
+
+
+def _cached_leaf_sets(term: Term, op_tag: str, slot: str):
+    """Bottom-up computation of per-term leaf sets with caching.
+
+    ``slot`` is the cache attribute (``_fvs`` or ``_apps``); shared
+    subterms contribute their cached frozenset without being re-walked.
+    """
+    cached = getattr(term, slot)
+    if cached is not None:
+        return cached
+    # Iterative post-order so deep terms cannot overflow the stack.
+    stack = [(term, False)]
+    while stack:
+        current, expanded = stack.pop()
+        if getattr(current, slot) is not None:
+            continue
+        if not expanded:
+            stack.append((current, True))
+            for arg in current.args:
+                if getattr(arg, slot) is None:
+                    stack.append((arg, False))
+            continue
+        out = set()
+        if current.op == op_tag:
+            out.add(current)
+        for arg in current.args:
+            out |= getattr(arg, slot)
+        setattr(current, slot, frozenset(out))
+    return getattr(term, slot)
 
 
 def free_vars(term: Term):
-    """Collect variable terms appearing in ``term``."""
-    return {t for t in subterms(term) if t.op == OP_VAR}
+    """The variable terms appearing in ``term`` (cached frozenset)."""
+    return _cached_leaf_sets(term, OP_VAR, "_fvs")
 
 
 def apps(term: Term):
-    """Collect uninterpreted applications appearing in ``term``."""
-    return {t for t in subterms(term) if t.op == OP_APP}
+    """Uninterpreted applications appearing in ``term`` (cached frozenset).
+
+    Note: an application nested inside another application is included
+    (the set covers the whole subtree).
+    """
+    return _cached_leaf_sets(term, OP_APP, "_apps")
 
 
 def substitute(term: Term, mapping: dict) -> Term:

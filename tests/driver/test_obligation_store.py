@@ -1,0 +1,69 @@
+"""The persistent "smt" pseudo-stage: round-trips, validation, keys."""
+
+import os
+
+from repro.driver import CacheStats, DiskCache, ObligationStore
+
+
+def _store(tmp_path):
+    return ObligationStore(DiskCache(str(tmp_path / "cache"), CacheStats()))
+
+
+def test_round_trip(tmp_path):
+    store = _store(tmp_path)
+    digest = "d" * 64
+    assert store.load(digest) is None
+    assert store.save(digest, "unsat", None)
+    payload = store.load(digest)
+    assert payload == {"digest": digest, "status": "unsat", "model": None}
+
+
+def test_sat_model_round_trip(tmp_path):
+    store = _store(tmp_path)
+    digest = "e" * 64
+    model = {"?v000000": 3, "(FPAdd.#L ?v000001)": 2}
+    store.save(digest, "sat", model)
+    assert store.load(digest)["model"] == model
+
+
+def test_counters(tmp_path):
+    store = _store(tmp_path)
+    digest = "f" * 64
+    store.load(digest)
+    store.save(digest, "unsat", None)
+    store.load(digest)
+    stats = store.disk.stats
+    assert stats.counter("smt.disk_miss") == 1
+    assert stats.counter("smt.store") == 1
+    assert stats.counter("smt.disk_hit") == 1
+
+
+def test_invalid_payload_is_a_miss(tmp_path):
+    store = _store(tmp_path)
+    digest = "a" * 64
+    # store under one digest, ask for another: key mismatch, miss.
+    store.save(digest, "unsat", None)
+    assert store.load("b" * 64) is None
+
+
+def test_corrupt_entry_quarantined(tmp_path):
+    store = _store(tmp_path)
+    digest = "c" * 64
+    store.save(digest, "unsat", None)
+    path = store.disk._entry_path(ObligationStore._key(digest))
+    with open(path, "r+b") as handle:
+        handle.seek(0, os.SEEK_END)
+        size = handle.tell()
+        handle.seek(size // 2)
+        handle.write(b"\xff\xff\xff")
+    assert store.load(digest) is None  # quarantined, not served
+    assert not os.path.exists(path)
+    assert store.disk.stats.counter("disk.corrupt") == 1
+
+
+def test_key_carries_solver_version(tmp_path):
+    from repro.smt import SOLVER_VERSION
+
+    key = ObligationStore._key("x" * 64)
+    assert key[0] == "smt"
+    assert key[-1] == SOLVER_VERSION

@@ -1,0 +1,115 @@
+"""The typecheck stage: parallel fan-out, warm persistence, CLI, stats."""
+
+import json
+
+import pytest
+
+from repro.designs.catalog import design_point
+from repro.driver import CompileSession
+from repro.driver.cli import main
+from repro.lilac.typecheck import check as check_mod
+
+
+@pytest.fixture(autouse=True)
+def _cold_memo():
+    check_mod.clear_obligation_memo()
+    yield
+    check_mod.clear_obligation_memo()
+
+
+SOURCE, _, _, _ = design_point("fpu")
+
+
+def _report_summary(reports):
+    return [(r.component, r.obligations, len(r.errors)) for r in reports]
+
+
+def test_parallel_thread_matches_sequential(tmp_path):
+    sequential = CompileSession().typecheck(SOURCE).value
+    check_mod.clear_obligation_memo()
+    parallel = CompileSession(typecheck_jobs=3).typecheck(SOURCE).value
+    assert _report_summary(parallel) == _report_summary(sequential)
+
+
+def test_parallel_process_matches_sequential(tmp_path):
+    sequential = CompileSession().typecheck(SOURCE).value
+    check_mod.clear_obligation_memo()
+    session = CompileSession(
+        typecheck_jobs=2,
+        typecheck_executor="process",
+        cache_dir=str(tmp_path / "cache"),
+    )
+    parallel = session.typecheck(SOURCE).value
+    assert _report_summary(parallel) == _report_summary(sequential)
+
+
+def test_jobs_argument_overrides_session_default():
+    session = CompileSession()
+    reports = session.typecheck(SOURCE, jobs=2).value
+    assert _report_summary(reports) == _report_summary(
+        CompileSession().typecheck(SOURCE).value
+    )
+
+
+def test_warm_session_answers_from_disk(tmp_path):
+    cache = str(tmp_path / "cache")
+    cold = CompileSession(cache_dir=cache)
+    cold.typecheck(SOURCE)
+    assert cold.stats.counter("smt.store") > 0
+
+    check_mod.clear_obligation_memo()
+    warm = CompileSession(cache_dir=cache)
+    # Nudge past the stage-artifact cache: check one component directly
+    # so the obligation store itself must answer.
+    artifact = warm.typecheck(SOURCE, component="FPU")
+    assert artifact.ok
+    assert warm.stats.counter("smt.disk_hit") > 0
+    assert warm.stats.counter("smt.queries") == 0
+
+
+def test_typecheck_stats_in_stats_dict():
+    session = CompileSession()
+    session.typecheck(SOURCE)
+    stats = session.stats_dict()["typecheck"]
+    assert stats["obligations"] > 0
+    assert stats["solver_queries"] > 0
+    assert 0.0 <= stats["cache_hit_rate"] <= 1.0
+
+
+def test_typecheck_stage_records_sub_timings():
+    artifact = CompileSession().typecheck(SOURCE)
+    assert "smt.discharge" in artifact.sub_timings
+    assert artifact.sub_timings["smt.discharge"] >= 0.0
+
+
+def test_spec_never_propagates_jobs():
+    session = CompileSession(typecheck_jobs=4)
+    assert session.spec()["typecheck_jobs"] is None
+    rebuilt = CompileSession.from_spec(session.spec())
+    assert rebuilt.typecheck_jobs is None
+
+
+def test_invalid_configuration_rejected():
+    with pytest.raises(ValueError):
+        CompileSession(typecheck_jobs=0)
+    with pytest.raises(ValueError):
+        CompileSession(typecheck_executor="fleet")
+
+
+def test_cli_typecheck_subcommand(capsys):
+    code = main(["typecheck", "--design", "fpu", "--no-disk-cache"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "obligations" in out and "solver queries" in out
+
+
+def test_cli_typecheck_stats_json(capsys):
+    code = main(
+        ["typecheck", "--design", "fpu", "--no-disk-cache",
+         "--stats", "json", "--typecheck-jobs", "2"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    stats = json.loads(out.strip().splitlines()[-1])
+    assert "typecheck" in stats
+    assert stats["typecheck"]["obligations"] > 0

@@ -1,0 +1,68 @@
+"""Canonical obligation digests: alpha-invariance and model maps."""
+
+from repro import smt
+from repro.smt.canon import canonical_query, translate_model
+
+
+def _digest(*assertions, tag="t"):
+    return canonical_query(list(assertions), tag=tag).digest
+
+
+def test_alpha_equivalent_queries_share_digest():
+    x, y = smt.Int("k'12"), smt.Int("k'15")
+    a = [smt.Ge(x, 0), smt.Lt(x, 8), smt.Not(smt.Le(x, 3))]
+    b = [smt.Ge(y, 0), smt.Lt(y, 8), smt.Not(smt.Le(y, 3))]
+    assert _digest(*a) == _digest(*b)
+
+
+def test_conjunct_order_is_irrelevant():
+    x = smt.Int("x")
+    a = [smt.Ge(x, 0), smt.Le(x, 7)]
+    b = [smt.Le(x, 7), smt.Ge(x, 0)]
+    assert _digest(*a) == _digest(*b)
+
+
+def test_structure_changes_digest():
+    x = smt.Int("x")
+    assert _digest(smt.Ge(x, 0)) != _digest(smt.Ge(x, 1))
+    assert _digest(smt.Ge(x, 0)) != _digest(smt.Le(x, 0))
+
+
+def test_function_symbols_are_semantic():
+    x = smt.Int("x")
+    a = smt.Eq(smt.App("FPAdd.#L", x), 2)
+    b = smt.Eq(smt.App("FPMul.#L", x), 2)
+    assert _digest(a) != _digest(b)
+
+
+def test_tag_separates_engines():
+    x = smt.Int("x")
+    assert _digest(smt.Ge(x, 0), tag="inc") != _digest(
+        smt.Ge(x, 0), tag="oneshot"
+    )
+
+
+def test_distinct_variables_do_not_collapse():
+    x, y = smt.Int("x"), smt.Int("y")
+    # x related to x must not digest like x related to y.
+    assert _digest(smt.Eq(smt.Plus(x, 1), x)) != _digest(
+        smt.Eq(smt.Plus(x, 1), y)
+    )
+
+
+def test_model_translation_round_trip():
+    x, w = smt.Int("k'12"), smt.Int("#W")
+    query = canonical_query(
+        [smt.Ge(x, 0), smt.Eq(smt.App("FPAdd.#L", w), x)], tag="t"
+    )
+    model = {"k'12": 3, "#W": 16, "(FPAdd.#L #W)": 3}
+    canonical = translate_model(model, query.to_canonical)
+    assert all("?v" in key or key.startswith("(") for key in canonical)
+    # application keys translate token-wise too
+    assert any(key.startswith("(FPAdd.#L ") for key in canonical)
+    back = translate_model(canonical, query.to_original)
+    assert back == model
+
+
+def test_translate_model_none_passthrough():
+    assert translate_model(None, {}) is None

@@ -1,0 +1,84 @@
+"""Hash-consing invariants: identity, caching, pickling."""
+
+import pickle
+
+from repro import smt
+from repro.smt.terms import Term, intern_size
+
+
+def test_structurally_equal_terms_are_identical():
+    x, y = smt.Int("x"), smt.Int("y")
+    assert smt.Plus(x, y, 3) is smt.Plus(x, y, 3)
+    assert smt.And(smt.Ge(x, 0), smt.Le(y, 5)) is smt.And(
+        smt.Ge(x, 0), smt.Le(y, 5)
+    )
+    assert smt.Int("x") is x
+
+
+def test_direct_constructor_interns_too():
+    a = Term("var", name="v", sort=smt.INT)
+    b = Term("var", name="v", sort=smt.INT)
+    assert a is b
+    assert a is smt.Int("v")
+
+
+def test_distinct_terms_are_distinct():
+    x = smt.Int("x")
+    assert smt.Plus(x, 1) is not smt.Plus(x, 2)
+    assert smt.Int("x") is not smt.Bool("x")  # sorts differ
+
+
+def test_equality_and_hash_are_structural():
+    x = smt.Int("x")
+    t1, t2 = smt.Plus(x, 1), smt.Plus(x, 1)
+    assert t1 == t2 and hash(t1) == hash(t2)
+    assert t1 != smt.Plus(x, 2)
+
+
+def test_pickle_round_trip_reinterns():
+    x, y = smt.Int("x"), smt.Int("y")
+    term = smt.Implies(smt.Ge(smt.App("f", x), 0), smt.Lt(x, y))
+    clone = pickle.loads(pickle.dumps(term))
+    assert clone is term  # identity, not merely equality
+
+
+def test_pickle_preserves_all_fields():
+    term = smt.Ite(smt.Bool("c"), smt.IntVal(3), smt.Int("z"))
+    clone = pickle.loads(pickle.dumps(term))
+    assert clone.op == term.op
+    assert clone.args == term.args
+    assert clone.sort == term.sort
+
+
+def test_free_vars_cached_and_correct():
+    x, y = smt.Int("x"), smt.Int("y")
+    term = smt.And(smt.Ge(smt.Plus(x, y), 0), smt.Le(x, 9))
+    fvs = smt.free_vars(term)
+    assert fvs == frozenset({x, y})
+    assert smt.free_vars(term) is fvs  # cached object
+
+
+def test_apps_includes_nested_applications():
+    x = smt.Int("x")
+    inner = smt.App("exp2", x)
+    outer = smt.App("log2", inner)
+    collected = smt.apps(smt.Eq(outer, x))
+    assert inner in collected and outer in collected
+
+
+def test_subterms_deduplicates_shared_nodes():
+    x = smt.Int("x")
+    shared = smt.Plus(x, 1)
+    term = smt.And(smt.Ge(shared, 0), smt.Le(shared, 5))
+    nodes = list(smt.subterms(term))
+    assert len(nodes) == len(set(map(id, nodes)))
+
+
+def test_intern_size_grows_and_clears():
+    before = intern_size()
+    smt.Int("a-very-unlikely-test-variable-name")
+    assert intern_size() == before + 1
+    # clear_intern keeps existing terms valid (structural equality).
+    x = smt.Int("x")
+    smt.clear_intern()
+    assert smt.Int("x") == x
