@@ -1,21 +1,27 @@
-"""Benchmark: compiled vs interpreted simulation, batched lanes, cold vs
-warm sessions, and thread- vs process-grid scaling.
+"""Benchmark: compiled vs interpreted simulation, batched lanes, the
+mega-lane vector backend, cold vs warm sessions, and thread- vs
+process-grid scaling.
 
 Seeds the repository's perf trajectory with ``BENCH_sim.json`` (written
-at the repo root): per-design simulation throughput for both backends,
-the batched multi-lane throughput sweep (lanes in {1, 4, 16, 64},
-measured in *lane-cycles* per second — cycles times lanes — the honest
-unit for batch mode), the one-time code-generation overhead, the
-wall-clock of a cold-then-warm session pair over the persistent disk
-cache, and an :class:`EvalGrid` thread-vs-process comparison whose
-results must be bit-identical.
+at the repo root): per-design simulation throughput for both scalar
+backends, the batched multi-lane throughput sweep (lanes in
+{1, 4, 16, 64}, measured in *lane-cycles* per second — cycles times
+lanes — the honest unit for batch mode), the vector backend's lane
+sweep (lanes in {64, 256, 1024, 4096} on the numpy flavor; a small
+sweep with no acceptance bar on the stdlib fallback), the auto-tuner's
+measured per-design decision, the one-time code-generation overhead,
+the wall-clock of a cold-then-warm session pair over the persistent
+disk cache, and an :class:`EvalGrid` thread-vs-process comparison
+whose results must be bit-identical.
 
 The assertions encode the acceptance bars — the compiled backend ≥3x
 the interpreter on the largest catalog design, the 16-lane batched mode
 ≥3x single-lane compiled throughput on that same design (tunable down
 via ``$REPRO_BENCH_MIN_LANE_SPEEDUP`` for reduced-cycle CI smoke runs),
-and the warm session served almost entirely from disk.  Cycle counts
-scale down via ``$REPRO_BENCH_CYCLES``.
+the vector backend's best lane count ≥3x the 64-lane SWAR batched
+throughput on that same design (``$REPRO_BENCH_MIN_VECTOR_SPEEDUP``;
+numpy flavor only), and the warm session served almost entirely from
+disk.  Cycle counts scale down via ``$REPRO_BENCH_CYCLES``.
 """
 
 import json
@@ -29,17 +35,32 @@ from repro.rtl import (
     BatchedCompiledSimulator,
     CompiledSimulator,
     Simulator,
+    VectorCompiledSimulator,
     compile_netlist,
     random_stimulus,
     random_stimulus_batch,
+    tune,
+    vector_flavor,
 )
 
 CYCLES = int(os.environ.get("REPRO_BENCH_CYCLES", "256"))
 SEED = 0xBE
 LANE_SWEEP = (1, 4, 16, 64)
+#: The vector backend only pulls ahead at lane counts SWAR cannot
+#: reach; on the pure-stdlib fallback flavor the per-lane loops make
+#: mega-lane timing pointless, so the sweep shrinks and carries no bar.
+VECTOR_LANE_SWEEP = (64, 256, 1024, 4096)
+VECTOR_LANE_SWEEP_STDLIB = (8, 32)
+#: Vector lane counts are ~100x the SWAR sweep's; fewer timed cycles
+#: still move two orders of magnitude more lane-cycles per design.
+VECTOR_CYCLES = max(16, CYCLES // 4)
 #: 16-lane batched vs single-lane compiled on the largest design; CI
 #: smoke jobs at reduced cycle counts relax it to "batched wins at all".
 MIN_LANE_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_LANE_SPEEDUP", "3.0"))
+#: Best vector lane count vs 64-lane SWAR on the largest design.
+MIN_VECTOR_SPEEDUP = float(
+    os.environ.get("REPRO_BENCH_MIN_VECTOR_SPEEDUP", "3.0")
+)
 BENCH_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_sim.json"
 
 #: The cold/warm pair sweeps a slice of the catalog through the full
@@ -71,7 +92,23 @@ def _lane_throughput(module, lanes, cycles) -> float:
     return cycles * lanes / seconds if seconds else float("inf")
 
 
+def _vector_throughput(module, lanes, cycles, flavor) -> float:
+    """Steady-state lane-cycles/sec of the vector backend (stimulus and
+    codegen both paid outside the timed window)."""
+    streams = random_stimulus_batch(module, cycles, lanes, SEED)
+    VectorCompiledSimulator(module, lanes, flavor=flavor)  # warm codegen
+    simulator = VectorCompiledSimulator(module, lanes, flavor=flavor)
+    start = time.perf_counter()
+    simulator.run(streams)
+    seconds = time.perf_counter() - start
+    return cycles * lanes / seconds if seconds else float("inf")
+
+
 def _design_rows(session):
+    flavor = vector_flavor()
+    vector_sweep = (
+        VECTOR_LANE_SWEEP if flavor == "numpy" else VECTOR_LANE_SWEEP_STDLIB
+    )
     rows = []
     for name in sorted(DESIGNS):
         source, component, generators, params = design_point(name)
@@ -85,6 +122,11 @@ def _design_rows(session):
             str(k): round(_lane_throughput(module, k, CYCLES), 1)
             for k in LANE_SWEEP
         }
+        vector = {
+            str(k): round(_vector_throughput(module, k, VECTOR_CYCLES, flavor), 1)
+            for k in vector_sweep
+        }
+        tuned = tune(module, max(vector_sweep))
         rows.append(
             {
                 "name": name,
@@ -97,6 +139,10 @@ def _design_rows(session):
                 "lane16_speedup_vs_scalar": round(
                     lanes["16"] / compiled_cps, 2
                 ),
+                "vector_lane_cycles_per_sec": vector,
+                "vector_flavor": flavor,
+                "vector_cycles": VECTOR_CYCLES,
+                "tuned_backend": tuned.backend,
                 "compile_seconds": round(
                     compile_netlist(module).compile_seconds, 6
                 ),
@@ -154,12 +200,18 @@ def test_sim_backend_benchmark(tmp_path):
     assert process_results == thread_results
 
     largest = max(rows, key=lambda row: row["cells"])
+    vector_best = max(largest["vector_lane_cycles_per_sec"].values())
+    vector_vs_swar64 = round(
+        vector_best / largest["batched_lane_cycles_per_sec"]["64"], 2
+    )
     payload = {
         "generated_by": "benchmarks/test_sim_backend.py",
         "designs": rows,
         "largest_design": largest["name"],
         "largest_design_speedup": largest["speedup"],
         "largest_design_lane16_speedup": largest["lane16_speedup_vs_scalar"],
+        "largest_design_vector_vs_swar64": vector_vs_swar64,
+        "vector_flavor": largest["vector_flavor"],
         "warm_vs_cold": {
             "designs": list(WARM_DESIGNS),
             "stages": ["synthesize", "simulate"],
@@ -195,6 +247,12 @@ def test_sim_backend_benchmark(tmp_path):
             + "  ".join(f"{k}: {lanes[str(k)]:.0f}" for k in LANE_SWEEP)
             + f"  (x16 = {row['lane16_speedup_vs_scalar']:.2f}x scalar)"
         )
+        vector = row["vector_lane_cycles_per_sec"]
+        print(
+            f"           vector ({row['vector_flavor']})  "
+            + "  ".join(f"{k}: {cps:.0f}" for k, cps in vector.items())
+            + f"  -> auto picks {row['tuned_backend']}"
+        )
     print(
         f"\n  cold session {cold_seconds:.2f}s -> warm session "
         f"{warm_seconds:.2f}s ({cold_seconds / warm_seconds:.1f}x, "
@@ -206,9 +264,13 @@ def test_sim_backend_benchmark(tmp_path):
     )
 
     # Acceptance: the compiled backend is ≥3x interpreter on the largest
-    # design, 16 batched lanes multiply its throughput again, and the
-    # disk cache makes the second session nearly free.
+    # design, 16 batched lanes multiply its throughput again, the vector
+    # backend's best lane count leaves 64-lane SWAR behind (numpy flavor
+    # only — the stdlib fallback exists for correctness, not speed), and
+    # the disk cache makes the second session nearly free.
     assert largest["speedup"] >= 3.0, largest
     assert largest["lane16_speedup_vs_scalar"] >= MIN_LANE_SPEEDUP, largest
+    if largest["vector_flavor"] == "numpy":
+        assert vector_vs_swar64 >= MIN_VECTOR_SPEEDUP, largest
     assert disk["hit_rate"] >= 0.9, disk
     assert warm_seconds < cold_seconds, (warm_seconds, cold_seconds)

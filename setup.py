@@ -20,5 +20,8 @@ setup(
     },
     extras_require={
         "test": ["pytest", "pytest-benchmark", "hypothesis"],
+        # Fast kernels for the mega-lane vector simulation backend;
+        # without it the backend falls back to a pure-stdlib path.
+        "vector": ["numpy"],
     },
 )

@@ -32,6 +32,7 @@ from .cache import (
     CodegenStore,
     DiskCache,
     ObligationStore,
+    TunerStore,
     freeze_params,
     source_digest,
 )
@@ -60,6 +61,7 @@ __all__ = [
     "STAGES",
     "SimTrace",
     "StageArtifact",
+    "TunerStore",
     "default_session",
     "freeze_params",
     "reset_default_session",

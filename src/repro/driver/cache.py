@@ -47,7 +47,12 @@ from .artifact import StageArtifact
 #: ``(digest, SOLVER_VERSION)`` — see :class:`ObligationStore`), and SMT
 #: terms inside pickled typecheck artifacts became hash-consed (their
 #: pickle shape re-enters the intern table via ``__reduce__``).
-SCHEMA_VERSION = 3
+#:
+#: v4: new ``"tuner"`` pseudo-stage (persistent backend calibration
+#: profiles keyed ``(structural_hash, flavor, TUNER_VERSION)`` — see
+#: :class:`TunerStore`), and ``"codegen"`` keys gained a backend tag
+#: now that three generators (scalar/SWAR/vector) share the stage.
+SCHEMA_VERSION = 4
 
 #: Soft size bound for a cache root, in bytes; the oldest entries are
 #: trimmed at attach time once the tree exceeds it.  Overridable via
@@ -332,12 +337,15 @@ class CodegenStore:
     The adapter :func:`repro.rtl.compile.compile_netlist` plugs into:
     codegen payloads (generated source + slot layout, plain picklable
     dicts) are wrapped in a ``StageArtifact`` under the pseudo-stage
-    ``"codegen"`` and keyed by ``(structural_hash, lanes,
+    ``"codegen"`` and keyed by ``(structural_hash, backend, lanes,
     CODEGEN_VERSION)`` — fully value-based, so every process over a
     structurally equal netlist shares one levelization + generation.
-    Grid workers in process mode rendezvous here: the first worker to
-    compile a netlist pays codegen, the rest load the source and only
-    pay ``compile()`` + ``exec()``.
+    The backend tag (``"scalar"``, ``"swar"``, ``"vector-numpy"``,
+    ``"vector-stdlib"``) keeps the generators' entries apart now that
+    three codegen targets share the stage.  Grid workers in process
+    mode rendezvous here: the first worker to compile a netlist pays
+    codegen, the rest load the source and only pay ``compile()`` +
+    ``exec()``.
 
     Counters on the shared :class:`CacheStats`: ``codegen.disk_hit`` /
     ``codegen.disk_miss`` per lookup, ``codegen.store`` per write-back
@@ -348,19 +356,19 @@ class CodegenStore:
         self.disk = disk
 
     @staticmethod
-    def _key(structural_hash: str, lanes) -> Tuple:
+    def _key(structural_hash: str, lanes, backend: str) -> Tuple:
         from ..rtl.compile import CODEGEN_VERSION
 
-        return ("codegen", structural_hash, lanes, CODEGEN_VERSION)
+        return ("codegen", structural_hash, backend, lanes, CODEGEN_VERSION)
 
-    def load(self, structural_hash: str, lanes) -> Optional[dict]:
+    def load(self, structural_hash: str, lanes, backend: str) -> Optional[dict]:
         from ..rtl.compile import valid_codegen_payload
 
-        artifact = self.disk.load(self._key(structural_hash, lanes))
+        artifact = self.disk.load(self._key(structural_hash, lanes, backend))
         # Validate *before* counting: a hit means a usable entry, not
         # merely a readable file.
         if artifact is None or not valid_codegen_payload(
-            artifact.value, structural_hash, lanes
+            artifact.value, structural_hash, lanes, backend
         ):
             self.disk.stats.bump("codegen.disk_miss")
             return None
@@ -368,7 +376,9 @@ class CodegenStore:
         return artifact.value
 
     def save(self, payload: dict) -> bool:
-        key = self._key(payload["structural_hash"], payload["lanes"])
+        key = self._key(
+            payload["structural_hash"], payload["lanes"], payload["backend"]
+        )
         stored = self.disk.store(
             key, StageArtifact("codegen", key, payload, 0.0)
         )
@@ -434,6 +444,56 @@ class ObligationStore:
         )
         if stored:
             self.disk.stats.bump("smt.store")
+        return stored
+
+
+class TunerStore:
+    """Persists backend calibration profiles in a :class:`DiskCache`.
+
+    The adapter :func:`repro.rtl.tuner.tune` plugs into: measurement
+    payloads (lane-cycles/s per candidate engine, plain picklable
+    dicts) are wrapped in a ``StageArtifact`` under the pseudo-stage
+    ``"tuner"`` and keyed by ``(structural_hash, flavor,
+    TUNER_VERSION)``.  The structural hash identifies the design, the
+    vector flavor records which kernel family the profile timed (a
+    numpy profile must not steer a numpy-less process), and the tuner
+    version retires profiles whose measured quantities or decision rule
+    changed.  One calibration run per design per machine, every later
+    ``--sim-backend auto`` resolves from disk.
+
+    Counters on the shared :class:`CacheStats`: ``tuner.disk_hit`` /
+    ``tuner.disk_miss`` per lookup, ``tuner.store`` per write-back.
+    """
+
+    def __init__(self, disk: DiskCache):
+        self.disk = disk
+
+    @staticmethod
+    def _key(structural_hash: str, flavor: str) -> Tuple:
+        from ..rtl.tuner import TUNER_VERSION
+
+        return ("tuner", structural_hash, flavor, TUNER_VERSION)
+
+    def load(self, structural_hash: str, flavor: str) -> Optional[dict]:
+        from ..rtl.tuner import valid_tuner_payload
+
+        artifact = self.disk.load(self._key(structural_hash, flavor))
+        # Validate before counting: a hit means a usable profile.
+        if artifact is None or not valid_tuner_payload(
+            artifact.value, structural_hash, flavor
+        ):
+            self.disk.stats.bump("tuner.disk_miss")
+            return None
+        self.disk.stats.bump("tuner.disk_hit")
+        return artifact.value
+
+    def save(self, payload: dict) -> bool:
+        key = self._key(payload["structural_hash"], payload["flavor"])
+        stored = self.disk.store(
+            key, StageArtifact("tuner", key, payload, 0.0)
+        )
+        if stored:
+            self.disk.stats.bump("tuner.store")
         return stored
 
 

@@ -15,10 +15,12 @@ Subcommands:
 
 Every subcommand accepts ``-O{0,1,2}`` to select the netlist
 optimization level (the pass pipeline of :mod:`repro.rtl.passes`),
-``--sim-backend {interp,compiled}`` to pick the simulation engine,
-``--sim-lanes K`` to batch K stimulus lanes through each simulate run
-(one lane-packed step function advances all of them on the compiled
-backend), ``--cache-dir``/``--no-disk-cache`` to steer the persistent
+``--sim-backend {auto,batched,compiled,interp,vector}`` to pick the
+simulation engine (``auto`` resolves per design from persisted tuner
+calibrations), ``--sim-lanes K`` to batch K stimulus lanes through
+each simulate run (one lane-parallel step function advances all of
+them on the codegen backends),
+``--cache-dir``/``--no-disk-cache`` to steer the persistent
 artifact cache (on by default — a second ``repro all -O2`` run is
 served from disk, including the compiled backend's generated step
 sources), and ``--stats json`` to emit cache + disk + per-pass
@@ -40,7 +42,7 @@ from ..designs.catalog import DESIGNS, design_point
 from ..filament import FilamentError
 from ..generators.base import GeneratorError
 from ..lilac.ast import LilacError
-from ..rtl import SIM_BACKENDS
+from ..rtl import backend_choices
 from ..rtl.passes import OPT_LEVELS
 from .cache import DiskCache
 from .grid import EXECUTORS
@@ -386,10 +388,12 @@ def build_parser() -> argparse.ArgumentParser:
                  "one machine-readable line",
         )
         command.add_argument(
-            "--sim-backend", choices=sorted(SIM_BACKENDS), default="interp",
+            "--sim-backend", choices=backend_choices(), default="interp",
             help="simulation engine for the simulate stage (default: "
-                 "interp; 'compiled' code-generates a step function per "
-                 "netlist)",
+                 "interp; 'compiled'/'batched'/'vector' code-generate "
+                 "scalar, SWAR-packed or mega-lane vectorized step "
+                 "functions; 'auto' picks per design from persisted "
+                 "tuner measurements)",
         )
         command.add_argument(
             "--sim-lanes", type=_positive_int, default=1, metavar="K",

@@ -31,9 +31,11 @@ reuses the child artifacts the first call already produced, on top of
 the session-level artifact cache.
 
 Two session-level knobs extend the reach of all this: ``sim_backend``
-selects the simulation engine (``"interp"`` or ``"compiled"`` — the
-code-generating backend of :mod:`repro.rtl.compile`, bit-identical by
-differential contract), and ``cache_dir`` layers a persistent
+selects the simulation engine — ``"interp"``, the codegen engines
+``"compiled"``/``"batched"``/``"vector"`` (bit-identical by
+differential contract), or ``"auto"``, which resolves per design from
+the persisted calibration profiles of :mod:`repro.rtl.tuner` — and
+``cache_dir`` layers a persistent
 :class:`~repro.driver.cache.DiskCache` under the in-memory cache so
 artifacts survive the process and a second run starts warm.
 """
@@ -56,7 +58,7 @@ from ..rtl import (
     make_simulator,
     random_stimulus,
     random_stimulus_batch,
-    resolve_backend,
+    tune,
 )
 from ..rtl.passes import PassManager, PassStats, pipeline_for_level
 from ..synth import synthesize
@@ -73,6 +75,7 @@ from .cache import (
     CodegenStore,
     DiskCache,
     ObligationStore,
+    TunerStore,
     freeze_params,
     source_digest,
 )
@@ -104,9 +107,10 @@ class CompileSession:
 
     ``opt_level`` is the session default for every stage downstream of
     lowering; individual stage calls can override it per request.  The
-    same holds for ``sim_backend`` (``"interp"`` or ``"compiled"``, the
-    engines of :data:`repro.rtl.SIM_BACKENDS`) and the ``simulate``
-    stage.  A non-None ``cache_dir`` layers a persistent
+    same holds for ``sim_backend`` (the engines of
+    :data:`repro.rtl.SIM_BACKENDS`, or ``"auto"`` for the measured
+    per-design choice) and the ``simulate`` stage.  A non-None
+    ``cache_dir`` layers a persistent
     :class:`~repro.driver.cache.DiskCache` under the in-memory artifact
     cache, so artifacts survive the process and a second session over
     the same sources starts warm.
@@ -125,7 +129,10 @@ class CompileSession:
         self.verify = verify
         self.opt_level = int(opt_level)
         pipeline_for_level(self.opt_level)  # reject bad levels eagerly
-        resolve_backend(sim_backend)  # reject bad backends eagerly too
+        # Reject bad backends eagerly too; fingerprinting accepts every
+        # selectable spelling including "auto" (resolve_backend would
+        # reject the selection policy that is not itself an engine).
+        backend_fingerprint(sim_backend)
         self.sim_backend = sim_backend
         self.sim_lanes = int(sim_lanes)
         if self.sim_lanes < 1:
@@ -159,6 +166,14 @@ class CompileSession:
         #: pseudo-stage) instead of running DPLL(T).
         self._obligation_store = (
             ObligationStore(self.cache.disk)
+            if self.cache.disk is not None
+            else None
+        )
+        #: persistent backend-calibration store for the "auto" backend;
+        #: warm sessions resolve the measured per-design engine choice
+        #: from disk (the "tuner" pseudo-stage) without re-calibrating.
+        self._tuner_store = (
+            TunerStore(self.cache.disk)
             if self.cache.disk is not None
             else None
         )
@@ -459,6 +474,11 @@ class CompileSession:
         its own cache key: the artifact records which engine produced it
         and its wall-clock, and the differential gates exist precisely
         to compare the two sides as independently computed traces.
+        ``"auto"`` resolves to a concrete engine inside the computation
+        via :func:`repro.rtl.tuner.tune` — measured per design when a
+        disk cache holds (or can record) a calibration profile, static
+        fallback otherwise; the produced ``SimTrace.backend`` records
+        the resolved engine.
 
         ``lanes`` (session's ``sim_lanes`` when None) batches that many
         independent stimulus streams through one run — on the compiled
@@ -495,8 +515,20 @@ class CompileSession:
                 source, component, params, registry, stdlib, opt_level=level
             ).value
             start = time.perf_counter()
+            resolved = engine
+            if engine == "auto":
+                decision = tune(
+                    optimized.module,
+                    n_lanes,
+                    store=self._tuner_store,
+                    codegen_store=self._codegen_store,
+                    # Without a disk cache a calibration could never be
+                    # reused, so don't pay for one — static fallback.
+                    calibrate=self._tuner_store is not None,
+                )
+                resolved = decision.backend
             simulator = make_simulator(
-                optimized.module, engine,
+                optimized.module, resolved,
                 lanes=n_lanes,
                 codegen_store=self._codegen_store,
             )
@@ -513,7 +545,7 @@ class CompileSession:
             run_seconds = time.perf_counter() - run_start
             value = SimTrace(
                 outputs, cycles, seed, level, run_seconds,
-                len(optimized.module.cells), backend=engine, lanes=n_lanes,
+                len(optimized.module.cells), backend=resolved, lanes=n_lanes,
             )
             return StageArtifact(
                 "simulate", key, value, time.perf_counter() - start

@@ -11,16 +11,19 @@ on every cycle (differential simulation).
 The same machinery gates the compiled simulation backend: for every
 design, both optimization levels are re-simulated on the ``compiled``
 engine and must agree bit-for-bit with the interpreter (the "Backends"
-column), and the batched multi-lane mode re-simulates the ``-O2``
-netlist with K stimulus lanes in one pass, which must agree lane for
-lane with K independent single-lane runs at the derived lane seeds
-(the "Lanes" column).
+column), and the lane-parallel engines re-simulate the ``-O2`` netlist
+with K stimulus lanes in one pass, which must agree lane for lane with
+K independent single-lane runs at the derived lane seeds — the SWAR
+batched engine in the "Lanes" column and the word-packed vector
+backend in the "Vector" column, both against the same per-lane
+reference traces.
 
 :func:`check_shape` asserts the claims this artifact exists for:
 
 * **soundness** — every design is output-equivalent across levels, the
-  compiled backend is output-equivalent to the interpreter, and lane
-  batching is output-equivalent to sequential runs;
+  compiled backend is output-equivalent to the interpreter, and both
+  lane engines (SWAR batched, vectorized) are output-equivalent to
+  sequential runs;
 * **profit** — dead-cell elimination plus common-cell sharing reduce
   the total cell count on at least three designs.
 """
@@ -60,6 +63,7 @@ class AblationRow:
         removed_by: Dict[str, int],
         backends_agree: bool = True,
         lanes_agree: bool = True,
+        vector_agree: bool = True,
     ):
         self.name = name
         self.cells_base = cells_base
@@ -75,6 +79,9 @@ class AblationRow:
         #: batched multi-lane run bit-identical, lane for lane, to the
         #: corresponding independent single-lane runs.
         self.lanes_agree = lanes_agree
+        #: word-packed vector run bit-identical, lane for lane, to the
+        #: same independent single-lane reference traces.
+        self.vector_agree = vector_agree
 
     @property
     def reduction(self) -> float:
@@ -104,6 +111,7 @@ class AblationRow:
             "yes" if self.equivalent else "NO",
             "yes" if self.backends_agree else "NO",
             "yes" if self.lanes_agree else "NO",
+            "yes" if self.vector_agree else "NO",
         ]
 
 
@@ -146,20 +154,31 @@ def _build_row(
     # The batching differential: one K-lane pass over the optimized
     # netlist, checked lane-by-lane against the K independent runs at
     # the derived lane seeds (lane 0's seed is the batch seed, so that
-    # lane also revalidates against trace-opt's stimulus).
-    batch = session.simulate(
-        source, component, params, generators,
-        cycles=cycles, seed=seed, opt_level=2, backend="compiled",
-        lanes=lanes,
-    ).value
-    lanes_agree = all(
-        batch.outputs[lane] == session.simulate(
+    # lane also revalidates against trace-opt's stimulus).  The per-lane
+    # reference traces are computed once and shared with the vector
+    # differential below.
+    lane_refs = [
+        session.simulate(
             source, component, params, generators,
             cycles=cycles, seed=derive_lane_seed(seed, lane),
             opt_level=2, backend="compiled", lanes=1,
         ).value.outputs
         for lane in range(lanes)
-    )
+    ]
+    batch = session.simulate(
+        source, component, params, generators,
+        cycles=cycles, seed=seed, opt_level=2, backend="compiled",
+        lanes=lanes,
+    ).value
+    lanes_agree = list(batch.outputs) == lane_refs
+    # The vector differential: same contract, word-packed columns
+    # instead of SWAR words, against the very same reference traces.
+    vector = session.simulate(
+        source, component, params, generators,
+        cycles=cycles, seed=seed, opt_level=2, backend="vector",
+        lanes=lanes,
+    ).value
+    vector_agree = list(vector.outputs) == lane_refs
     removed_by: Dict[str, int] = {}
     for stat in opt.pass_stats:
         removed_by[stat.name] = (
@@ -175,6 +194,7 @@ def _build_row(
         removed_by,
         backends_agree=backends_agree,
         lanes_agree=lanes_agree,
+        vector_agree=vector_agree,
     )
 
 
@@ -198,7 +218,7 @@ def build_rows(
 def render(rows: List[AblationRow]) -> str:
     return format_table(
         ["Design", "Cells -O0", "Cells -O2", "Reduction", "Sim speedup",
-         "Equivalent", "Backends", "Lanes"],
+         "Equivalent", "Backends", "Lanes", "Vector"],
         [row.cells() for row in rows],
     )
 
@@ -218,6 +238,10 @@ def check_shape(rows: List[AblationRow]) -> Dict[str, float]:
         assert row.lanes_agree, (
             f"{row.name}: batched multi-lane run diverges from the "
             f"independent single-lane runs — lane batching is unsound"
+        )
+        assert row.vector_agree, (
+            f"{row.name}: vectorized multi-lane run diverges from the "
+            f"independent single-lane runs — vector codegen is unsound"
         )
         assert row.cells_opt <= row.cells_base, (
             f"{row.name}: optimization grew the netlist"

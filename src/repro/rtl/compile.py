@@ -42,13 +42,36 @@ cell — K lanes for the cost of one — which is why register-heavy
 netlists batch best.  :class:`BatchedCompiledSimulator` owns the packed
 state; scalar backends reach it through ``run_batch``.
 
+**Three codegen targets.**  This module owns two of them — the scalar
+generator (``_generate_source``: one straight-line masked assignment
+per cell) and the SWAR batched generator (``_generate_batched_source``
+above) — and :mod:`repro.rtl.vectorize` adds the third: word-packed
+lane *columns* (numpy ``uint64`` arrays, or ``array('Q')`` buffers as a
+pure-stdlib fallback) where one vectorized operation advances thousands
+of lanes at fixed per-op overhead.  SWAR cost grows with the packed
+bignum's limb count and saturates between 16 and 64 lanes; the vector
+target keeps scaling past that, which is why mega-lane sweeps belong
+there.  All three emit bit-identical traces — the same
+:func:`differential_check` gates each one against the interpreter.
+
+Backend selection is measured, not guessed: the static
+:func:`swar_profitable` predicate keeps the batched path away from
+designs whose ineligible-cell fraction predicts a slowdown (the scalar
+``run_batch`` falls back to sequential lanes there), and
+:mod:`repro.rtl.tuner` runs a short per-design calibration, persists
+the winning (backend, lanes) in the disk cache, and resolves the
+``"auto"`` backend from those measurements.
+
 **Persistent codegen.**  Generating the step source levelizes the
 netlist and builds a netlist-sized string — for large modules that is
 the dominant cost of a cold simulator.  ``compile_netlist`` therefore
 accepts a ``store`` (see ``repro.driver.cache.CodegenStore``): the
 generated source and slot layout are persisted keyed by
-``(structural_hash, lanes)``, so a warm process skips levelization and
-code generation entirely and only pays ``compile()`` + ``exec()``.
+``(structural_hash, backend, lanes, CODEGEN_VERSION)`` — the backend
+tag (``"scalar"``, ``"swar"``, ``"vector-numpy"``, ``"vector-stdlib"``)
+keeps the four generators' entries from shadowing each other — so a
+warm process skips levelization and code generation entirely and only
+pays ``compile()`` + ``exec()``.
 """
 
 from __future__ import annotations
@@ -69,11 +92,12 @@ from .simulate import (
 )
 
 #: Version of the *generated code's* shape.  Part of every persisted
-#: codegen entry's key: bump it whenever ``_generate_source`` /
-#: ``_generate_batched_source`` change what they emit (or the payload
-#: dict changes shape), so stale persisted sources become cache misses
-#: instead of resurrecting old step semantics.
-CODEGEN_VERSION = 1
+#: codegen entry's key: bump it whenever a generator changes what it
+#: emits (or the payload dict changes shape), so stale persisted
+#: sources become cache misses instead of resurrecting old step
+#: semantics.  v2: payloads carry a ``backend`` tag
+#: (scalar/swar/vector-*) now that three generators share the store.
+CODEGEN_VERSION = 2
 
 
 @runtime_checkable
@@ -401,6 +425,42 @@ def batched_stride(module: Module, lanes: int = 16) -> int:
         if best_cost is None or cost < best_cost:
             best, best_cost = stride, cost
     return best
+
+
+def swar_profitable(module: Module, lanes: int) -> bool:
+    """Does the SWAR batched encoding beat sequential scalar lanes?
+
+    The static half of backend selection (the measured half is
+    :mod:`repro.rtl.tuner`): a calibrated per-cell cost comparison
+    between one lane-packed step and ``lanes`` scalar steps.  A packed
+    cell costs a small constant plus a term linear in the packed
+    integer's word count; an ineligible cell pays the per-lane loop
+    *and* the byte-sliced unpack/pack conversions, which is what sinks
+    designs like ``blas`` where the ineligible (``mul``) cells sit on
+    wide nets — measured at 0.51x vs scalar at 16 lanes even though a
+    naive eligible-fraction argument predicts a win.  Coefficients were
+    fit against ``BENCH_sim.json`` and reproduce the measured
+    faster/slower sign on every catalog design at 16 and 64 lanes.
+    """
+    lanes = int(lanes)
+    if lanes <= 1:
+        return False
+    module = _flattened(module)
+    cells = [
+        c for c in module.cells.values()
+        if c.kind not in ("reg", "regen", "fifo", "submodule")
+    ]
+    if not cells:
+        return True  # register/FIFO-only: latch sharing always wins
+    stride = batched_stride(module, lanes)
+    words = lanes * stride / 64.0
+    swar_cost = 0.0
+    for cell in cells:
+        if _swar_eligible(cell, stride):
+            swar_cost += 0.75 + 0.024 * words
+        else:
+            swar_cost += lanes * (4.0 + 0.8 * stride / 64.0)
+    return swar_cost < lanes * len(cells)
 
 
 class _LaneConsts:
@@ -843,6 +903,7 @@ _MEMO_LOCK = threading.Lock()
 _PAYLOAD_FIELDS = frozenset(
     (
         "structural_hash",
+        "backend",
         "lanes",
         "stride",
         "source",
@@ -855,20 +916,29 @@ _PAYLOAD_FIELDS = frozenset(
 )
 
 
-def valid_codegen_payload(payload, structural_hash: str, lanes) -> bool:
+def valid_codegen_payload(
+    payload, structural_hash: str, lanes, backend: str
+) -> bool:
     """Is ``payload`` a well-formed codegen entry for this exact key?
 
-    The single validation authority for persisted codegen: the store
-    applies it on load (so its hit/miss counters reflect *usable*
-    entries) and ``compile_netlist`` re-applies it as a cheap guard
-    against arbitrary duck-typed stores.
+    The single validation authority for persisted codegen (all three
+    generators route through it): the store applies it on load (so its
+    hit/miss counters reflect *usable* entries) and the compile
+    functions re-apply it as a cheap guard against arbitrary duck-typed
+    stores.
     """
     return (
         isinstance(payload, dict)
         and _PAYLOAD_FIELDS <= set(payload)
         and payload["structural_hash"] == structural_hash
         and payload["lanes"] == lanes
+        and payload["backend"] == backend
     )
+
+
+def _codegen_backend_tag(lanes: Optional[int]) -> str:
+    """This module's two generators, as codegen-store backend tags."""
+    return "scalar" if lanes is None else "swar"
 
 
 def _generate_payload(
@@ -884,6 +954,7 @@ def _generate_payload(
          stride) = _generate_batched_source(module, slot, lanes)
     return {
         "structural_hash": key,
+        "backend": _codegen_backend_tag(lanes),
         "lanes": lanes,
         "stride": stride,
         "source": source,
@@ -934,15 +1005,17 @@ def compile_netlist(
     integer ``lanes >= 1`` selects the packed multi-lane generator for
     exactly that many lanes (a one-lane packed program is distinct from
     the scalar one — it still uses the packed encoding).  ``store``
-    (duck-typed: ``load(structural_hash, lanes) -> payload | None`` and
-    ``save(payload)``, see ``repro.driver.cache.CodegenStore``) lets a
-    warm process reuse previously generated source instead of
-    levelizing and generating again.
+    (duck-typed: ``load(structural_hash, lanes, backend) -> payload |
+    None`` and ``save(payload)``, see
+    ``repro.driver.cache.CodegenStore``) lets a warm process reuse
+    previously generated source instead of levelizing and generating
+    again.
     """
     if lanes is not None:
         lanes = int(lanes)
         if lanes < 1:
             raise NetlistError(f"lanes must be >= 1, got {lanes}")
+    backend = _codegen_backend_tag(lanes)
     structural = module.structural_hash()
     key = (structural, lanes)
     with _MEMO_LOCK:
@@ -952,9 +1025,9 @@ def compile_netlist(
     start = time.perf_counter()
     payload = None
     if store is not None:
-        payload = store.load(structural, lanes)
+        payload = store.load(structural, lanes, backend)
         if payload is not None and not valid_codegen_payload(
-            payload, structural, lanes
+            payload, structural, lanes, backend
         ):
             payload = None
     loaded = payload is not None
@@ -1063,14 +1136,29 @@ class CompiledSimulator:
     def run_batch(
         self, input_streams: Sequence[List[Dict[str, int]]]
     ) -> List[List[Dict[str, int]]]:
-        """Advance all streams together through one lane-packed step
-        function (each lane from reset); one trace per stream."""
+        """One trace per stream, each lane from reset.
+
+        Lane-packs the streams through one SWAR step function when
+        :func:`swar_profitable` predicts a win; otherwise runs the
+        streams sequentially on fresh scalar simulators — same traces
+        (both paths are differential-gated), strictly faster on designs
+        like ``blas`` where packing measured slower than scalar.
+        """
         if not input_streams:
             return []  # mirror the interpreter's empty-batch behavior
-        batched = BatchedCompiledSimulator(
-            self.module, len(input_streams), codegen_store=self._codegen_store
-        )
-        return batched.run(input_streams)
+        if swar_profitable(self.module, len(input_streams)):
+            batched = BatchedCompiledSimulator(
+                self.module,
+                len(input_streams),
+                codegen_store=self._codegen_store,
+            )
+            return batched.run(input_streams)
+        return [
+            CompiledSimulator(
+                self.module, codegen_store=self._codegen_store
+            ).run(stream)
+            for stream in input_streams
+        ]
 
     def run_random_batch(
         self, cycles: int, lanes: int, seed: int = 0, bias: float = 0.0
@@ -1333,31 +1421,58 @@ class BatchedCompiledSimulator:
 
 
 #: backend name → engine class; the vocabulary ``CompileSession`` and
-#: the CLI's ``--sim-backend`` validate against.
+#: the CLI's ``--sim-backend`` validate against.  ``"vector"`` is
+#: registered by :mod:`repro.rtl.vectorize` on import (the package
+#: ``__init__`` guarantees that import), keeping this module free of a
+#: circular dependency.
 SIM_BACKENDS = {
     "interp": Simulator,
     "compiled": CompiledSimulator,
+    "batched": BatchedCompiledSimulator,
 }
 
 #: backend name → semantic version, mirroring ``Pass.version``: bump a
 #: backend's entry whenever its simulation semantics change, so that
 #: persistent simulate artifacts produced by the old code are cache
 #: misses instead of silently masking the fix (the differential gates
-#: compare *computed* traces, not stale ones).
+#: compare *computed* traces, not stale ones).  ``"auto"`` versions the
+#: tuner-driven *selection* policy, not an engine of its own.
 SIM_BACKEND_VERSIONS = {
     "interp": 1,
     "compiled": 1,
+    "batched": 1,
+    "auto": 1,
 }
 
 
 def backend_fingerprint(name: str) -> str:
-    """``name@version`` — the backend's contribution to cache keys."""
-    resolve_backend(name)
-    return f"{name}@{SIM_BACKEND_VERSIONS[name]}"
+    """``name@version`` — the backend's contribution to cache keys.
+
+    Accepts every name with versioned semantics, including ``"auto"``
+    (a selection policy rather than an engine), unlike
+    :func:`resolve_backend` which only accepts concrete engines.
+    """
+    try:
+        version = SIM_BACKEND_VERSIONS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown sim backend {name!r}; "
+            f"available: {backend_choices()}"
+        ) from None
+    return f"{name}@{version}"
+
+
+def backend_choices() -> List[str]:
+    """Every ``--sim-backend`` spelling: concrete engines + ``auto``."""
+    return sorted(SIM_BACKENDS) + ["auto"]
 
 
 def resolve_backend(name: str):
-    """Backend name → engine class, with a helpful rejection."""
+    """Backend name → engine class, with a helpful rejection.
+
+    Concrete engines only — ``"auto"`` must be resolved to one first
+    (see :func:`repro.rtl.tuner.tune`).
+    """
     try:
         return SIM_BACKENDS[name]
     except KeyError:
@@ -1376,21 +1491,28 @@ def make_simulator(
     """Instantiate the named engine over ``module``.
 
     ``codegen_store`` (a persistent source store, see
-    ``repro.driver.cache.CodegenStore``) only matters to the compiled
-    backend; the interpreter ignores it.  ``lanes > 1`` on the compiled
-    backend returns a :class:`BatchedCompiledSimulator` directly — the
-    lane-packed program is the only one compiled, the scalar one is
-    never touched.  The interpreter has no lane parallelism, so there
-    it returns the plain engine whose ``run_batch`` loops.
+    ``repro.driver.cache.CodegenStore``) only matters to the codegen
+    backends; the interpreter ignores it.  ``lanes > 1`` on the
+    ``compiled`` backend returns a :class:`BatchedCompiledSimulator`
+    *when* :func:`swar_profitable` predicts a win, else the scalar
+    engine whose ``run_batch`` runs lanes sequentially (same traces,
+    faster on SWAR-hostile designs).  ``batched`` forces the SWAR
+    engine regardless; lane engines registered by other modules
+    (``vector``) take ``(module, lanes, codegen_store=...)``.  The
+    interpreter has no lane parallelism, so there it returns the plain
+    engine whose ``run_batch`` loops.
     """
     cls = resolve_backend(backend)
+    lanes = max(1, int(lanes))
     if cls is CompiledSimulator:
-        if lanes > 1:
+        if lanes > 1 and swar_profitable(module, lanes):
             return BatchedCompiledSimulator(
                 module, lanes, codegen_store=codegen_store
             )
         return cls(module, codegen_store=codegen_store)
-    return cls(module)
+    if cls is Simulator:
+        return cls(module)
+    return cls(module, lanes, codegen_store=codegen_store)
 
 
 def differential_check(
@@ -1399,25 +1521,36 @@ def differential_check(
     seed: int = 0,
     bias: float = 0.0,
     lanes: int = 1,
+    backend: str = "compiled",
 ) -> bool:
     """True iff both backends agree bit-for-bit under shared stimulus.
 
-    The correctness gate for the compiled backend: identical seeded
-    input vectors drive a fresh interpreter and a fresh compiled
-    simulator; every output must match on every cycle.  With
-    ``lanes > 1`` the same gate covers the batched engine: the
-    interpreter runs the K derived-seed streams sequentially, the
-    compiled side advances them through one lane-packed step function,
-    and all K traces must agree — which simultaneously proves batched
-    outputs bit-identical to K independent single-lane runs.
+    The correctness gate for every codegen backend: identical seeded
+    input vectors drive a fresh interpreter and a fresh engine of the
+    named backend; every output must match on every cycle.  With
+    ``lanes > 1`` (or a lane engine) the interpreter runs the K
+    derived-seed streams sequentially while the engine under test
+    advances them together, and all K traces must agree — which
+    simultaneously proves the engine's outputs bit-identical to K
+    independent single-lane runs.  ``backend`` may be ``"compiled"``
+    (scalar at ``lanes == 1``, SWAR above), ``"batched"`` (SWAR even at
+    one lane) or ``"vector"``.
     """
+    if backend == "interp":
+        raise NetlistError(
+            "differential_check compares a codegen backend against the "
+            "interpreter; backend='interp' would compare it to itself"
+        )
     interp = Simulator(module)
-    if lanes == 1:
+    if lanes == 1 and backend == "compiled":
         compiled = CompiledSimulator(interp.module)
         stimulus = random_stimulus(interp.module, cycles, seed, bias)
         return interp.run(stimulus) == compiled.run(stimulus)
-    # Build the batched engine directly: only the lane-packed program
-    # is compiled, never the scalar one this check wouldn't run.
-    batched = BatchedCompiledSimulator(interp.module, lanes)
+    # Build the lane engine directly: only the lane-parallel program is
+    # compiled, never a scalar one this check wouldn't run.
+    if backend in ("compiled", "batched"):
+        engine = BatchedCompiledSimulator(interp.module, lanes)
+    else:
+        engine = resolve_backend(backend)(interp.module, lanes)
     streams = random_stimulus_batch(interp.module, cycles, lanes, seed, bias)
-    return interp.run_batch(streams) == batched.run(streams)
+    return interp.run_batch(streams) == engine.run(streams)

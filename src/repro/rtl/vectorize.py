@@ -1,0 +1,1392 @@
+"""Mega-lane vectorized simulation backend: netlist → word-packed kernels.
+
+The third codegen target (after the scalar and SWAR generators of
+:mod:`repro.rtl.compile`).  Where the batched SWAR backend packs K lanes
+into one CPython bignum — and saturates between 16 and 64 lanes because
+every operation's cost grows with the packed integer's limb count — this
+generator gives every net a *word-packed column*: one value per lane,
+stored contiguously, so a single vectorized operation advances thousands
+of lanes at fixed per-op overhead.
+
+Two flavors share one code shape, selected by :func:`vector_flavor`:
+
+* **numpy** — each net ≤ 64 bits wide is one ``numpy`` array of dtype
+  ``uint64`` and shape ``(lanes,)``; combinational cells become one or
+  two whole-column ufunc calls (``+``, ``&``, ``np.where``, ...).  All
+  arithmetic is exact under the unsigned mod-2^width contract: uint64
+  wraps mod 2^64 and an explicit mask narrows to the net width, division
+  and modulo route through ``np.floor_divide``/``np.remainder`` with a
+  ``where=`` guard so x/0 == 0, and shift amounts that would be C-level
+  undefined behavior (>= 64) are folded to constant zero columns at
+  generation time.  Every integer literal is materialized as a
+  ``np.uint64`` scalar in the prelude, which keeps numpy 1.x from
+  promoting wide masks to float64 and satisfies NEP 50 on 2.x.
+* **stdlib** — the pure-stdlib word-parallel fallback when numpy is not
+  installed: columns are ``array('Q')`` buffers and every cell is a
+  per-lane list comprehension.  Bit-identical, much slower; it exists so
+  ``repro`` degrades cleanly instead of failing (install the
+  ``repro[vector]`` extra for the fast path).
+
+Nets wider than 64 bits live as per-lane Python-int lists in both
+flavors (the same escape hatch the SWAR generator uses), and FIFOs keep
+one deque per lane.  The generated code never mutates a column in
+place — slots are only ever rebound to fresh columns — which is what
+makes a register latch a single reference copy and lets constant columns
+be shared.
+
+:class:`VectorCompiledSimulator` presents the same vectorized surface as
+:class:`~repro.rtl.compile.BatchedCompiledSimulator` (per-lane poke
+lists, one output dict per lane) and is gated by the very same
+:func:`~repro.rtl.compile.differential_check` contract: bit-identical,
+lane for lane, to K independent interpreter runs.  Generated kernels
+persist through the ``codegen`` pseudo-stage of the disk cache, keyed
+``(structural_hash, backend, lanes, CODEGEN_VERSION)`` where the backend
+tag carries the flavor (``"vector-numpy"`` / ``"vector-stdlib"``).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .netlist import Cell, Module, NetlistError, comb_topo_order
+from .simulate import random_stimulus_batch
+
+#: Lane-column word width: nets at or below it are packed (uint64 /
+#: array('Q') columns), wider nets fall back to per-lane int lists.
+VECTOR_WORD = 64
+
+#: Mask of one full machine word.
+_WORD_MASK = (1 << VECTOR_WORD) - 1
+
+
+def _nwords(width: int) -> int:
+    """How many 64-bit words a value of ``width`` bits occupies."""
+    return (width + VECTOR_WORD - 1) // VECTOR_WORD
+
+#: The two kernel flavors, in preference order.
+VECTOR_FLAVORS = ("numpy", "stdlib")
+
+
+class SimBackendUnavailable(NetlistError):
+    """A simulation backend's required runtime support is not installed.
+
+    Raised when the numpy kernel flavor is explicitly requested (via
+    ``flavor="numpy"`` or ``$REPRO_VECTOR_FLAVOR=numpy``) but numpy is
+    missing; plain ``vector`` requests silently fall back to the stdlib
+    flavor instead.
+    """
+
+
+_NUMPY = None
+_NUMPY_PROBED = False
+
+
+def _numpy():
+    """The numpy module, or None when not installed (probed once)."""
+    global _NUMPY, _NUMPY_PROBED
+    if not _NUMPY_PROBED:
+        try:
+            import numpy
+            _NUMPY = numpy
+        except ImportError:
+            _NUMPY = None
+        _NUMPY_PROBED = True
+    return _NUMPY
+
+
+def vector_flavor(flavor: Optional[str] = None) -> str:
+    """Resolve the kernel flavor: explicit arg → ``$REPRO_VECTOR_FLAVOR``
+    → ``"numpy"`` when importable, else ``"stdlib"``."""
+    requested = flavor or os.environ.get("REPRO_VECTOR_FLAVOR") or None
+    if requested is None:
+        return "numpy" if _numpy() is not None else "stdlib"
+    if requested not in VECTOR_FLAVORS:
+        raise NetlistError(
+            f"unknown vector flavor {requested!r}; "
+            f"available: {list(VECTOR_FLAVORS)}"
+        )
+    if requested == "numpy" and _numpy() is None:
+        raise SimBackendUnavailable(
+            "the numpy vector flavor was requested but numpy is not "
+            "installed; pip install 'lilac-repro[vector]' or use the "
+            "stdlib flavor"
+        )
+    return requested
+
+
+def vector_backend_tag(flavor: str) -> str:
+    """The codegen-store backend tag for one flavor's kernels."""
+    return f"vector-{flavor}"
+
+
+class _VecConsts:
+    """Constant pool for one vector compilation.
+
+    Scalars (masks, shift amounts, flip patterns) and full lane columns
+    (constant cells, the zero column) are emitted once in the generated
+    prelude and threaded into the step functions as keyword defaults, so
+    the hot loop reads them as ``LOAD_FAST``.
+    """
+
+    def __init__(self, flavor: str, lanes: int):
+        self.flavor = flavor
+        self.lanes = lanes
+        self._scalars: Dict[int, str] = {}
+        self._columns: Dict[int, str] = {}
+        self._wides: Dict[int, str] = {}
+        self.defs: List[str] = []
+
+    def _fresh(self, hint: str) -> str:
+        name = f"_{hint}"
+        if any(line.startswith(f"{name} = ") for line in self.defs):
+            name = f"_{hint}x{len(self.defs)}"
+        return name
+
+    def scalar(self, value: int, hint: str, uses: set) -> str:
+        """A ``np.uint64`` scalar (numpy) / plain int literal (stdlib)."""
+        if self.flavor != "numpy":
+            return hex(value)
+        name = self._scalars.get(value)
+        if name is None:
+            name = self._fresh(hint)
+            self._scalars[value] = name
+            self.defs.append(f"{name} = _np.uint64({hex(value)})")
+        uses.add(name)
+        return name
+
+    def mask(self, width: int, uses: set) -> str:
+        return self.scalar((1 << width) - 1, f"M{width}", uses)
+
+    def column(self, value: int, hint: str, uses: set) -> str:
+        """A whole packed column holding ``value`` in every lane."""
+        name = self._columns.get(value)
+        if name is None:
+            name = self._fresh(hint)
+            self._columns[value] = name
+            if self.flavor == "numpy":
+                self.defs.append(
+                    f"{name} = _np.full(_LANES, _np.uint64({hex(value)}))"
+                )
+            else:
+                self.defs.append(
+                    f'{name} = _array("Q", [{hex(value)}]) * _LANES'
+                )
+        uses.add(name)
+        return name
+
+    def zeros(self, uses: set) -> str:
+        return self.column(0, "Z", uses)
+
+    def wide_column(self, value: int, hint: str, uses: set) -> str:
+        """A per-lane list column for constants wider than one word."""
+        name = self._wides.get(value)
+        if name is None:
+            name = self._fresh(hint)
+            self._wides[value] = name
+            self.defs.append(f"{name} = [{value}] * _LANES")
+        uses.add(name)
+        return name
+
+    def wide_words(self, value: int, n_words: int, hint: str,
+                   uses: set) -> str:
+        """A multi-word constant: a list of ``n_words`` full columns
+        holding the value's 64-bit words (numpy flavor only)."""
+        key = (value, n_words)
+        name = self._wides.get(key)
+        if name is None:
+            name = self._fresh(hint)
+            self._wides[key] = name
+            words = ", ".join(
+                f"_np.full(_LANES, _np.uint64("
+                f"{hex((value >> (VECTOR_WORD * i)) & _WORD_MASK)}))"
+                for i in range(n_words)
+            )
+            self.defs.append(f"{name} = [{words}]")
+        uses.add(name)
+        return name
+
+
+def _generate_vector_source(
+    module: Module, slot: Dict[str, int], lanes: int, flavor: str
+) -> Tuple[str, List[str], List[int], List[str], List[int]]:
+    """Generate the lane-column evaluate/latch pair for one flavor.
+
+    The invariant every emitted statement preserves (exactly as in the
+    SWAR generator): lane values are *clean* — strictly below
+    ``2^width`` — and columns are never mutated in place, only rebound.
+    """
+    numpy_flavor = flavor == "numpy"
+    consts = _VecConsts(flavor, lanes)
+    uses_ev: set = set()
+    uses_lt: set = set()
+    div_helpers = set()
+
+    def wide(net) -> bool:
+        return net.width > VECTOR_WORD
+
+    def lanes_of(net, uses: set) -> str:
+        """Expression yielding an iterable of the net's per-lane ints."""
+        expr = f"s[{slot[net.name]}]"
+        if numpy_flavor and not wide(net):
+            return f"{expr}.tolist()"
+        if numpy_flavor:
+            # Wide nets are multi-word column lists in this flavor.
+            div_helpers.add("_wunpack")
+            uses.add("_wunpack")
+            return f"_wunpack({expr})"
+        return expr
+
+    def pk(listcomp: str, uses: set) -> str:
+        """Pack a list-comprehension of clean ints into a column."""
+        if numpy_flavor:
+            uses.add("_np")
+            uses.add("_U64")
+            return f"_np.array({listcomp}, _U64)"
+        uses.add("_array")
+        return f'_array("Q", {listcomp})'
+
+    def pk_wide(listcomp: str, n_words: int, uses: set) -> str:
+        """Pack clean per-lane ints into a multi-word column list."""
+        div_helpers.add("_wpack")
+        uses.add("_wpack")
+        return f"_wpack({listcomp}, {n_words})"
+
+    # -- numpy flavor: whole-column kernels -----------------------------
+
+    def comb_numpy_packed(cell: Cell) -> List[str]:
+        pins, kind = cell.pins, cell.kind
+        out = pins["out"]
+        so = slot[out.name]
+        wo = out.width
+        uses_ev.add("_np")
+
+        def sl(pin: str) -> str:
+            return f"s[{slot[pins[pin].name]}]"
+
+        def w(pin: str) -> int:
+            return pins[pin].width
+
+        def emit(expr: str, need_mask: bool) -> List[str]:
+            if need_mask:
+                expr = f"({expr}) & {consts.mask(wo, uses_ev)}"
+            return [f"    s[{so}] = {expr}"]
+
+        def zeros() -> List[str]:
+            return [f"    s[{so}] = {consts.zeros(uses_ev)}"]
+
+        if kind == "const":
+            value = int(cell.params["value"]) & ((1 << wo) - 1)
+            return [
+                f"    s[{so}] = {consts.column(value, f'V{so}', uses_ev)}"
+            ]
+        if kind == "add":
+            # uint64 wraps mod 2^64, so a 64-bit out needs no mask.
+            need = wo < VECTOR_WORD and wo < max(w("a"), w("b")) + 1
+            return emit(f"{sl('a')} + {sl('b')}", need)
+        if kind == "sub":
+            return emit(f"{sl('a')} - {sl('b')}", wo < VECTOR_WORD)
+        if kind == "mul":
+            # Low bits of the wrapped product are exact for wo <= 64.
+            need = wo < VECTOR_WORD and w("a") + w("b") > wo
+            return emit(f"{sl('a')} * {sl('b')}", need)
+        if kind == "div":
+            div_helpers.add("_vdiv")
+            uses_ev.add("_vdiv")
+            return emit(f"_vdiv({sl('a')}, {sl('b')})", w("a") > wo)
+        if kind == "mod":
+            div_helpers.add("_vmod")
+            uses_ev.add("_vmod")
+            return emit(
+                f"_vmod({sl('a')}, {sl('b')})", min(w("a"), w("b")) > wo
+            )
+        if kind == "and":
+            return emit(
+                f"{sl('a')} & {sl('b')}", min(w("a"), w("b")) > wo
+            )
+        if kind in ("or", "xor"):
+            op = "|" if kind == "or" else "^"
+            return emit(
+                f"{sl('a')} {op} {sl('b')}", max(w("a"), w("b")) > wo
+            )
+        if kind == "not":
+            flip_width = max(w("a"), wo)
+            flip = consts.scalar(
+                (1 << flip_width) - 1, f"F{flip_width}", uses_ev
+            )
+            return emit(f"{sl('a')} ^ {flip}", w("a") > wo)
+        if kind == "eq":
+            uses_ev.add("_U64")
+            return emit(f"({sl('a')} == {sl('b')}).astype(_U64)", False)
+        if kind == "lt":
+            uses_ev.add("_U64")
+            return emit(f"({sl('a')} < {sl('b')}).astype(_U64)", False)
+        if kind == "mux":
+            cond = sl("sel")
+            if w("sel") > 1:
+                cond = f"{cond} & {consts.scalar(1, 'K1', uses_ev)}"
+            return emit(
+                f"_np.where({cond}, {sl('a')}, {sl('b')})",
+                max(w("a"), w("b")) > wo,
+            )
+        if kind == "shl":
+            amount = int(cell.params["amount"])
+            if amount >= wo:  # masked away entirely (also: >=64 is UB)
+                return zeros()
+            if amount == 0:
+                return emit(sl("a"), w("a") > wo)
+            shift = consts.scalar(amount, f"A{amount}", uses_ev)
+            need = wo < VECTOR_WORD and w("a") + amount > wo
+            return emit(f"{sl('a')} << {shift}", need)
+        if kind == "shr":
+            amount = int(cell.params["amount"])
+            if amount >= w("a"):
+                return zeros()
+            if amount == 0:
+                return emit(sl("a"), w("a") > wo)
+            shift = consts.scalar(amount, f"A{amount}", uses_ev)
+            return emit(f"{sl('a')} >> {shift}", w("a") - amount > wo)
+        if kind == "slice":
+            lsb = int(cell.params["lsb"])
+            if lsb >= w("a"):
+                return zeros()
+            if lsb == 0:
+                return emit(sl("a"), w("a") > wo)
+            shift = consts.scalar(lsb, f"A{lsb}", uses_ev)
+            return emit(f"{sl('a')} >> {shift}", w("a") - lsb > wo)
+        if kind == "concat":
+            wb = w("b")
+            if wb >= wo:  # a's bits are entirely above the out mask
+                return emit(sl("b"), wb > wo)
+            shift = consts.scalar(wb, f"A{wb}", uses_ev)
+            need = wo < VECTOR_WORD and w("a") + wb > wo
+            return emit(f"({sl('a')} << {shift}) | {sl('b')}", need)
+        raise NetlistError(f"cannot vector-compile cell kind {kind!r}")
+
+    # -- numpy flavor: multi-word columns for wide nets -----------------
+    #
+    # A net wider than one machine word is a Python list of ceil(w/64)
+    # uint64 columns (little-endian words, clean: the top word carries
+    # only the residual bits).  The structural kinds below stay fully
+    # vectorized at the word level; only genuinely multi-word arithmetic
+    # (add/sub/mul/div/mod/lt on wide values) drops to the per-lane
+    # fallback, which converts through ``_wpack``/``_wunpack``.
+
+    WIDE_VECTOR_KINDS = frozenset(
+        ("const", "slice", "shr", "shl", "concat",
+         "and", "or", "xor", "not", "mux", "eq")
+    )
+
+    def comb_numpy_wide(cell: Cell) -> List[str]:
+        pins, kind = cell.pins, cell.kind
+        out = pins["out"]
+        so = slot[out.name]
+        wo = out.width
+        nwo = _nwords(wo)
+        uses_ev.add("_np")
+
+        def word(pin: str, index: int) -> str:
+            net = pins[pin]
+            base = f"s[{slot[net.name]}]"
+            return f"{base}[{index}]" if wide(net) else base
+
+        def window(pin: str, pos: int) -> Optional[str]:
+            """Bits ``[pos, pos + 64)`` of the pin's clean value (a
+            negative ``pos`` places the value upward); None == zero."""
+            wa = pins[pin].width
+            na = _nwords(wa)
+            quot, sh = divmod(pos, VECTOR_WORD)
+            terms = []
+            if 0 <= quot < na:
+                term = word(pin, quot)
+                if sh:
+                    shift = consts.scalar(sh, f"A{sh}", uses_ev)
+                    term = f"({term} >> {shift})"
+                terms.append(term)
+            if sh and 0 <= quot + 1 < na:
+                # uint64 << wraps, which is exactly window truncation.
+                up = consts.scalar(
+                    VECTOR_WORD - sh, f"A{VECTOR_WORD - sh}", uses_ev
+                )
+                terms.append(f"({word(pin, quot + 1)} << {up})")
+            if not terms:
+                return None
+            return " | ".join(terms)
+
+        def finish(words: List[Optional[str]], src_top: int) -> List[str]:
+            """Assemble out words; mask the top word when the source can
+            carry bits past ``wo`` inside it (word windows already
+            truncate at word granularity, so ``wo % 64 == 0`` is free).
+            """
+            residual = wo % VECTOR_WORD
+            if src_top > wo and residual and words[-1] is not None:
+                mask = consts.mask(residual, uses_ev)
+                words[-1] = f"({words[-1]}) & {mask}"
+            exprs = [
+                expr if expr is not None else consts.zeros(uses_ev)
+                for expr in words
+            ]
+            if not wide(out):
+                return [f"    s[{so}] = {exprs[0]}"]
+            return [f"    s[{so}] = [{', '.join(exprs)}]"]
+
+        def w(pin: str) -> int:
+            return pins[pin].width
+
+        if kind == "const":
+            value = int(cell.params["value"]) & ((1 << wo) - 1)
+            return [
+                f"    s[{so}] = "
+                f"{consts.wide_words(value, nwo, f'W{so}', uses_ev)}"
+            ]
+        if kind in ("slice", "shr"):
+            offset = int(
+                cell.params["lsb" if kind == "slice" else "amount"]
+            )
+            words = [
+                window("a", offset + VECTOR_WORD * j) for j in range(nwo)
+            ]
+            return finish(words, w("a") - offset)
+        if kind == "shl":
+            amount = int(cell.params["amount"])
+            words = [
+                window("a", VECTOR_WORD * j - amount) for j in range(nwo)
+            ]
+            return finish(words, w("a") + amount)
+        if kind == "concat":
+            wb = w("b")
+            words = []
+            for j in range(nwo):
+                parts = [
+                    part
+                    for part in (
+                        window("a", VECTOR_WORD * j - wb),
+                        window("b", VECTOR_WORD * j),
+                    )
+                    if part is not None
+                ]
+                words.append(" | ".join(parts) if parts else None)
+            return finish(words, w("a") + wb)
+        if kind in ("and", "or", "xor"):
+            op = {"and": "&", "or": "|", "xor": "^"}[kind]
+            words = []
+            for j in range(nwo):
+                a_word = window("a", VECTOR_WORD * j)
+                b_word = window("b", VECTOR_WORD * j)
+                if a_word is not None and b_word is not None:
+                    words.append(f"{a_word} {op} {b_word}")
+                elif kind == "and":
+                    words.append(None)  # missing operand word == zero
+                else:
+                    words.append(a_word if a_word is not None else b_word)
+            src_top = (
+                min(w("a"), w("b")) if kind == "and" else max(w("a"), w("b"))
+            )
+            return finish(words, src_top)
+        if kind == "not":
+            flip_width = max(w("a"), wo)
+            na = _nwords(w("a"))
+            words: List[Optional[str]] = []
+            for j in range(nwo):
+                flip = (
+                    ((1 << flip_width) - 1) >> (VECTOR_WORD * j)
+                ) & _WORD_MASK
+                a_word = window("a", VECTOR_WORD * j)
+                if a_word is None:
+                    words.append(
+                        consts.column(flip, f"V{so}w{j}", uses_ev)
+                        if flip else None
+                    )
+                elif flip:
+                    scalar = consts.scalar(flip, f"F{flip:x}", uses_ev)
+                    words.append(f"{a_word} ^ {scalar}")
+                else:
+                    words.append(a_word)
+            return finish(words, flip_width)
+        if kind == "mux":
+            sel = pins["sel"]
+            cond = word("sel", 0)
+            if sel.width > 1:
+                cond = f"{cond} & {consts.scalar(1, 'K1', uses_ev)}"
+            zeros = consts.zeros(uses_ev)
+            words = []
+            for j in range(nwo):
+                a_word = window("a", VECTOR_WORD * j) or zeros
+                b_word = window("b", VECTOR_WORD * j) or zeros
+                words.append(f"_np.where({cond}, {a_word}, {b_word})")
+            return finish(words, max(w("a"), w("b")))
+        if kind == "eq":
+            uses_ev.add("_U64")
+            zero = consts.scalar(0, "K0", uses_ev)
+            terms = []
+            for j in range(max(_nwords(w("a")), _nwords(w("b")))):
+                a_word = window("a", VECTOR_WORD * j)
+                b_word = window("b", VECTOR_WORD * j)
+                if a_word is None and b_word is None:
+                    continue
+                if a_word is None:
+                    terms.append(f"({b_word} == {zero})")
+                elif b_word is None:
+                    terms.append(f"({a_word} == {zero})")
+                else:
+                    terms.append(f"({a_word} == {b_word})")
+            joined = " & ".join(terms) if terms else "True"
+            flag = f"({joined}).astype(_U64)"
+            if not wide(out):
+                return [f"    s[{so}] = {flag}"]
+            zeros = consts.zeros(uses_ev)
+            exprs = [flag] + [zeros] * (nwo - 1)
+            return [f"    s[{so}] = [{', '.join(exprs)}]"]
+        raise NetlistError(
+            f"cannot word-vectorize cell kind {kind!r}"
+        )  # pragma: no cover - dispatch guards membership
+
+    # -- per-lane loop (wide pins, and the whole stdlib flavor) ---------
+
+    def comb_lanes(cell: Cell) -> List[str]:
+        pins, kind = cell.pins, cell.kind
+        out = pins["out"]
+        so = slot[out.name]
+        wo = out.width
+        omask = (1 << wo) - 1
+        wide_out = wide(out)
+
+        def wr(listcomp: str) -> List[str]:
+            if wide_out and numpy_flavor:
+                return [
+                    f"    s[{so}] = "
+                    f"{pk_wide(listcomp, _nwords(wo), uses_ev)}"
+                ]
+            if wide_out:
+                return [f"    s[{so}] = {listcomp}"]
+            return [f"    s[{so}] = {pk(listcomp, uses_ev)}"]
+
+        if kind == "const":
+            value = int(cell.params["value"]) & omask
+            if wide_out and numpy_flavor:
+                return [
+                    f"    s[{so}] = "
+                    f"{consts.wide_words(value, _nwords(wo), f'W{so}', uses_ev)}"
+                ]
+            if wide_out:
+                return [
+                    f"    s[{so}] = "
+                    f"{consts.wide_column(value, f'W{so}', uses_ev)}"
+                ]
+            return [
+                f"    s[{so}] = {consts.column(value, f'V{so}', uses_ev)}"
+            ]
+        if kind == "mux":
+            return wr(
+                f"[(_p if _c & 1 else _q) & {omask} for _c, _p, _q in "
+                f"zip({lanes_of(pins['sel'], uses_ev)},"
+                f" {lanes_of(pins['a'], uses_ev)},"
+                f" {lanes_of(pins['b'], uses_ev)})]"
+            )
+        binary = {
+            "add": f"(_p + _q) & {omask}",
+            "sub": f"(_p - _q) & {omask}",
+            "mul": f"(_p * _q) & {omask}",
+            "div": f"(_p // _q if _q else 0) & {omask}",
+            "mod": f"(_p % _q if _q else 0) & {omask}",
+            "and": f"(_p & _q) & {omask}",
+            "or": f"(_p | _q) & {omask}",
+            "xor": f"(_p ^ _q) & {omask}",
+            "eq": "1 if _p == _q else 0",
+            "lt": "1 if _p < _q else 0",
+        }
+        if kind == "concat":
+            binary["concat"] = (
+                f"((_p << {pins['b'].width}) | _q) & {omask}"
+            )
+        if kind in binary:
+            return wr(
+                f"[{binary[kind]} for _p, _q in "
+                f"zip({lanes_of(pins['a'], uses_ev)},"
+                f" {lanes_of(pins['b'], uses_ev)})]"
+            )
+        if kind == "slice" and int(cell.params["lsb"]) == 0 \
+                and pins["a"].width <= wo and wide(pins["a"]) == wide_out:
+            return [f"    s[{so}] = s[{slot[pins['a'].name]}]"]
+        unary = {
+            "not": f"(~_p) & {omask}",
+            "shl": f"(_p << {int(cell.params.get('amount', 0))}) & {omask}",
+            "shr": f"(_p >> {int(cell.params.get('amount', 0))}) & {omask}",
+            "slice": f"(_p >> {int(cell.params.get('lsb', 0))}) & {omask}",
+        }
+        if kind in unary:
+            return wr(
+                f"[{unary[kind]} for _p in "
+                f"{lanes_of(pins['a'], uses_ev)}]"
+            )
+        raise NetlistError(f"cannot vector-compile cell kind {kind!r}")
+
+    # -- sequential cells ----------------------------------------------
+
+    reg_cells = sorted(
+        name for name, c in module.cells.items() if c.kind in ("reg", "regen")
+    )
+    fifo_cells = sorted(
+        name for name, c in module.cells.items() if c.kind == "fifo"
+    )
+    reg_index = {name: i for i, name in enumerate(reg_cells)}
+    fifo_index = {name: i for i, name in enumerate(fifo_cells)}
+    # Pre-masked to q width (the SWAR generator's convention): clean
+    # columns are the packed invariant and the extra bits are
+    # unobservable either way.
+    reg_inits = [
+        int(module.cells[name].params.get("init", 0))
+        & ((1 << module.cells[name].pins["q"].width) - 1)
+        for name in reg_cells
+    ]
+    fifo_depths = [
+        int(module.cells[name].params.get("depth", 2)) for name in fifo_cells
+    ]
+
+    def reg_storage_wide(name: str) -> bool:
+        pins = module.cells[name].pins
+        return max(pins["d"].width, pins["q"].width) > VECTOR_WORD
+
+    ev: List[str] = []
+    for name in reg_cells:
+        cell = module.cells[name]
+        q, d = cell.pins["q"], cell.pins["d"]
+        i = reg_index[name]
+        sq = slot[q.name]
+        qmask = (1 << q.width) - 1
+        if not reg_storage_wide(name):
+            if d.width <= q.width:
+                ev.append(f"    s[{sq}] = r[{i}]")
+            elif numpy_flavor:
+                ev.append(
+                    f"    s[{sq}] = r[{i}]"
+                    f" & {consts.mask(q.width, uses_ev)}"
+                )
+            else:
+                ev.append(
+                    f"    s[{sq}] = "
+                    f"{pk(f'[_v & {qmask} for _v in r[{i}]]', uses_ev)}"
+                )
+        elif numpy_flavor:
+            # Wide storage is a multi-word column list clean to
+            # max(d, q) width; evaluate extracts q's words.
+            max_w = max(d.width, q.width)
+            if wide(q):
+                nq = _nwords(q.width)
+                words = [f"r[{i}][{j}]" for j in range(nq)]
+                residual = q.width % VECTOR_WORD
+                if max_w > q.width and residual:
+                    mask = consts.mask(residual, uses_ev)
+                    words[-1] = f"{words[-1]} & {mask}"
+                ev.append(f"    s[{sq}] = [{', '.join(words)}]")
+            elif q.width == VECTOR_WORD:
+                ev.append(f"    s[{sq}] = r[{i}][0]")
+            else:
+                mask = consts.mask(q.width, uses_ev)
+                ev.append(f"    s[{sq}] = r[{i}][0] & {mask}")
+        elif wide(q):
+            if d.width > q.width:
+                ev.append(
+                    f"    s[{sq}] = [_v & {qmask} for _v in r[{i}]]"
+                )
+            else:
+                ev.append(f"    s[{sq}] = r[{i}]")
+        else:  # wide storage latching into a packed q
+            ev.append(
+                f"    s[{sq}] = "
+                f"{pk(f'[_v & {qmask} for _v in r[{i}]]', uses_ev)}"
+            )
+    for name in fifo_cells:
+        cell = module.cells[name]
+        pins = cell.pins
+        index = fifo_index[name]
+        od = pins["out_data"]
+        od_mask = (1 << od.width) - 1
+        depth = fifo_depths[index]
+        ev.append(f"    _q = f[{index}]")
+        ev.append(
+            f"    s[{slot[pins['in_ready'].name]}] = "
+            f"{pk(f'[1 if len(_fq) < {depth} else 0 for _fq in _q]', uses_ev)}"
+        )
+        ev.append(
+            f"    s[{slot[pins['out_valid'].name]}] = "
+            f"{pk('[1 if _fq else 0 for _fq in _q]', uses_ev)}"
+        )
+        head = f"[(_fq[0] & {od_mask}) if _fq else 0 for _fq in _q]"
+        if wide(od) and numpy_flavor:
+            ev.append(
+                f"    s[{slot[od.name]}] = "
+                f"{pk_wide(head, _nwords(od.width), uses_ev)}"
+            )
+        elif wide(od):
+            ev.append(f"    s[{slot[od.name]}] = {head}")
+        else:
+            ev.append(f"    s[{slot[od.name]}] = {pk(head, uses_ev)}")
+    for cell in comb_topo_order(module):
+        pins = cell.pins
+        if numpy_flavor and all(
+            pin.width <= VECTOR_WORD for pin in pins.values()
+        ):
+            ev.extend(comb_numpy_packed(cell))
+        elif numpy_flavor and cell.kind in WIDE_VECTOR_KINDS:
+            ev.extend(comb_numpy_wide(cell))
+        else:
+            ev.extend(comb_lanes(cell))
+    if not ev:
+        ev.append("    pass")
+
+    def storage_words(name: str) -> int:
+        pins = module.cells[name].pins
+        return _nwords(max(pins["d"].width, pins["q"].width))
+
+    def d_word(d, index: int, uses: set) -> str:
+        """Word ``index`` of the latched d value (numpy wide storage)."""
+        sd = slot[d.name]
+        if wide(d):
+            if index < _nwords(d.width):
+                return f"s[{sd}][{index}]"
+        elif index == 0:
+            return f"s[{sd}]"
+        return consts.zeros(uses)
+
+    lt: List[str] = []
+    for name in reg_cells:
+        cell = module.cells[name]
+        d = cell.pins["d"]
+        i = reg_index[name]
+        storage_wide = reg_storage_wide(name)
+        if cell.kind == "reg":
+            if not storage_wide:
+                lt.append(f"    r[{i}] = s[{slot[d.name]}]")
+            elif numpy_flavor:
+                words = [
+                    d_word(d, j, uses_lt) for j in range(storage_words(name))
+                ]
+                lt.append(f"    r[{i}] = [{', '.join(words)}]")
+            elif wide(d):
+                lt.append(f"    r[{i}] = s[{slot[d.name]}]")
+            else:
+                lt.append(f"    r[{i}] = list(s[{slot[d.name]}])")
+        else:  # regen
+            en = cell.pins["en"]
+            if storage_wide and numpy_flavor:
+                uses_lt.add("_np")
+                cond = f"s[{slot[en.name]}]"
+                if en.width > 1:
+                    cond = f"{cond} & {consts.scalar(1, 'K1', uses_lt)}"
+                lt.append(f"    _c = {cond}")
+                words = [
+                    f"_np.where(_c, {d_word(d, j, uses_lt)}, r[{i}][{j}])"
+                    for j in range(storage_words(name))
+                ]
+                lt.append(f"    r[{i}] = [{', '.join(words)}]")
+            elif not storage_wide and numpy_flavor:
+                uses_lt.add("_np")
+                cond = f"s[{slot[en.name]}]"
+                if en.width > 1:
+                    cond = f"{cond} & {consts.scalar(1, 'K1', uses_lt)}"
+                lt.append(
+                    f"    r[{i}] = _np.where({cond}, "
+                    f"s[{slot[d.name]}], r[{i}])"
+                )
+            else:
+                blend = (
+                    f"[(_d if _e & 1 else _r) for _e, _d, _r in "
+                    f"zip({lanes_of(en, uses_lt)},"
+                    f" {lanes_of(d, uses_lt)}, r[{i}])]"
+                )
+                if storage_wide:
+                    lt.append(f"    r[{i}] = {blend}")
+                else:
+                    lt.append(f"    r[{i}] = {pk(blend, uses_lt)}")
+    for name in fifo_cells:
+        cell = module.cells[name]
+        pins = cell.pins
+        lt.append(
+            f"    for _fq, _to, _vo, _vi, _ri, _dv in zip("
+            f"f[{fifo_index[name]}], "
+            f"{lanes_of(pins['out_ready'], uses_lt)}, "
+            f"{lanes_of(pins['out_valid'], uses_lt)}, "
+            f"{lanes_of(pins['in_valid'], uses_lt)}, "
+            f"{lanes_of(pins['in_ready'], uses_lt)}, "
+            f"{lanes_of(pins['in_data'], uses_lt)}):"
+        )
+        lt.append("        if _fq and _to & _vo & 1:")
+        lt.append("            _fq.popleft()")
+        lt.append("        if _vi & _ri & 1:")
+        lt.append("            _fq.append(_dv)")
+    if not lt:
+        lt.append("    pass")
+
+    # -- assemble -------------------------------------------------------
+    prelude: List[str] = []
+    if numpy_flavor:
+        prelude += ["import numpy as _np", "", "_U64 = _np.uint64"]
+    else:
+        prelude += ["from array import array as _array"]
+    prelude.append(f"_LANES = {lanes}")
+    prelude += consts.defs
+    helper_names = sorted(div_helpers)
+    if "_vdiv" in div_helpers:
+        prelude += [
+            "",
+            "",
+            "def _vdiv(a, b, _Z0=_np.uint64(0)):",
+            "    out = _np.zeros_like(a)",
+            "    _np.floor_divide(a, b, out=out, where=b != _Z0)",
+            "    return out",
+        ]
+    if "_vmod" in div_helpers:
+        prelude += [
+            "",
+            "",
+            "def _vmod(a, b, _Z0=_np.uint64(0)):",
+            "    out = _np.zeros_like(a)",
+            "    _np.remainder(a, b, out=out, where=b != _Z0)",
+            "    return out",
+        ]
+    if "_wpack" in div_helpers:
+        prelude += [
+            "",
+            "",
+            "def _wpack(vals, n):",
+            "    return [_np.array([(v >> (64 * i)) & "
+            f"{hex(_WORD_MASK)} for v in vals], _U64)",
+            "            for i in range(n)]",
+        ]
+    if "_wunpack" in div_helpers:
+        prelude += [
+            "",
+            "",
+            "def _wunpack(words):",
+            "    out = words[0].tolist()",
+            "    for i in range(1, len(words)):",
+            "        shift = 64 * i",
+            "        out = [o | (v << shift)",
+            "               for o, v in zip(out, words[i].tolist())]",
+            "    return out",
+        ]
+
+    def signature(uses: set) -> str:
+        extras = sorted(uses - set(helper_names)) + [
+            h for h in helper_names if h in uses
+        ]
+        defaults = "".join(f", {n}={n}" for n in extras)
+        return f"(s, r, f{defaults}):"
+
+    source = "\n".join(
+        prelude
+        + ["", "", f"def _evaluate{signature(uses_ev)}"]
+        + ev
+        + ["", "", f"def _latch{signature(uses_lt)}"]
+        + lt
+    ) + "\n"
+    return source, reg_cells, reg_inits, fifo_cells, fifo_depths
+
+
+class VectorNetlist:
+    """One netlist's vector step code plus its layout (memo-shared)."""
+
+    __slots__ = (
+        "structural_hash",
+        "slot_of",
+        "n_slots",
+        "reg_cells",
+        "reg_inits",
+        "fifo_cells",
+        "fifo_depths",
+        "evaluate",
+        "latch",
+        "source",
+        "compile_seconds",
+        "lanes",
+        "flavor",
+        "from_store",
+    )
+
+    def __init__(
+        self,
+        structural_hash: str,
+        slot_of: Dict[str, int],
+        reg_cells: List[str],
+        reg_inits: List[int],
+        fifo_cells: List[str],
+        fifo_depths: List[int],
+        evaluate,
+        latch,
+        source: str,
+        compile_seconds: float,
+        lanes: int,
+        flavor: str,
+        from_store: bool = False,
+    ):
+        self.structural_hash = structural_hash
+        self.slot_of = slot_of
+        self.n_slots = len(slot_of)
+        self.reg_cells = reg_cells
+        self.reg_inits = reg_inits
+        self.fifo_cells = fifo_cells
+        self.fifo_depths = fifo_depths
+        self.evaluate = evaluate
+        self.latch = latch
+        self.source = source
+        self.compile_seconds = compile_seconds
+        self.lanes = lanes
+        self.flavor = flavor
+        self.from_store = from_store
+
+    def __repr__(self):
+        return (
+            f"VectorNetlist({self.structural_hash}, {self.n_slots} slots, "
+            f"lanes={self.lanes}, flavor={self.flavor})"
+        )
+
+
+#: (structural hash, lanes, flavor) → VectorNetlist, process-wide.
+_VMEMO: Dict[Tuple[str, int, str], VectorNetlist] = {}
+_VMEMO_LOCK = threading.Lock()
+
+
+def _generate_vector_payload(
+    module: Module, structural: str, lanes: int, flavor: str
+) -> Dict:
+    slot = {name: index for index, name in enumerate(sorted(module.nets))}
+    (source, reg_cells, reg_inits,
+     fifo_cells, fifo_depths) = _generate_vector_source(
+        module, slot, lanes, flavor
+    )
+    return {
+        "structural_hash": structural,
+        "backend": vector_backend_tag(flavor),
+        "flavor": flavor,
+        "lanes": lanes,
+        "stride": 0,
+        "source": source,
+        "slot_of": slot,
+        "reg_cells": reg_cells,
+        "reg_inits": reg_inits,
+        "fifo_cells": fifo_cells,
+        "fifo_depths": fifo_depths,
+    }
+
+
+def _materialize_vector(
+    payload: Dict, module_name: str, start: float, from_store: bool
+) -> VectorNetlist:
+    namespace: Dict[str, object] = {}
+    code = compile(
+        payload["source"],
+        f"<vector:{module_name}:{payload['structural_hash']}"
+        f":x{payload['lanes']}:{payload['flavor']}>",
+        "exec",
+    )
+    exec(code, namespace)
+    return VectorNetlist(
+        payload["structural_hash"],
+        payload["slot_of"],
+        payload["reg_cells"],
+        payload["reg_inits"],
+        payload["fifo_cells"],
+        payload["fifo_depths"],
+        namespace["_evaluate"],
+        namespace["_latch"],
+        payload["source"],
+        time.perf_counter() - start,
+        lanes=payload["lanes"],
+        flavor=payload["flavor"],
+        from_store=from_store,
+    )
+
+
+def compile_vector_netlist(
+    module: Module,
+    lanes: int,
+    flavor: Optional[str] = None,
+    store=None,
+) -> VectorNetlist:
+    """Compile a flat module to lane-column step code (memoized).
+
+    ``flavor`` resolves through :func:`vector_flavor`; ``store`` is the
+    same duck-typed codegen store ``compile_netlist`` takes (``load``
+    gains the backend tag argument: ``load(structural_hash, lanes,
+    backend)``), so vector kernels share the persistent ``codegen``
+    pseudo-stage with the scalar and SWAR generators.
+    """
+    from .compile import valid_codegen_payload
+
+    lanes = int(lanes)
+    if lanes < 1:
+        raise NetlistError(f"lanes must be >= 1, got {lanes}")
+    flavor = vector_flavor(flavor)
+    backend = vector_backend_tag(flavor)
+    structural = module.structural_hash()
+    key = (structural, lanes, flavor)
+    with _VMEMO_LOCK:
+        cached = _VMEMO.get(key)
+    if cached is not None:
+        return cached
+    start = time.perf_counter()
+    payload = None
+    if store is not None:
+        payload = store.load(structural, lanes, backend)
+        if payload is not None and not valid_codegen_payload(
+            payload, structural, lanes, backend
+        ):
+            payload = None
+    loaded = payload is not None
+    if payload is None:
+        payload = _generate_vector_payload(module, structural, lanes, flavor)
+    compiled = _materialize_vector(payload, module.name, start, loaded)
+    if store is not None and not loaded:
+        store.save(payload)
+    with _VMEMO_LOCK:
+        return _VMEMO.setdefault(key, compiled)
+
+
+def clear_vector_memo() -> None:
+    """Drop every memoized vector compilation (mainly for tests)."""
+    with _VMEMO_LOCK:
+        _VMEMO.clear()
+
+
+class VectorCompiledSimulator:
+    """K stimulus lanes behind word-packed column step functions.
+
+    The vectorized sibling of
+    :class:`~repro.rtl.compile.BatchedCompiledSimulator`, with the same
+    surface — ``poke`` takes ``{port: [v0..vK-1]}``, ``peek`` returns
+    per-lane lists, ``step``/``run`` exchange one dict per lane — and
+    the same contract: lanes never interact, outputs are bit-identical
+    to K independent single-lane runs (the vector
+    :func:`~repro.rtl.compile.differential_check` gate asserts it).
+    Unlike SWAR, throughput keeps scaling to thousands of lanes because
+    each kernel touches a contiguous column at fixed per-op overhead.
+    """
+
+    def __init__(
+        self,
+        module: Module,
+        lanes: int,
+        codegen_store=None,
+        flavor: Optional[str] = None,
+    ):
+        from .compile import _flattened, _mask_literal
+
+        self.module = _flattened(module)
+        self.lanes = int(lanes)
+        if self.lanes < 1:
+            raise NetlistError(f"lanes must be >= 1, got {lanes!r}")
+        self.program = compile_vector_netlist(
+            self.module, self.lanes, flavor=flavor, store=codegen_store
+        )
+        self.flavor = self.program.flavor
+        np = _numpy() if self.flavor == "numpy" else None
+        self._np = np
+        slot_of = self.program.slot_of
+        # slot index → word count, for every net wider than one word.
+        # In the numpy flavor a wide slot holds that many uint64
+        # columns; in the stdlib flavor it stays a per-lane int list.
+        self._wide_slots: Dict[int, int] = {
+            slot_of[net.name]: _nwords(net.width)
+            for net in self.module.nets.values()
+            if net.width > VECTOR_WORD
+        }
+        if np is not None:
+            zeros = np.zeros(self.lanes, np.uint64)
+        else:
+            from array import array
+
+            zeros = array("Q", [0]) * self.lanes
+        # Columns are rebound, never mutated, so every packed slot can
+        # share one zero column until first written (wide numpy slots
+        # likewise share it per word).
+        self._slots: List[object] = []
+        for index in range(self.program.n_slots):
+            n_words = self._wide_slots.get(index)
+            if n_words is None:
+                self._slots.append(zeros)
+            elif np is not None:
+                self._slots.append([zeros] * n_words)
+            else:
+                self._slots.append([0] * self.lanes)
+        self._regs: List[object] = []
+        for name, init in zip(self.program.reg_cells, self.program.reg_inits):
+            pins = self.module.cells[name].pins
+            storage_width = max(pins["d"].width, pins["q"].width)
+            if storage_width > VECTOR_WORD and np is not None:
+                self._regs.append([
+                    np.full(
+                        self.lanes,
+                        np.uint64(
+                            (init >> (VECTOR_WORD * word)) & _WORD_MASK
+                        ),
+                    )
+                    for word in range(_nwords(storage_width))
+                ])
+            elif storage_width > VECTOR_WORD:
+                self._regs.append([init] * self.lanes)
+            elif np is not None:
+                self._regs.append(np.full(self.lanes, np.uint64(init)))
+            else:
+                from array import array
+
+                self._regs.append(array("Q", [init]) * self.lanes)
+        self._fifos: List[List[deque]] = [
+            [deque() for _ in range(self.lanes)]
+            for _ in self.program.fifo_depths
+        ]
+        self._evaluate = self.program.evaluate
+        self._latch = self.program.latch
+        self._input_slots = {
+            name: (slot_of[net.name], _mask_literal(net.width))
+            for name, net in self.module.inputs()
+        }
+        self._output_slots = [
+            (
+                name,
+                slot_of[net.name],
+                slot_of[net.name] in self._wide_slots,
+            )
+            for name, net in self.module.outputs()
+        ]
+        self.cycle = 0
+
+    # ------------------------------------------------------------------
+
+    def _column(self, values: Sequence[int], mask: int):
+        """A fresh packed column of masked lane values."""
+        if self._np is not None:
+            return self._np.array(
+                [int(value) & mask for value in values], self._np.uint64
+            )
+        from array import array
+
+        return array("Q", [int(value) & mask for value in values])
+
+    def _pack_wide(self, values: Sequence[int], mask: int, n_words: int):
+        """Masked lane ints → little-endian uint64 word columns."""
+        np = self._np
+        masked = [int(value) & mask for value in values]
+        return [
+            np.array(
+                [(value >> (VECTOR_WORD * word)) & _WORD_MASK
+                 for value in masked],
+                np.uint64,
+            )
+            for word in range(n_words)
+        ]
+
+    def _unpack_wide(self, words) -> List[int]:
+        """Word columns back to per-lane Python ints."""
+        out = words[0].tolist()
+        for word, column in enumerate(words[1:], 1):
+            shift = VECTOR_WORD * word
+            for lane, piece in enumerate(column.tolist()):
+                if piece:
+                    out[lane] |= piece << shift
+        return out
+
+    def _lanes_of(self, value, is_wide: bool):
+        """Per-lane Python ints of one slot's current column."""
+        if is_wide:
+            if self._np is not None:
+                return self._unpack_wide(value)
+            return value
+        if self._np is not None:
+            return value.tolist()
+        return value  # array('Q') indexes to plain ints already
+
+    def poke(self, inputs: Dict[str, Sequence[int]]) -> None:
+        """Drive ports with per-lane value lists (one value per lane)."""
+        slots = self._slots
+        for name, values in inputs.items():
+            entry = self._input_slots.get(name)
+            if entry is None:
+                raise NetlistError(
+                    f"{self.module.name}: no input port {name!r}"
+                )
+            if len(values) != self.lanes:
+                raise NetlistError(
+                    f"{self.module.name}: port {name!r} got {len(values)} "
+                    f"values for {self.lanes} lanes"
+                )
+            index, mask = entry
+            n_words = self._wide_slots.get(index)
+            if n_words is None:
+                slots[index] = self._column(values, mask)
+            elif self._np is not None:
+                slots[index] = self._pack_wide(values, mask, n_words)
+            else:
+                slots[index] = [int(value) & mask for value in values]
+
+    def _poke_vectors(self, vectors: Sequence[Dict[str, int]]) -> None:
+        """Per-lane input dicts; lanes may drive different port subsets
+        (a port a lane omits keeps that lane's previous value)."""
+        if len(vectors) != self.lanes:
+            raise NetlistError(
+                f"{self.module.name}: got {len(vectors)} input vectors "
+                f"for {self.lanes} lanes"
+            )
+        slots = self._slots
+        first = vectors[0]
+        uniform = all(vector.keys() == first.keys() for vector in vectors)
+        if uniform:
+            for name in first:
+                entry = self._input_slots.get(name)
+                if entry is None:
+                    raise NetlistError(
+                        f"{self.module.name}: no input port {name!r}"
+                    )
+                index, mask = entry
+                n_words = self._wide_slots.get(index)
+                if n_words is None:
+                    slots[index] = self._column(
+                        [vector[name] for vector in vectors], mask
+                    )
+                elif self._np is not None:
+                    slots[index] = self._pack_wide(
+                        [vector[name] for vector in vectors], mask, n_words
+                    )
+                else:
+                    slots[index] = [
+                        int(vector[name]) & mask for vector in vectors
+                    ]
+            return
+        names = set(first)
+        for vector in vectors[1:]:
+            names.update(vector)
+        for name in names:
+            entry = self._input_slots.get(name)
+            if entry is None:
+                raise NetlistError(
+                    f"{self.module.name}: no input port {name!r}"
+                )
+            index, mask = entry
+            n_words = self._wide_slots.get(index)
+            old = slots[index]
+            if n_words is not None and self._np is not None:
+                old = self._unpack_wide(old)
+            merged = [
+                (int(vector[name]) & mask)
+                if name in vector
+                else int(old[lane])
+                for lane, vector in enumerate(vectors)
+            ]
+            if n_words is None:
+                slots[index] = self._column(merged, mask)
+            elif self._np is not None:
+                slots[index] = self._pack_wide(merged, mask, n_words)
+            else:
+                slots[index] = merged
+
+    def evaluate(self) -> None:
+        self._evaluate(self._slots, self._regs, self._fifos)
+
+    def peek(self, name: str) -> List[int]:
+        net = self.module.ports.get(name)
+        if net is None:
+            raise NetlistError(f"{self.module.name}: no port {name!r}")
+        return self._unpack_slot(self.program.slot_of[net.name])
+
+    def peek_net(self, net_name: str) -> List[int]:
+        index = self.program.slot_of.get(net_name)
+        if index is None:
+            raise NetlistError(f"{self.module.name}: no net {net_name!r}")
+        return self._unpack_slot(index)
+
+    def _unpack_slot(self, index: int) -> List[int]:
+        value = self._slots[index]
+        if index in self._wide_slots:
+            if self._np is not None:
+                return self._unpack_wide(value)
+            return list(value)
+        if self._np is not None:
+            return value.tolist()
+        return list(value)
+
+    def tick(self) -> None:
+        self._latch(self._slots, self._regs, self._fifos)
+        self.cycle += 1
+
+    def step(
+        self, vectors: Optional[Sequence[Dict[str, int]]] = None
+    ) -> List[Dict[str, int]]:
+        """One cycle for every lane; returns one output dict per lane."""
+        if vectors:
+            self._poke_vectors(vectors)
+        slots = self._slots
+        self._evaluate(slots, self._regs, self._fifos)
+        columns = [
+            (name, self._lanes_of(slots[index], is_wide))
+            for name, index, is_wide in self._output_slots
+        ]
+        outputs = [
+            {name: column[lane] for name, column in columns}
+            for lane in range(self.lanes)
+        ]
+        self._latch(slots, self._regs, self._fifos)
+        self.cycle += 1
+        return outputs
+
+    def run(
+        self, input_streams: Sequence[List[Dict[str, int]]]
+    ) -> List[List[Dict[str, int]]]:
+        """Feed K equal-length streams; returns K per-lane traces."""
+        streams = [list(stream) for stream in input_streams]
+        if len(streams) != self.lanes:
+            raise NetlistError(
+                f"{self.module.name}: got {len(streams)} streams for "
+                f"{self.lanes} lanes"
+            )
+        lengths = {len(stream) for stream in streams}
+        if len(lengths) > 1:
+            raise NetlistError(
+                f"{self.module.name}: lane streams differ in length: "
+                f"{sorted(lengths)}"
+            )
+        traces: List[List[Dict[str, int]]] = [[] for _ in streams]
+        step = self.step
+        for vectors in zip(*streams):
+            for trace, outputs in zip(traces, step(vectors)):
+                trace.append(outputs)
+        return traces
+
+    def run_random(
+        self, cycles: int, seed: int = 0, bias: float = 0.0
+    ) -> List[List[Dict[str, int]]]:
+        """Seeded per-lane stimulus (lane seeds via derive_lane_seed)."""
+        return self.run(
+            random_stimulus_batch(self.module, cycles, self.lanes, seed, bias)
+        )
+
+    def run_batch(
+        self, input_streams: Sequence[List[Dict[str, int]]]
+    ) -> List[List[Dict[str, int]]]:
+        """Alias for :meth:`run` (the uniform batch surface)."""
+        return self.run(input_streams)
+
+    def run_random_batch(
+        self, cycles: int, lanes: int, seed: int = 0, bias: float = 0.0
+    ) -> List[List[Dict[str, int]]]:
+        if int(lanes) != self.lanes:
+            raise NetlistError(
+                f"{self.module.name}: simulator compiled for {self.lanes} "
+                f"lanes, asked to run {lanes}"
+            )
+        return self.run_random(cycles, seed, bias)
+
+
+# Register with the backend vocabulary on import (repro.rtl imports this
+# module unconditionally, so ``--sim-backend vector`` is always a valid
+# spelling; flavor availability is checked at compile time instead).
+def _register() -> None:
+    from . import compile as _compile
+
+    _compile.SIM_BACKENDS["vector"] = VectorCompiledSimulator
+    _compile.SIM_BACKEND_VERSIONS["vector"] = 1
+
+
+_register()

@@ -118,6 +118,31 @@ def test_schema_mismatch_is_a_miss(tmp_path):
     assert warm.stats.counter("disk.hit") == 0
 
 
+def test_old_schema_subtrees_are_stranded_not_misread(tmp_path):
+    # Entries live under root/v{SCHEMA_VERSION}/: a schema bump (v3 → v4
+    # added the tuner pseudo-stage and the codegen backend tag) strands
+    # the old subtree by path.  Old entries must never satisfy a lookup
+    # — their key layout is incompatible — but they also must not be
+    # destroyed: a rollback to the old code finds its cache intact.
+    cache = DiskCache(str(tmp_path))
+    key = ("codegen", "deadbeef", 4, 1)  # v3 layout: no backend tag
+    old_dir = os.path.join(str(tmp_path), f"v{SCHEMA_VERSION - 1}", "codegen")
+    os.makedirs(old_dir)
+    stale = os.path.join(old_dir, "stale.pkl")
+    with open(stale, "wb") as handle:
+        handle.write(b'{"schema": %d}\n' % (SCHEMA_VERSION - 1) + b"junk")
+
+    assert cache.load(key) is None
+    assert cache.stats.counter("disk.corrupt") == 0  # never even opened
+    assert os.path.exists(stale)  # quarantine by path, not deletion
+
+    # The same logical key written under the current schema round-trips
+    # without touching the stranded subtree.
+    assert cache.store(key, StageArtifact("codegen", key, {"v": 2}, 0.0))
+    assert cache.load(key).value == {"v": 2}
+    assert os.path.exists(stale)
+
+
 def test_unpicklable_artifacts_degrade_to_memory_only(tmp_path):
     cache = DiskCache(str(tmp_path))
     key = ("synthesize", "unpicklable")

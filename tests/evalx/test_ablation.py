@@ -14,6 +14,9 @@ def test_ablation_rows_cover_the_catalog_and_hold_shape():
     # and across simulation backends (interpreter vs compiled).
     assert all(row.equivalent for row in rows)
     assert all(row.backends_agree for row in rows)
+    # ... and both lane engines against the per-lane reference traces.
+    assert all(row.lanes_agree for row in rows)
+    assert all(row.vector_agree for row in rows)
     # The headline claim: cleanup passes shrink at least three designs.
     assert sum(1 for row in rows if row.cleanup_removed() > 0) >= 3
 
@@ -51,3 +54,15 @@ def test_ablation_check_shape_rejects_backend_divergence():
         raise AssertionError("backend divergence should fail the check")
     text = ablation.render([bad])
     assert "NO" in text
+
+
+def test_ablation_check_shape_rejects_vector_divergence():
+    bad = ablation.AblationRow(
+        "toy", 100, 90, True, 1.0, 1.0, {}, vector_agree=False
+    )
+    try:
+        ablation.check_shape([bad])
+    except AssertionError as error:
+        assert "vector codegen is unsound" in str(error)
+    else:
+        raise AssertionError("vector divergence should fail the check")

@@ -127,22 +127,39 @@ def test_distinct_structures_compile_separately():
 # -- backend registry ---------------------------------------------------
 
 
-def test_backend_registry_resolves_both_engines():
+def test_backend_registry_resolves_every_engine():
+    from repro.rtl import BatchedCompiledSimulator, VectorCompiledSimulator
+
     assert resolve_backend("interp") is Simulator
     assert resolve_backend("compiled") is CompiledSimulator
-    assert set(SIM_BACKENDS) == {"interp", "compiled"}
+    assert resolve_backend("batched") is BatchedCompiledSimulator
+    assert resolve_backend("vector") is VectorCompiledSimulator
+    assert set(SIM_BACKENDS) == {"interp", "compiled", "batched", "vector"}
     with pytest.raises(ValueError):
         resolve_backend("verilator")
+    # "auto" is a selection policy, not an engine: it has a cache
+    # fingerprint but cannot be instantiated directly.
+    from repro.rtl import backend_choices, backend_fingerprint
+
+    assert backend_choices() == sorted(SIM_BACKENDS) + ["auto"]
+    assert backend_fingerprint("auto") == "auto@1"
+    with pytest.raises(ValueError):
+        resolve_backend("auto")
 
 
 def test_make_simulator_instances_satisfy_the_protocol():
     module = _alu()
-    for name in SIM_BACKENDS:
-        sim = make_simulator(module, name)
+    reference = None
+    for name in sorted(SIM_BACKENDS):
+        sim = make_simulator(module, name, lanes=2)
         assert isinstance(sim, SimBackend)
-        assert sim.run_random(16, seed=1) == make_simulator(
-            module, name
-        ).run_random(16, seed=1)
+        # The lane engines fix their width at construction; the scalar
+        # engines accept any.  run_random_batch is the one surface with
+        # a uniform shape across all four.
+        traces = sim.run_random_batch(16, 2, seed=1)
+        if reference is None:
+            reference = traces
+        assert traces == reference
 
 
 # -- the full catalog, both levels --------------------------------------

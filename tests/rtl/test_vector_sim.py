@@ -1,0 +1,275 @@
+"""The mega-lane vector backend: bit-identical to the interpreter.
+
+The contract is the same one the scalar/SWAR codegen backends carry —
+total interchangeability behind ``SimBackend`` — plus the vector
+specifics: two kernel flavors (numpy columns, pure-stdlib per-lane
+loops) that must agree with the interpreter bit-for-bit at any lane
+count, a clean ``SimBackendUnavailable`` when numpy is requested but
+absent, automatic stdlib fallback, and persistent kernels in the
+shared ``codegen`` pseudo-stage keyed by backend tag.
+"""
+
+import pytest
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.designs import fifo_pipeline
+from repro.designs.catalog import DESIGNS, design_point
+from repro.driver import CodegenStore, CompileSession, DiskCache
+from repro.rtl import (
+    Module,
+    NetlistError,
+    SimBackendUnavailable,
+    Simulator,
+    VectorCompiledSimulator,
+    clear_vector_memo,
+    compile_vector_netlist,
+    differential_check,
+    random_stimulus_batch,
+    vector_flavor,
+)
+from repro.rtl import vectorize
+
+
+@pytest.fixture(autouse=True)
+def _fresh_memo():
+    clear_vector_memo()
+    yield
+    clear_vector_memo()
+
+
+def _alu(width: int) -> Module:
+    """One module exercising every comb kind the generator lowers,
+    including the width-edge cases (carry masks, shift folds, slices
+    off the top, concat overflow, wide mux) at the given width."""
+    m = Module(f"alu{width}")
+    a = m.add_input("a", width)
+    b = m.add_input("b", width)
+    en = m.add_input("en", 1)
+    add = m.binop("add", a, b)
+    sub = m.binop("sub", a, b)
+    mul = m.binop("mul", a, b, width=width)
+    dv = m.binop("div", a, b)
+    md = m.binop("mod", a, b)
+    xr = m.binop("xor", a, b)
+    an = m.binop("and", a, b)
+    orr = m.binop("or", a, b)
+    lt = m.binop("lt", a, b)
+    eq = m.binop("eq", a, b)
+    nt = m.unop("not", a)
+    sh_amt = min(3, max(1, width - 1))
+    shl = m.unop("shl", a, amount=sh_amt)
+    shr = m.unop("shr", b, amount=sh_amt)
+    sl_w = max(1, width // 2)
+    sl = m.unop("slice", a, width=sl_w, lsb=width - sl_w)
+    cc = m.binop("concat", lt, sl, width=sl_w + 1)
+    mx = m.mux(lt, add, sub)
+    r1 = m.register(mx, init=3 % (1 << width))
+    r2 = m.register(xr, en=en)
+    acc = m.binop("add", r1, r2, width=width)
+    outs = (
+        ("y_acc", acc), ("y_mul", mul), ("y_div", dv), ("y_mod", md),
+        ("y_shl", shl), ("y_shr", shr), ("y_cc", cc), ("y_eq", eq),
+        ("y_not", nt), ("y_and", an), ("y_or", orr),
+    )
+    for name, net in outs:
+        out = m.add_output(name, net.width)
+        m.add_cell("or", {"a": net, "b": m.constant(0, net.width), "out": out})
+    m.validate()
+    return m
+
+
+def _parity(module: Module, lanes: int, flavor: str, cycles=48, seed=0,
+            bias=0.0) -> bool:
+    """Interpreter vs. an explicit-flavor vector engine."""
+    interp = Simulator(module)
+    engine = VectorCompiledSimulator(interp.module, lanes, flavor=flavor)
+    streams = random_stimulus_batch(interp.module, cycles, lanes, seed, bias)
+    return interp.run_batch(streams) == engine.run(streams)
+
+
+# -- differential parity: the catalog, both levels ----------------------
+
+
+@pytest.mark.parametrize("name", sorted(DESIGNS))
+@pytest.mark.parametrize("opt_level", [0, 2])
+def test_catalog_designs_bit_identical_under_vector(name, opt_level):
+    source, component, generators, params = design_point(name)
+    session = CompileSession(opt_level=opt_level)
+    module = session.optimize(source, component, params, generators).value.module
+    assert differential_check(module, cycles=48, seed=0xA5, lanes=3,
+                              backend="vector")
+
+
+@pytest.mark.parametrize("name", sorted(DESIGNS))
+def test_catalog_designs_bit_identical_under_stdlib_flavor(name):
+    source, component, generators, params = design_point(name)
+    session = CompileSession(opt_level=0)
+    module = session.optimize(source, component, params, generators).value.module
+    assert _parity(module, lanes=3, flavor="stdlib", cycles=32, seed=7)
+
+
+# -- odd and wide widths ------------------------------------------------
+
+
+@pytest.mark.parametrize("width", [1, 7, 31, 33, 64, 65, 100])
+@pytest.mark.parametrize("flavor", ["numpy", "stdlib"])
+def test_vector_matches_interpreter_at_awkward_widths(width, flavor):
+    if flavor == "numpy" and vectorize._numpy() is None:
+        pytest.skip("numpy not installed")
+    module = _alu(width)
+    assert _parity(module, lanes=4, flavor=flavor, cycles=48, seed=width)
+    assert _parity(module, lanes=3, flavor=flavor, cycles=32,
+                   seed=width + 99, bias=0.3)
+
+
+@settings(max_examples=12, deadline=None)
+@given(width=st.integers(min_value=1, max_value=96),
+       seed=st.integers(min_value=0, max_value=2 ** 16))
+def test_vector_matches_interpreter_on_random_widths(width, seed):
+    module = _alu(width)
+    assert _parity(module, lanes=3, flavor=vector_flavor(), cycles=24,
+                   seed=seed)
+
+
+# -- FIFO-heavy control flow --------------------------------------------
+
+
+@pytest.mark.parametrize("flavor", ["numpy", "stdlib"])
+def test_vector_matches_interpreter_on_fifo_pipeline(flavor):
+    if flavor == "numpy" and vectorize._numpy() is None:
+        pytest.skip("numpy not installed")
+    module = fifo_pipeline(stages=4, width=16, depth=3)
+    assert _parity(module, lanes=4, flavor=flavor, cycles=200, seed=11)
+    # Corner-biased stimulus stresses full/empty transitions harder.
+    assert _parity(module, lanes=4, flavor=flavor, cycles=200, seed=11,
+                   bias=0.5)
+
+
+# -- flavor resolution and the numpy-less fallback ----------------------
+
+
+def test_vector_flavor_resolution_order(monkeypatch):
+    monkeypatch.delenv("REPRO_VECTOR_FLAVOR", raising=False)
+    assert vector_flavor("stdlib") == "stdlib"
+    monkeypatch.setenv("REPRO_VECTOR_FLAVOR", "stdlib")
+    assert vector_flavor() == "stdlib"
+    # Explicit argument beats the environment.
+    if vectorize._numpy() is not None:
+        assert vector_flavor("numpy") == "numpy"
+    with pytest.raises(NetlistError):
+        vector_flavor("fortran")
+
+
+def test_numpy_flavor_unavailable_raises_cleanly(monkeypatch):
+    monkeypatch.setattr(vectorize, "_NUMPY", None)
+    monkeypatch.setattr(vectorize, "_NUMPY_PROBED", True)
+    monkeypatch.delenv("REPRO_VECTOR_FLAVOR", raising=False)
+    with pytest.raises(SimBackendUnavailable):
+        vector_flavor("numpy")
+    # SimBackendUnavailable is a NetlistError: existing handlers keep
+    # working.
+    assert issubclass(SimBackendUnavailable, NetlistError)
+    # Unrequested, the backend silently degrades to the stdlib flavor
+    # and still simulates correctly.
+    assert vector_flavor() == "stdlib"
+    module = _alu(13)
+    sim = VectorCompiledSimulator(module, 3)
+    assert sim.flavor == "stdlib"
+    interp = Simulator(module)
+    streams = random_stimulus_batch(interp.module, 24, 3, seed=5)
+    assert interp.run_batch(streams) == sim.run(streams)
+
+
+# -- memoization --------------------------------------------------------
+
+
+def test_structurally_equal_modules_share_one_vector_compilation():
+    first, second = _alu(9), _alu(9)
+    assert first is not second
+    assert compile_vector_netlist(first, 4) is compile_vector_netlist(second, 4)
+
+
+def test_vector_memo_is_keyed_per_lane_count_and_flavor():
+    module = _alu(9)
+    assert (compile_vector_netlist(module, 4)
+            is not compile_vector_netlist(module, 8))
+    if vectorize._numpy() is not None:
+        assert (compile_vector_netlist(module, 4, flavor="numpy")
+                is not compile_vector_netlist(module, 4, flavor="stdlib"))
+
+
+def test_vector_rejects_bad_lane_counts():
+    with pytest.raises(NetlistError):
+        compile_vector_netlist(_alu(8), 0)
+
+
+# -- persistent kernels in the codegen pseudo-stage ---------------------
+
+
+def test_vector_codegen_round_trips_through_the_store(tmp_path):
+    store = CodegenStore(DiskCache(str(tmp_path)))
+    flavor = vector_flavor()
+    cold = compile_vector_netlist(_alu(10), 16, store=store)
+    assert not cold.from_store
+    assert store.disk.stats.counter("codegen.store") == 1
+
+    clear_vector_memo()
+    warm = compile_vector_netlist(_alu(10), 16, store=store)
+    assert warm.from_store
+    assert warm.source == cold.source
+    assert warm.flavor == cold.flavor == flavor
+    assert store.disk.stats.counter("codegen.disk_hit") == 1
+    # The rematerialized program still computes correctly.
+    assert _parity(_alu(10), lanes=16, flavor=flavor, cycles=24, seed=3)
+
+
+def test_vector_store_entries_are_keyed_per_flavor_and_lanes(tmp_path):
+    store = CodegenStore(DiskCache(str(tmp_path)))
+    module = _alu(10)
+    compile_vector_netlist(module, 4, flavor="stdlib", store=store)
+    compile_vector_netlist(module, 8, flavor="stdlib", store=store)
+    if vectorize._numpy() is not None:
+        compile_vector_netlist(module, 4, flavor="numpy", store=store)
+        assert store.disk.stats.counter("codegen.store") == 3
+    else:
+        assert store.disk.stats.counter("codegen.store") == 2
+    clear_vector_memo()
+    hit = compile_vector_netlist(module, 8, flavor="stdlib", store=store)
+    assert hit.from_store
+    assert store.disk.stats.counter("codegen.disk_hit") == 1
+
+
+def test_vector_and_swar_kernels_share_the_store_without_collisions(tmp_path):
+    from repro.rtl import clear_compile_memo, compile_netlist
+
+    store = CodegenStore(DiskCache(str(tmp_path)))
+    module = _alu(10)
+    clear_compile_memo()
+    try:
+        compile_netlist(module, lanes=4, store=store)  # SWAR, same lanes
+        compile_vector_netlist(module, 4, store=store)
+        assert store.disk.stats.counter("codegen.store") == 2
+        clear_compile_memo()
+        clear_vector_memo()
+        assert compile_netlist(module, lanes=4, store=store).from_store
+        assert compile_vector_netlist(module, 4, store=store).from_store
+    finally:
+        clear_compile_memo()
+
+
+# -- session integration ------------------------------------------------
+
+
+def test_session_vector_backend_trace_matches_interp():
+    source, component, generators, params = design_point("fft")
+    interp = CompileSession(sim_backend="interp")
+    vector = CompileSession(sim_backend="vector", sim_lanes=3)
+    base = interp.simulate(source, component, params, generators,
+                           cycles=16, lanes=3).value
+    trace = vector.simulate(source, component, params, generators,
+                            cycles=16, lanes=3).value
+    assert trace.backend == "vector"
+    assert trace.lanes == 3
+    assert trace.outputs == base.outputs
