@@ -29,6 +29,7 @@ Assertions encode the acceptance bars with CI-tunable thresholds:
 """
 
 import json
+import math
 import os
 import pathlib
 import time
@@ -61,6 +62,15 @@ HEADLINE = "gbp"
 #: the time of this change: ``check_program`` over the gbp design source,
 #: fresh process.  Anchors the headline ratios to the real predecessor.
 PR4_RECORDED_GBP_COLD_SECONDS = 12.25
+
+
+def _sig(value: float, digits: int = 3) -> float:
+    """Round to ``digits`` significant figures — committed benchmark
+    figures carry measurement jitter, not precision, and fewer digits
+    keep regeneration diffs small."""
+    if not value or not math.isfinite(value):
+        return value
+    return round(value, digits - 1 - math.floor(math.log10(abs(value))))
 
 
 def _cold_caches():
@@ -126,12 +136,12 @@ def _bench_design(name, tmp_path):
     return {
         "name": name,
         "obligations": obligations,
-        "legacy_seconds": round(legacy_seconds, 4),
-        "cold_seconds": round(cold_seconds, 4),
-        "warm_seconds": round(warm_seconds, 4),
-        "parallel_seconds": round(parallel_seconds, 4),
-        "speedup_cold_vs_legacy": round(legacy_seconds / cold_seconds, 2),
-        "speedup_warm_vs_legacy": round(legacy_seconds / warm_seconds, 2),
+        "legacy_seconds": _sig(legacy_seconds),
+        "cold_seconds": _sig(cold_seconds),
+        "warm_seconds": _sig(warm_seconds),
+        "parallel_seconds": _sig(parallel_seconds),
+        "speedup_cold_vs_legacy": _sig(legacy_seconds / cold_seconds),
+        "speedup_warm_vs_legacy": _sig(legacy_seconds / warm_seconds),
         "cold_solver_queries": stats_cold.counter("smt.queries"),
         "cold_memo_hits": stats_cold.counter("smt.memo_hit"),
         "cold_disk_stores": stats_cold.counter("smt.store"),
@@ -163,16 +173,18 @@ def test_typecheck_benchmark(tmp_path):
     headline = next((row for row in rows if row["name"] == HEADLINE), None)
     if headline is not None:
         payload["headline"] = {
-            "speedup_cold_vs_pr4_recorded": round(
-                PR4_RECORDED_GBP_COLD_SECONDS / headline["cold_seconds"], 2
+            "speedup_cold_vs_pr4_recorded": _sig(
+                PR4_RECORDED_GBP_COLD_SECONDS / headline["cold_seconds"]
             ),
-            "speedup_warm_vs_pr4_recorded": round(
-                PR4_RECORDED_GBP_COLD_SECONDS / headline["warm_seconds"], 2
+            "speedup_warm_vs_pr4_recorded": _sig(
+                PR4_RECORDED_GBP_COLD_SECONDS / headline["warm_seconds"]
             ),
             "speedup_cold_vs_legacy": headline["speedup_cold_vs_legacy"],
             "speedup_warm_vs_legacy": headline["speedup_warm_vs_legacy"],
         }
-    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    BENCH_PATH.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
 
     print("\nTypecheck benchmark (seconds):\n")
     for row in rows:

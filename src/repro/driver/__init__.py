@@ -32,11 +32,13 @@ from .cache import (
     CodegenStore,
     DiskCache,
     ObligationStore,
+    ProfileStore,
     TunerStore,
     freeze_params,
     source_digest,
 )
 from .grid import EXECUTORS, EvalGrid
+from .profiler import RunProfiler, RunReport
 from .session import (
     CompileSession,
     DEFAULT_STAGES,
@@ -58,6 +60,9 @@ __all__ = [
     "EvalGrid",
     "ObligationStore",
     "OptimizedNetlist",
+    "ProfileStore",
+    "RunProfiler",
+    "RunReport",
     "STAGES",
     "SimTrace",
     "StageArtifact",

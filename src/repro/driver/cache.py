@@ -28,6 +28,7 @@ import os
 import pickle
 import tempfile
 import threading
+import time
 from typing import Callable, Dict, Optional, Sequence, Tuple, Union
 
 from .artifact import StageArtifact
@@ -52,7 +53,13 @@ from .artifact import StageArtifact
 #: profiles keyed ``(structural_hash, flavor, TUNER_VERSION)`` — see
 #: :class:`TunerStore`), and ``"codegen"`` keys gained a backend tag
 #: now that three generators (scalar/SWAR/vector) share the stage.
-SCHEMA_VERSION = 4
+#:
+#: v5: new ``"profile"`` pseudo-stage (persistent per-net activity
+#: profiles keyed ``(structural_hash, PROFILE_VERSION)`` — see
+#: :class:`ProfileStore`), ``optimize``/``simulate`` keys distinguish
+#: the profile-guided ``-O3`` pipeline, and ``CODEGEN_VERSION`` → 3
+#: (payloads gained ``extra_slots``/``inlined_nets``).
+SCHEMA_VERSION = 5
 
 #: Soft size bound for a cache root, in bytes; the oldest entries are
 #: trimmed at attach time once the tree exceeds it.  Overridable via
@@ -95,13 +102,27 @@ def freeze_params(params: Union[Dict[str, int], Sequence[int], None]) -> Tuple:
 
 
 class CacheStats:
-    """Hit/miss counters per stage plus free-form work counters."""
+    """Hit/miss counters per stage plus free-form work counters and
+    wall-time attribution timers.
+
+    Timers are the substrate of the whole-run profiler
+    (:mod:`repro.driver.profiler`): every instrumented wait or compute
+    site accumulates seconds under a dotted name — ``compute.<stage>``
+    for stage computations, ``wait.disk_read`` / ``wait.disk_write``
+    for disk-cache I/O, ``wait.cache_lock`` for time blocked behind
+    another thread's single-flight computation, ``wait.pool_queue`` for
+    grid tasks sitting unstarted in the executor queue.  Nested sites
+    both record (a stage computation that reads the disk counts under
+    both names), so timers attribute wall time by *site*, they do not
+    partition it.
+    """
 
     def __init__(self):
         self._lock = threading.Lock()
         self.hits: Dict[str, int] = {}
         self.misses: Dict[str, int] = {}
         self.counters: Dict[str, int] = {}
+        self.timers: Dict[str, float] = {}
 
     def record_hit(self, stage: str) -> None:
         with self._lock:
@@ -114,6 +135,14 @@ class CacheStats:
     def bump(self, counter: str, amount: int = 1) -> None:
         with self._lock:
             self.counters[counter] = self.counters.get(counter, 0) + amount
+
+    def add_seconds(self, timer: str, seconds: float) -> None:
+        with self._lock:
+            self.timers[timer] = self.timers.get(timer, 0.0) + seconds
+
+    def seconds(self, timer: str) -> float:
+        with self._lock:
+            return self.timers.get(timer, 0.0)
 
     def hit_count(self, stage: str = None) -> int:
         with self._lock:
@@ -131,12 +160,13 @@ class CacheStats:
         with self._lock:
             return self.counters.get(name, 0)
 
-    def snapshot(self) -> Dict[str, Dict[str, int]]:
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
         with self._lock:
             return {
                 "hits": dict(self.hits),
                 "misses": dict(self.misses),
                 "counters": dict(self.counters),
+                "timers": dict(self.timers),
             }
 
     def render(self) -> str:
@@ -149,6 +179,8 @@ class CacheStats:
             lines.append(f"  {stage:12s} {hits:4d} hits  {misses:4d} misses")
         for name, value in sorted(snap["counters"].items()):
             lines.append(f"  {name}: {value}")
+        for name, value in sorted(snap["timers"].items()):
+            lines.append(f"  {name}: {value:.3f}s")
         return "\n".join(lines)
 
 
@@ -210,6 +242,15 @@ class DiskCache:
 
     def load(self, key: Tuple) -> Optional[StageArtifact]:
         """The artifact stored for ``key``, or None (miss/corrupt)."""
+        started = time.perf_counter()
+        try:
+            return self._load(key)
+        finally:
+            self.stats.add_seconds(
+                "wait.disk_read", time.perf_counter() - started
+            )
+
+    def _load(self, key: Tuple) -> Optional[StageArtifact]:
         path = self._entry_path(key)
         try:
             with open(path, "rb") as handle:
@@ -241,6 +282,15 @@ class DiskCache:
 
     def store(self, key: Tuple, artifact: StageArtifact) -> bool:
         """Persist ``artifact`` under ``key``; False if unpicklable."""
+        started = time.perf_counter()
+        try:
+            return self._store(key, artifact)
+        finally:
+            self.stats.add_seconds(
+                "wait.disk_write", time.perf_counter() - started
+            )
+
+    def _store(self, key: Tuple, artifact: StageArtifact) -> bool:
         try:
             payload = pickle.dumps(artifact, protocol=4)
         except Exception:
@@ -497,6 +547,56 @@ class TunerStore:
         return stored
 
 
+class ProfileStore:
+    """Persists per-net activity profiles in a :class:`DiskCache`.
+
+    The adapter the profile-guided ``-O3`` pipeline plugs into:
+    profile payloads (toggle counts, observed-constant nets and mux
+    select skew from :meth:`repro.rtl.profile.SimProfile.to_payload`,
+    plain picklable dicts) are wrapped in a ``StageArtifact`` under the
+    pseudo-stage ``"profile"`` and keyed by ``(structural_hash,
+    PROFILE_VERSION)``.  The structural hash identifies the optimized
+    netlist the activity was observed on, and the profile version
+    retires profiles whose recorded quantities changed shape.  One
+    profiling run per design per machine; every later ``-O3`` compile
+    specializes from disk without re-simulating.
+
+    Counters on the shared :class:`CacheStats`: ``profile.disk_hit`` /
+    ``profile.disk_miss`` per lookup, ``profile.store`` per write-back.
+    """
+
+    def __init__(self, disk: DiskCache):
+        self.disk = disk
+
+    @staticmethod
+    def _key(structural_hash: str) -> Tuple:
+        from ..rtl.profile import PROFILE_VERSION
+
+        return ("profile", structural_hash, PROFILE_VERSION)
+
+    def load(self, structural_hash: str) -> Optional[dict]:
+        from ..rtl.profile import valid_profile_payload
+
+        artifact = self.disk.load(self._key(structural_hash))
+        # Validate before counting: a hit means a usable profile.
+        if artifact is None or not valid_profile_payload(
+            artifact.value, structural_hash
+        ):
+            self.disk.stats.bump("profile.disk_miss")
+            return None
+        self.disk.stats.bump("profile.disk_hit")
+        return artifact.value
+
+    def save(self, payload: dict) -> bool:
+        key = self._key(payload["structural_hash"])
+        stored = self.disk.store(
+            key, StageArtifact("profile", key, payload, 0.0)
+        )
+        if stored:
+            self.disk.stats.bump("profile.store")
+        return stored
+
+
 class ArtifactCache:
     """Keyed store of :class:`StageArtifact` with single-flight compute.
 
@@ -541,7 +641,11 @@ class ArtifactCache:
                 artifact.from_cache = True
                 return artifact
             key_lock = self._key_locks.setdefault(key, threading.Lock())
+        lock_started = time.perf_counter()
         with key_lock:
+            self.stats.add_seconds(
+                "wait.cache_lock", time.perf_counter() - lock_started
+            )
             with self._mutex:
                 artifact = self._artifacts.get(key)
             if artifact is not None:
@@ -560,7 +664,11 @@ class ArtifactCache:
                     return artifact
                 self.stats.bump("disk.miss")
             self.stats.record_miss(stage)
+            compute_started = time.perf_counter()
             artifact = compute()
+            self.stats.add_seconds(
+                f"compute.{stage}", time.perf_counter() - compute_started
+            )
             with self._mutex:
                 self._artifacts[key] = artifact
                 self._key_locks.pop(key, None)

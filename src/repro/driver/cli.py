@@ -9,12 +9,17 @@ Subcommands:
 * ``figure`` — regenerate Figure 8 or 13.
 * ``ablation`` — the optimization ablation (pre/post cell counts,
   differential-simulation equivalence, sim speedup per design).
+* ``profile`` — simulate catalog designs over the evaluation grid under
+  the whole-run wall-time profiler, printing a flame-style attribution
+  of compute vs waiting (pool queue, disk I/O, cache-lock contention).
 * ``all``    — every table, figure and the ablation on one shared
   session, with cache statistics showing the artifacts reused across
   them.
 
-Every subcommand accepts ``-O{0,1,2}`` to select the netlist
-optimization level (the pass pipeline of :mod:`repro.rtl.passes`),
+Every subcommand accepts ``-O{0,1,2,3}`` to select the netlist
+optimization level (the pass pipeline of :mod:`repro.rtl.passes`;
+``-O3`` is profile-guided — it specializes against persisted activity
+profiles and degrades to ``-O2`` when none exist),
 ``--sim-backend {auto,batched,compiled,interp,vector}`` to pick the
 simulation engine (``auto`` resolves per design from persisted tuner
 calibrations), ``--sim-lanes K`` to batch K stimulus lanes through
@@ -255,6 +260,40 @@ def _cmd_ablation(args) -> int:
     return _run_artifacts(["ablation"], args)
 
 
+def _cmd_profile(args) -> int:
+    import functools
+
+    from .grid import EvalGrid
+    from .profiler import RunProfiler, simulate_catalog_point
+
+    session = _session_from_args(args)
+    names = args.designs or sorted(PRESETS)
+    grid = EvalGrid(
+        session, max_workers=args.workers, executor=args.executor
+    )
+    with RunProfiler(session) as profiler:
+        rows = grid.map(
+            simulate_catalog_point,
+            [(name, args.cycles, args.opt_level) for name in names],
+        )
+    report = profiler.report()
+    if args.json:
+        payload = report.to_dict()
+        payload["designs"] = rows
+        print(json.dumps(payload, sort_keys=True))
+        return 0
+    for row in rows:
+        print(
+            f"{row['design']:8s} {row['cells']:6d} cells  "
+            f"{row['backend']:8s} lanes={row['lanes']}  "
+            f"sim {row['run_seconds'] * 1000.0:8.2f} ms"
+        )
+    print(report.render())
+    if args.stats:
+        _print_stats(session, args.stats)
+    return 0
+
+
 def _cmd_all(args) -> int:
     from .. import evalx
 
@@ -342,6 +381,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ablation.set_defaults(fn=_cmd_ablation, opt_level=0)
 
+    profile = sub.add_parser(
+        "profile",
+        help="simulate catalog designs over the evaluation grid under "
+             "the whole-run wall-time profiler (compute vs waiting: "
+             "pool queue, disk I/O, cache-lock contention)",
+    )
+    profile.add_argument(
+        "--designs", nargs="*", choices=sorted(PRESETS), default=None,
+        metavar="NAME",
+        help="catalog designs to simulate (default: all)",
+    )
+    profile.add_argument(
+        "--cycles", type=_positive_int, default=256,
+        help="cycles to simulate per design (default: 256)",
+    )
+    profile.add_argument(
+        "--json", action="store_true",
+        help="emit the attribution report as one JSON line",
+    )
+    profile.set_defaults(fn=_cmd_profile)
+
     all_ = sub.add_parser(
         "all",
         help="regenerate every table, figure and the ablation on one "
@@ -349,7 +409,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     all_.set_defaults(fn=_cmd_all)
 
-    for command in (table, figure, ablation, all_):
+    for command in (table, figure, ablation, profile, all_):
         command.add_argument(
             "--workers", type=int, default=None,
             help="evaluation-grid worker threads (default: cpu count)",
@@ -361,13 +421,15 @@ def build_parser() -> argparse.ArgumentParser:
                  "rendezvous through the disk cache; 'auto' picks "
                  "process for cacheable CPU-bound sweeps",
         )
-    for command in (compile_, table, figure, all_):
+    for command in (compile_, table, figure, profile, all_):
         command.add_argument(
             "-O", dest="opt_level", type=int, choices=OPT_LEVELS, default=0,
             metavar="LEVEL",
-            help="netlist optimization level (default: 0 — no passes)",
+            help="netlist optimization level (default: 0 — no passes; "
+                 "3 = profile-guided, degrades to 2 without a profile)",
         )
-    for command in (compile_, typecheck, table, figure, ablation, all_):
+    for command in (compile_, typecheck, table, figure, ablation, profile,
+                    all_):
         command.add_argument(
             "--typecheck-jobs", type=_positive_int, default=None,
             metavar="N",
@@ -381,7 +443,8 @@ def build_parser() -> argparse.ArgumentParser:
                  "processes sidestep the GIL and rendezvous through the "
                  "disk cache's 'smt' store",
         )
-    for command in (compile_, typecheck, table, figure, ablation, all_):
+    for command in (compile_, typecheck, table, figure, ablation, profile,
+                    all_):
         command.add_argument(
             "--stats", choices=("text", "json"), default=None,
             help="end-of-run cache + per-pass statistics; 'json' prints "

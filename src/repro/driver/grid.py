@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import os
 import pickle
+import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
@@ -58,9 +59,18 @@ def _worker_session(spec: Dict[str, object]) -> CompileSession:
     return session
 
 
-def _process_point(spec: Dict[str, object], fn, point):
-    """Executed inside a pool worker: rebuild the session, run the point."""
-    return fn(_worker_session(spec), point)
+def _process_point(spec: Dict[str, object], fn, point, submitted=None):
+    """Executed inside a pool worker: rebuild the session, run the point.
+
+    Returns ``(queue_wait_seconds, result)``: how long the point sat in
+    the pool queue before a worker picked it up (``time.time()`` deltas
+    — wall clock is the only timebase comparable across processes —
+    clamped at zero against clock skew), and the worker function's
+    value.  The parent unwraps the pair and accounts the wait under
+    ``wait.pool_queue`` on its own session stats.
+    """
+    wait = 0.0 if submitted is None else max(0.0, time.time() - submitted)
+    return wait, fn(_worker_session(spec), point)
 
 
 def _picklable(fn) -> bool:
@@ -124,17 +134,31 @@ class EvalGrid:
         if workers <= 1 or len(points) <= 1:
             return [fn(self.session, point) for point in points]
         mode = self._resolve_executor(fn, len(points), workers)
+        stats = self.session.stats
         if mode == "process":
             spec = self.session.spec()
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 futures = [
-                    pool.submit(_process_point, spec, fn, point)
+                    pool.submit(
+                        _process_point, spec, fn, point, time.time()
+                    )
                     for point in points
                 ]
-                return self._gather(futures)
+                pairs = self._gather(futures)
+            for wait, _ in pairs:
+                stats.add_seconds("wait.pool_queue", wait)
+            return [result for _, result in pairs]
+
+        def run_point(point, submitted):
+            stats.add_seconds(
+                "wait.pool_queue", max(0.0, time.time() - submitted)
+            )
+            return fn(self.session, point)
+
         with ThreadPoolExecutor(max_workers=workers) as pool:
             futures = [
-                pool.submit(fn, self.session, point) for point in points
+                pool.submit(run_point, point, time.time())
+                for point in points
             ]
             return self._gather(futures)
 

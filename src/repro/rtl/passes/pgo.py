@@ -1,0 +1,334 @@
+"""Profile-guided optimization passes (the ``-O3`` additions).
+
+These passes close the loop from :mod:`repro.rtl.profile`: a
+:class:`~repro.rtl.profile.SimProfile` of observed per-net activity is
+distilled into a :class:`PgoPlan` — plain picklable data the execution
+engines act on:
+
+* :class:`DeadToggleGating` nominates *cold roots* (sequential outputs
+  and ports that toggled rarely in the window) so the interpreter and
+  the code generators can skip re-evaluating combinational cones whose
+  support didn't change this cycle;
+* :class:`HotConeSpecialization` nominates *observed-constant roots*
+  with their observed values, letting codegen emit a constant-folded
+  fast path guarded by a per-cycle runtime check of exactly those
+  observations — the guard is what makes a wrong profile harmless;
+* :class:`ProfileOrderedLevelization` ranks nets by toggle count (hot
+  cones get scheduled first/contiguously in generated step functions)
+  and marks single-reader nets whose defining expressions may be fused
+  into their sole consumer.
+
+Unlike the ``-O2`` passes these do **not** rewrite the netlist: the
+module that simulates, emits Verilog and synthesizes is byte-for-byte
+the ``-O2`` module, so every downstream structural artifact stays
+shared.  The passes are *analyses* composed into the ``-O3``
+:class:`~repro.rtl.passes.base.PassManager` pipeline so that their
+``name@version+profile-digest`` fingerprints flow into artifact cache
+keys like any other pass — a new profile or a semantics bump
+invalidates exactly the plans (and specialized code) that depended on
+it.  The finished plan travels on the optimize artifact
+(``OptimizedNetlist.pgo_plan``) to the simulators.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, List, Optional, Tuple
+
+from ..netlist import Module
+from .base import Pass, comb_topo_order
+
+#: Version of the plan's shape *and* of what the engines do with it.
+#: Folded into -O3 cache keys (pipeline fingerprints and the codegen
+#: backend tag) — bump whenever plan semantics change.
+PGO_VERSION = 1
+
+#: A root is *cold* when it changed value on at most this fraction of
+#: sampled transitions.  Gating stays sound at any threshold (the
+#: engines re-check for changes every cycle); the threshold only trades
+#: bookkeeping overhead against skip opportunities.
+COLD_TOGGLE_RATE = 0.3
+
+#: Cap on the operator count of a fused expression tree.  Fusion
+#: substitutes a single-reader net's defining expression into its sole
+#: consumer; unbounded substitution grows pathological source lines.
+FUSE_OP_CAP = 8
+
+_SEQ_KINDS = ("reg", "regen", "fifo")
+
+
+def fuse_op_cap() -> int:
+    """``$REPRO_PGO_FUSE_CAP`` or the default operator-count cap."""
+    return max(1, int(os.environ.get("REPRO_PGO_FUSE_CAP", FUSE_OP_CAP)))
+
+
+class PgoPlan:
+    """What the execution engines should do differently for one design.
+
+    Plain data, picklable, content-addressed by :meth:`digest` — the
+    digest feeds codegen memo keys and the persisted-codegen backend
+    tag, so two sessions that derived the same plan (same module, same
+    profile, same PGO_VERSION) share generated code on disk.
+    """
+
+    __slots__ = (
+        "structural_hash",
+        "profile_digest",
+        "const_roots",
+        "cold_roots",
+        "fuse_nets",
+        "hot_rank",
+        "_digest",
+    )
+
+    def __init__(
+        self,
+        structural_hash: str,
+        profile_digest: str,
+        const_roots: Dict[str, int],
+        cold_roots: Tuple[str, ...],
+        fuse_nets: Tuple[str, ...],
+        hot_rank: Dict[str, int],
+    ):
+        self.structural_hash = structural_hash
+        self.profile_digest = profile_digest
+        #: root net name -> the single value observed over the whole
+        #: profile window.  Codegen's guarded fast path asserts these.
+        self.const_roots = dict(const_roots)
+        #: root net names whose cones are gating candidates.
+        self.cold_roots = tuple(sorted(cold_roots))
+        #: single-reader comb net names whose defining expression may be
+        #: inlined into the sole consumer.
+        self.fuse_nets = tuple(sorted(fuse_nets))
+        #: comb out-net name -> observed toggle count (hot-first order).
+        self.hot_rank = dict(hot_rank)
+        self._digest: Optional[str] = None
+
+    def digest(self) -> str:
+        if self._digest is None:
+            canonical = json.dumps(
+                {
+                    "version": PGO_VERSION,
+                    "structural_hash": self.structural_hash,
+                    "profile_digest": self.profile_digest,
+                    "const_roots": self.const_roots,
+                    "cold_roots": list(self.cold_roots),
+                    "fuse_nets": list(self.fuse_nets),
+                    "hot_rank": self.hot_rank,
+                },
+                sort_keys=True,
+            )
+            self._digest = hashlib.sha256(canonical.encode()).hexdigest()[:16]
+        return self._digest
+
+    def describe(self) -> Dict[str, object]:
+        """Summary counters (for ``--stats`` and reports)."""
+        return {
+            "digest": self.digest(),
+            "profile_digest": self.profile_digest,
+            "const_roots": len(self.const_roots),
+            "cold_roots": len(self.cold_roots),
+            "fuse_nets": len(self.fuse_nets),
+        }
+
+    def __getstate__(self):
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    def __setstate__(self, state):
+        for slot in self.__slots__:
+            setattr(self, slot, state[slot])
+
+    def __repr__(self):
+        return (
+            f"PgoPlan({self.structural_hash[:12]}, "
+            f"{len(self.const_roots)} const / {len(self.cold_roots)} cold "
+            f"roots, {len(self.fuse_nets)} fused nets)"
+        )
+
+
+class PgoPlanBuilder:
+    """Accumulates the plan across the three analysis passes.
+
+    Each pass contributes its piece during the pipeline run;
+    :meth:`finish` (called by the last pass) freezes the
+    :class:`PgoPlan`.  The builder is shared by the pass instances one
+    ``pgo_passes`` call creates — the session reads ``builder.plan``
+    after running the pipeline.
+    """
+
+    def __init__(self, profile):
+        self.profile = profile
+        self.const_roots: Dict[str, int] = {}
+        self.cold_roots: List[str] = []
+        self.fuse_nets: List[str] = []
+        self.hot_rank: Dict[str, int] = {}
+        self.plan: Optional[PgoPlan] = None
+
+    def roots(self, module: Module) -> List[str]:
+        from ..profile import root_nets  # local: avoid import cycle
+
+        return root_nets(module)
+
+    def finish(self, module: Module) -> PgoPlan:
+        self.plan = PgoPlan(
+            module.structural_hash(),
+            self.profile.digest(),
+            self.const_roots,
+            tuple(self.cold_roots),
+            tuple(self.fuse_nets),
+            self.hot_rank,
+        )
+        return self.plan
+
+
+class _PgoPass(Pass):
+    """Shared shape of the three analyses: profiled, netlist-read-only.
+
+    The profile digest is folded into the fingerprint so the pipeline
+    fingerprint — and with it every cache key derived from it — is
+    specific to the observations the plan came from.
+    """
+
+    def __init__(self, builder: PgoPlanBuilder):
+        self.builder = builder
+
+    def fingerprint(self) -> str:
+        return f"{self.name}@{self.version}+{self.builder.profile.digest()}"
+
+
+class DeadToggleGating(_PgoPass):
+    """Nominate cold roots whose cones the engines may gate.
+
+    A root qualifies when its observed toggle rate is at most
+    :data:`COLD_TOGGLE_RATE` (observed constants are the rate-0 case).
+    Purely advisory: at runtime a gated cone still re-fires whenever
+    any of its support roots actually changed, so a root that turns hot
+    after the profile window costs a compare, never correctness.
+    """
+
+    name = "dead-toggle-gating"
+    version = 1
+
+    def run(self, module: Module) -> None:
+        profile = self.builder.profile
+        cold = [
+            name
+            for name in self.builder.roots(module)
+            if profile.toggle_rate(name) <= COLD_TOGGLE_RATE
+        ]
+        self.builder.cold_roots = cold
+
+
+class HotConeSpecialization(_PgoPass):
+    """Nominate observed-constant roots for guarded specialization.
+
+    Only *roots* (ports, sequential outputs) are recorded — every
+    derived combinational constant is recovered by constant propagation
+    from these under the runtime guard, so recording the roots is both
+    sufficient and minimal.  Observed-constant non-root nets carry no
+    extra information once the roots pin their inputs.
+    """
+
+    name = "hot-cone-specialization"
+    version = 1
+
+    def run(self, module: Module) -> None:
+        constants = self.builder.profile.constants
+        self.builder.const_roots = {
+            name: int(constants[name])
+            for name in self.builder.roots(module)
+            if name in constants
+        }
+
+
+class ProfileOrderedLevelization(_PgoPass):
+    """Rank nets hot-first and mark single-reader nets for fusion.
+
+    Fusion eligibility is structural: a comb-driven net may be inlined
+    into its consumer iff it has exactly one combinational reader pin,
+    no sequential reader, is not a port, never feeds a ``div``/``mod``
+    ``b`` pin (the generated guard references ``b`` twice — inlining
+    would duplicate the whole subtree textually), and the fused
+    expression tree stays within :func:`fuse_op_cap` operators.  The
+    toggle ranking then lets codegen schedule the hottest cones first
+    and contiguously.  Runs last: it freezes the plan on the builder.
+    """
+
+    name = "profile-ordered-levelization"
+    version = 1
+
+    def run(self, module: Module) -> None:
+        builder = self.builder
+        order = comb_topo_order(module)
+        producer = {cell.pins["out"].name: cell for cell in order}
+        port_names = {net.name for net in module.ports.values()}
+
+        comb_readers: Dict[str, int] = {}
+        blocked = set()  # seq-read or div/mod-b-fed nets: never fuse
+        for cell in order:
+            for pin, net in cell.pins.items():
+                if pin == "out":
+                    continue
+                comb_readers[net.name] = comb_readers.get(net.name, 0) + 1
+                if pin == "b" and cell.kind in ("div", "mod"):
+                    blocked.add(net.name)
+        for cell in module.cells.values():
+            if cell.kind in _SEQ_KINDS or cell.kind == "submodule":
+                for pin, net in cell.pins.items():
+                    blocked.add(net.name)
+
+        cap = fuse_op_cap()
+        fuse: List[str] = []
+        fused = set()
+        cost: Dict[str, int] = {}
+        for cell in order:  # topo order: producers before consumers
+            out = cell.pins["out"].name
+            ops = 1
+            for pin, net in cell.pins.items():
+                if pin != "out" and net.name in fused:
+                    ops += cost[net.name]
+            cost[out] = ops
+            if (
+                comb_readers.get(out, 0) == 1
+                and out not in blocked
+                and out not in port_names
+                and ops <= cap
+            ):
+                fused.add(out)
+                fuse.append(out)
+        builder.fuse_nets = fuse
+
+        toggles = builder.profile.toggles
+        builder.hot_rank = {
+            out: toggles[out] for out in producer if toggles.get(out)
+        }
+        builder.finish(module)
+
+
+def pgo_passes(profile) -> Tuple[List[Pass], PgoPlanBuilder]:
+    """The ``-O3`` analysis suffix for one profile.
+
+    Returns the ordered pass list (append to the ``-O2`` pipeline) and
+    the shared builder whose ``.plan`` holds the finished
+    :class:`PgoPlan` after the pipeline runs.
+    """
+    builder = PgoPlanBuilder(profile)
+    passes: List[Pass] = [
+        DeadToggleGating(builder),
+        HotConeSpecialization(builder),
+        ProfileOrderedLevelization(builder),
+    ]
+    return passes, builder
+
+
+def build_plan(module: Module, profile) -> PgoPlan:
+    """Convenience: run just the PGO analyses over an already-optimized
+    module and return the plan (what the session does under ``-O3``)."""
+    from .base import PassManager
+
+    passes, builder = pgo_passes(profile)
+    PassManager(passes).run(module)
+    assert builder.plan is not None
+    return builder.plan

@@ -1,0 +1,350 @@
+"""Per-net activity profiles of simulated netlists (the PGO substrate).
+
+A :class:`SimProfile` records what a design's nets actually *did* over a
+deterministic seeded stimulus window: how often each net toggled, which
+nets held one value for the whole window (and what that value was), and
+how skewed every mux's select was.  The profile-guided ``-O3`` pipeline
+(:mod:`repro.rtl.passes.pgo`) turns those observations into a
+:class:`~repro.rtl.passes.pgo.PgoPlan` — dead-toggle gating of cold
+logic cones, guarded constant specialization of observed-constant
+roots, and hot-first cone ordering with expression fusion — and the
+code generators consume the plan (see ``compile_netlist(plan=...)``).
+
+Collection runs on any scalar backend through the uniform
+``snapshot()`` hook (:class:`~repro.rtl.simulate.Simulator` reads its
+``Net``-keyed value dict, :class:`~repro.rtl.compile.CompiledSimulator`
+its flat slot list) and on the mega-lane vector backend through its
+per-lane column snapshot — a net only counts as constant there when
+*every lane* agreed on one value for the whole window, so multi-lane
+profiles are strictly more conservative than single-lane ones.
+
+Profiles are plain-data payloads persisted in the disk cache under the
+``"profile"`` pseudo-stage keyed ``(structural_hash, PROFILE_VERSION)``
+(see :class:`repro.driver.cache.ProfileStore`), so a warm process
+starts pre-tuned: the first ``-O3`` run of a design pays one profiling
+window, every later run — across sessions and grid workers — loads the
+observations from disk.
+
+Soundness never depends on the window being representative: every
+profile-guided transformation is either invariant-preserving by
+construction (gating skips cones whose inputs provably did not change;
+fusion is algebraic substitution) or guarded by a runtime check
+(constant specialization re-checks the observed values every cycle and
+falls back to the general path).  A wildly wrong profile can only cost
+speed, never correctness — the differential gates assert exactly that.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, Optional
+
+from .netlist import Module, NetlistError, comb_topo_order, flatten
+from .simulate import random_stimulus, random_stimulus_batch
+
+#: Version of the profile payload's shape *and* of what the recorded
+#: quantities mean.  Part of every persisted profile's key: bump it
+#: whenever collection semantics change so stale observations become
+#: cache misses instead of steering new plans.
+PROFILE_VERSION = 1
+
+#: Default stimulus window (cycles) and seed of a collection run.  The
+#: window is deliberately short — profiles guide heuristics, they do
+#: not gate correctness — and the seed is fixed so the same design
+#: always yields the same profile (and therefore the same plan digest,
+#: which feeds cache keys).
+DEFAULT_PROFILE_CYCLES = 256
+PROFILE_SEED = 0x9F
+
+
+def profile_cycles() -> int:
+    """The collection window: ``$REPRO_PROFILE_CYCLES`` or the default."""
+    return max(
+        2,
+        int(os.environ.get("REPRO_PROFILE_CYCLES", DEFAULT_PROFILE_CYCLES)),
+    )
+
+
+class SimProfile:
+    """One design's observed per-net activity over a stimulus window."""
+
+    __slots__ = (
+        "structural_hash",
+        "cycles",
+        "seed",
+        "lanes",
+        "backend",
+        "toggles",
+        "constants",
+        "mux_ones",
+        "_digest",
+    )
+
+    def __init__(
+        self,
+        structural_hash: str,
+        cycles: int,
+        seed: int,
+        lanes: int,
+        backend: str,
+        toggles: Dict[str, int],
+        constants: Dict[str, int],
+        mux_ones: Dict[str, int],
+    ):
+        self.structural_hash = structural_hash
+        self.cycles = int(cycles)
+        self.seed = int(seed)
+        self.lanes = int(lanes)
+        self.backend = backend
+        #: net name → number of sampled cycles whose post-evaluate value
+        #: differed from the previous cycle's (first sample never counts).
+        self.toggles = dict(toggles)
+        #: net name → the single value the net held on *every* sampled
+        #: cycle (and, multi-lane, in every lane).  Exactly the nets
+        #: with a zero toggle count.
+        self.constants = dict(constants)
+        #: mux cell name → cycles its select's low bit sampled 1 (lane 0
+        #: on lane engines) — the select-skew record.
+        self.mux_ones = dict(mux_ones)
+        self._digest: Optional[str] = None
+
+    def toggle_rate(self, net_name: str) -> float:
+        """Fraction of sampled transitions on which the net changed."""
+        if self.cycles <= 1:
+            return 0.0
+        return self.toggles.get(net_name, 0) / (self.cycles - 1)
+
+    def to_payload(self) -> Dict[str, object]:
+        """The plain-data persisted form (see ``ProfileStore``)."""
+        return {
+            "version": PROFILE_VERSION,
+            "structural_hash": self.structural_hash,
+            "cycles": self.cycles,
+            "seed": self.seed,
+            "lanes": self.lanes,
+            "backend": self.backend,
+            "toggles": dict(self.toggles),
+            "constants": dict(self.constants),
+            "mux_ones": dict(self.mux_ones),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "SimProfile":
+        return cls(
+            payload["structural_hash"],
+            payload["cycles"],
+            payload["seed"],
+            payload["lanes"],
+            payload["backend"],
+            payload["toggles"],
+            payload["constants"],
+            payload["mux_ones"],
+        )
+
+    def digest(self) -> str:
+        """Stable content address of the profile (feeds plan digests and
+        therefore optimize/codegen cache keys)."""
+        if self._digest is None:
+            canonical = json.dumps(self.to_payload(), sort_keys=True)
+            self._digest = hashlib.sha256(canonical.encode()).hexdigest()[:16]
+        return self._digest
+
+    def __repr__(self):
+        return (
+            f"SimProfile({self.structural_hash}, {self.cycles} cycles, "
+            f"{self.backend} x{self.lanes}, "
+            f"{len(self.constants)} constant nets)"
+        )
+
+
+def valid_profile_payload(payload, structural_hash: str) -> bool:
+    """Is ``payload`` a well-formed profile entry for this design?
+
+    The single validation authority for persisted profiles: the store
+    applies it on load (so its hit/miss counters reflect *usable*
+    entries) and ``SimProfile.from_payload`` callers can re-apply it as
+    a cheap guard against arbitrary duck-typed stores.
+    """
+    return (
+        isinstance(payload, dict)
+        and payload.get("version") == PROFILE_VERSION
+        and payload.get("structural_hash") == structural_hash
+        and isinstance(payload.get("cycles"), int)
+        and payload.get("cycles", 0) >= 2
+        and isinstance(payload.get("lanes"), int)
+        and isinstance(payload.get("toggles"), dict)
+        and isinstance(payload.get("constants"), dict)
+        and isinstance(payload.get("mux_ones"), dict)
+    )
+
+
+def _flat(module: Module) -> Module:
+    if any(c.kind == "submodule" for c in module.cells.values()):
+        module = flatten(module)
+    module.validate()
+    return module
+
+
+# -- the root/cone structure every PGO transformation shares ------------
+
+
+def root_nets(module: Module):
+    """The nets a cycle's combinational settling is a pure function of:
+    input ports plus every sequential output (register ``q``, FIFO
+    ``in_ready``/``out_valid``/``out_data``).  Everything combinational
+    is a deterministic function of these — which is what makes skipping
+    an unchanged cone sound.
+    """
+    names = [net.name for _, net in module.inputs()]
+    for cell in module.cells.values():
+        if cell.kind in ("reg", "regen"):
+            names.append(cell.pins["q"].name)
+        elif cell.kind == "fifo":
+            names.append(cell.pins["in_ready"].name)
+            names.append(cell.pins["out_valid"].name)
+            names.append(cell.pins["out_data"].name)
+    return sorted(set(names))
+
+
+def comb_cones(module: Module):
+    """Partition the combinational cells into *cones* by root support.
+
+    Every comb cell's support is the set of root nets (see
+    :func:`root_nets`) its output transitively depends on; cells with
+    identical support form one cone, kept in topological order.  The
+    returned list of ``(support frozenset, [cells])`` is itself
+    topologically ordered: a cone feeding another has strictly smaller
+    support (the consumer's support contains the producer's, and equal
+    supports share one cone), so ordering by support size — ties kept
+    in first-appearance order — is a valid schedule.  If no net of a
+    cone's support changed since the last evaluation, no input of any
+    cell in the cone changed, and the whole cone may be skipped.
+    """
+    roots = set(root_nets(module))
+    support: Dict[str, frozenset] = {name: frozenset((name,)) for name in roots}
+    groups: Dict[frozenset, list] = {}
+    appearance: Dict[frozenset, int] = {}
+    for cell in comb_topo_order(module):
+        sup = set()
+        for pin, net in cell.pins.items():
+            if pin == "out":
+                continue
+            sup |= support.get(net.name, frozenset())
+        frozen = frozenset(sup)
+        support[cell.pins["out"].name] = frozen
+        if frozen not in groups:
+            groups[frozen] = []
+            appearance[frozen] = len(appearance)
+        groups[frozen].append(cell)
+    return [
+        (sup, groups[sup])
+        for sup in sorted(groups, key=lambda s: (len(s), appearance[s]))
+    ]
+
+
+def collect_profile(
+    module: Module,
+    cycles: Optional[int] = None,
+    seed: int = PROFILE_SEED,
+    backend: str = "compiled",
+    lanes: int = 1,
+    codegen_store=None,
+    bias: float = 0.0,
+) -> SimProfile:
+    """Run a seeded stimulus window and record per-net activity.
+
+    ``backend`` may be any registered scalar engine (``"interp"``,
+    ``"compiled"``) or ``"vector"`` with ``lanes > 1`` — collection goes
+    through each engine's ``snapshot()`` hook, so the instrumented loop
+    is the same across backends.  The result is a pure function of
+    ``(structural netlist, cycles, seed, lanes, bias)``: backends are
+    bit-identical by differential contract, so which engine sampled the
+    values does not affect the observations (and the tests assert it).
+    """
+    from .compile import make_simulator  # local: compile imports simulate
+
+    module = _flat(module)
+    if cycles is None:
+        cycles = profile_cycles()
+    cycles = int(cycles)
+    if cycles < 2:
+        raise NetlistError(f"profile window must be >= 2 cycles, got {cycles}")
+    lanes = int(lanes)
+    if lanes < 1:
+        raise NetlistError(f"lanes must be >= 1, got {lanes}")
+    if backend == "vector" and lanes == 1:
+        lanes = 2  # the vector engine is pointless (and untested) at 1
+    simulator = make_simulator(
+        module, backend, lanes=lanes, codegen_store=codegen_store
+    )
+    names = sorted(module.nets)
+    mux_sel = {
+        cell.name: cell.pins["sel"].name
+        for cell in module.cells.values()
+        if cell.kind == "mux"
+    }
+
+    toggles = dict.fromkeys(names, 0)
+    first: Dict[str, object] = {}
+    prev: Dict[str, object] = {}
+    changed_ever = set()
+    mux_ones = dict.fromkeys(mux_sel, 0)
+
+    if lanes == 1:
+        stream = [random_stimulus(module, cycles, seed, bias)]
+        vectors = stream[0]
+    else:
+        stream = random_stimulus_batch(module, cycles, lanes, seed, bias)
+        # Re-shape per-lane streams into per-cycle lane vectors, the
+        # poke shape lane engines take.
+        vectors = [
+            {
+                name: [stream[lane][cycle][name] for lane in range(lanes)]
+                for name in stream[0][cycle]
+            }
+            for cycle in range(cycles)
+        ]
+
+    for vector in vectors:
+        simulator.poke(vector)
+        simulator.evaluate()
+        snap = simulator.snapshot(names)
+        if not first:
+            first.update(snap)
+            prev.update(snap)
+        else:
+            for name in names:
+                value = snap[name]
+                if value != prev[name]:
+                    toggles[name] += 1
+                    prev[name] = value
+                    changed_ever.add(name)
+        for cell_name, sel_net in mux_sel.items():
+            sel = snap[sel_net]
+            if not isinstance(sel, int):  # lane engines snapshot tuples
+                sel = sel[0]
+            if sel & 1:
+                mux_ones[cell_name] += 1
+        simulator.tick()
+
+    constants: Dict[str, int] = {}
+    for name in names:
+        if name in changed_ever:
+            continue
+        value = first[name]
+        if isinstance(value, int):
+            constants[name] = value
+        elif len(set(value)) == 1:  # lane tuple: constant iff uniform
+            constants[name] = value[0]
+    return SimProfile(
+        module.structural_hash(),
+        cycles,
+        seed,
+        lanes,
+        backend,
+        {name: count for name, count in toggles.items() if count},
+        constants,
+        mux_ones,
+    )

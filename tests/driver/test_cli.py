@@ -148,3 +148,44 @@ def test_ablation_with_lanes_and_process_executor(capsys):
 def test_executor_flag_rejects_unknown_pool():
     with pytest.raises(SystemExit):
         main(["ablation", "--executor", "fiber"])
+
+
+def test_profile_command_renders_attribution(capsys):
+    assert main([
+        "profile", "--designs", "fpu", "fft", "--cycles", "32",
+        "--workers", "2",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "run profile:" in out
+    assert "compute" in out and "waiting" in out
+    assert "fpu" in out and "fft" in out
+
+
+def test_profile_command_json_payload(capsys):
+    assert main([
+        "profile", "--designs", "fpu", "--cycles", "32", "-O3", "--json",
+    ]) == 0
+    payload = json.loads(capsys.readouterr().out.splitlines()[-1])
+    assert payload["wall_seconds"] > 0.0
+    assert "compute" in payload and "waits" in payload
+    assert [row["design"] for row in payload["designs"]] == ["fpu"]
+    assert payload["designs"][0]["cells"] > 0
+
+
+def test_stats_json_surfaces_tuner_and_profile_counters(capsys):
+    assert main(["compile", "--design", "fpu", "-O3", "--stats", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out.splitlines()[-1])
+    assert payload["opt_level"] == 3
+    # The -O3 compile collected (or loaded) an activity profile...
+    profile = payload["profile"]
+    assert profile["auto"] is True
+    assert profile["collected"] + profile["disk_hits"] >= 1
+    # ...and the tuner section is always present, even when the static
+    # backend choice never consulted it.
+    assert set(payload["tuner"]) >= {"disk_hits", "resolve_seconds",
+                                     "chosen"}
+    # Stage wall clocks flow through the cache stats timers.
+    assert any(
+        name.startswith("compute.")
+        for name in payload["cache"]["timers"]
+    )

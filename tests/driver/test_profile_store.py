@@ -1,0 +1,98 @@
+"""Persistent activity profiles: the disk cache's "profile" stage.
+
+:class:`ProfileStore` keys payloads ``(structural_hash,
+PROFILE_VERSION)`` and validates on load *before* counting, so the
+``profile.disk_hit`` / ``profile.disk_miss`` counters reflect usable
+entries only.  Corrupt pickles are quarantined by the underlying
+``DiskCache`` and re-collected, never served.
+"""
+
+import os
+
+from repro.driver import DiskCache, ProfileStore
+from repro.rtl import Module, collect_profile
+from repro.rtl import profile as profile_mod
+
+
+def _toy(width=8) -> Module:
+    module = Module("toy")
+    a = module.add_input("a", width)
+    b = module.add_input("b", width)
+    out = module.add_output("out", width)
+    q = module.register(module.binop("xor", a, b))
+    module.add_cell("add", {"a": q, "b": a, "out": out})
+    module.validate()
+    return module
+
+
+def _store(tmp_path) -> ProfileStore:
+    return ProfileStore(DiskCache(str(tmp_path)))
+
+
+def test_profiles_round_trip_through_the_store(tmp_path):
+    store = _store(tmp_path)
+    module = _toy()
+    profile = collect_profile(module, cycles=32)
+    structural = module.structural_hash()
+
+    assert store.load(structural) is None  # cold: nothing persisted yet
+    assert store.disk.stats.counter("profile.disk_miss") == 1
+    assert store.save(profile.to_payload())
+    assert store.disk.stats.counter("profile.store") == 1
+
+    payload = store.load(structural)
+    assert store.disk.stats.counter("profile.disk_hit") == 1
+    revived = profile_mod.SimProfile.from_payload(payload)
+    assert revived.digest() == profile.digest()
+
+
+def test_load_validates_before_counting_a_hit(tmp_path):
+    store = _store(tmp_path)
+    profile = collect_profile(_toy(), cycles=32)
+    assert store.save(profile.to_payload())
+    # A payload persisted for one design must never be served for
+    # another: the structural-hash check fails and the lookup counts as
+    # a miss even though the disk read succeeded.
+    other = _toy(width=16)
+    assert store.load(other.structural_hash()) is None
+    assert store.disk.stats.counter("profile.disk_hit") == 0
+    assert store.disk.stats.counter("profile.disk_miss") == 1
+
+
+def test_entries_are_keyed_by_profile_version(tmp_path, monkeypatch):
+    store = _store(tmp_path)
+    module = _toy()
+    profile = collect_profile(module, cycles=32)
+    assert store.save(profile.to_payload())
+    assert store.load(module.structural_hash()) is not None
+    # A semantics bump makes every persisted observation a clean miss
+    # instead of silently steering new plans.
+    monkeypatch.setattr(
+        profile_mod, "PROFILE_VERSION", profile_mod.PROFILE_VERSION + 1
+    )
+    assert store.load(module.structural_hash()) is None
+    assert store.disk.stats.counter("profile.disk_miss") == 1
+
+
+def test_corrupt_profile_entry_is_quarantined(tmp_path):
+    store = _store(tmp_path)
+    module = _toy()
+    assert store.save(collect_profile(module, cycles=32).to_payload())
+    entries = []
+    for directory, _, files in os.walk(str(tmp_path)):
+        entries += [
+            os.path.join(directory, f) for f in files if f.endswith(".pkl")
+        ]
+    assert len(entries) == 1
+    with open(entries[0], "r+b") as handle:
+        handle.seek(0, os.SEEK_END)
+        size = handle.tell()
+        handle.seek(size // 2)
+        handle.write(b"\xde\xad\xbe\xef")
+
+    assert store.load(module.structural_hash()) is None
+    assert store.disk.stats.counter("disk.corrupt") == 1
+    assert store.disk.stats.counter("profile.disk_miss") == 1
+    # The slot is reusable after quarantine.
+    assert store.save(collect_profile(module, cycles=32).to_payload())
+    assert store.load(module.structural_hash()) is not None

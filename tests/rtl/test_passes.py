@@ -222,7 +222,13 @@ def test_pipeline_fingerprints_distinguish_levels():
 
 def test_unknown_level_rejected():
     with pytest.raises(ValueError):
-        pipeline_for_level(3)
+        pipeline_for_level(4)
+    # -O3 is a known level now; without a profile it degrades to the
+    # -O2 pipeline (the PGO analyses need observations to run).
+    assert (
+        pipeline_for_level(3).fingerprint()
+        == pipeline_for_level(2).fingerprint()
+    )
 
 
 class _CorruptingPass(Pass):

@@ -1,0 +1,197 @@
+"""Profile-guided plans: fusion rules, gating soundness, differentials.
+
+The ``-O3`` analyses distill a :class:`SimProfile` into a
+:class:`PgoPlan` the engines act on.  The tests here pin the planner's
+structural rules (single-reader fusion, the div/mod ``b`` blocklist,
+the operator-count cap) and — the property everything else hangs on —
+that profile-guided execution is bit-identical to the plain
+interpreter on real and synthetic designs *even when the profile is
+adversarially wrong*.
+"""
+
+import pickle
+
+import pytest
+
+from repro.designs import fifo_pipeline
+from repro.rtl import (
+    CompiledSimulator,
+    Module,
+    NetlistError,
+    SimProfile,
+    collect_profile,
+    differential_check,
+    random_stimulus,
+    root_nets,
+)
+from repro.rtl.passes import PGO_VERSION, build_plan, pgo_passes
+from repro.rtl.passes.pgo import FUSE_OP_CAP, fuse_op_cap
+
+
+def _mixer(width=8) -> Module:
+    module = Module("mixer")
+    a = module.add_input("a", width)
+    b = module.add_input("b", width)
+    out = module.add_output("out", width)
+    total = module.binop("add", a, b)
+    mixed = module.binop("xor", total, b)  # single reader of total? no:
+    masked = module.binop("and", total, a)  # ...total has two readers
+    folded = module.binop("or", mixed, masked)
+    q = module.register(folded)
+    module.add_cell("add", {"a": q, "b": folded, "out": out})
+    module.validate()
+    return module
+
+
+def test_plan_shape_digest_and_pickling():
+    module = _mixer()
+    profile = collect_profile(module, cycles=64)
+    plan = build_plan(module, profile)
+    assert plan.structural_hash == module.structural_hash()
+    assert plan.profile_digest == profile.digest()
+    assert plan.digest() == build_plan(module, profile).digest()
+    revived = pickle.loads(pickle.dumps(plan))
+    assert revived.digest() == plan.digest()
+    assert revived.fuse_nets == plan.fuse_nets
+    described = plan.describe()
+    assert described["fuse_nets"] == len(plan.fuse_nets)
+    assert described["digest"] == plan.digest()
+
+
+def test_fusion_is_single_reader_only_and_skips_ports():
+    module = _mixer()
+    plan = build_plan(module, collect_profile(module, cycles=32))
+    by_kind = {
+        cell.kind: cell.pins["out"].name
+        for cell in module.cells.values()
+        if "out" in cell.pins
+    }
+    # total feeds both the xor and the and: two combinational readers,
+    # never fused.  mixed/masked each have exactly one reader: fused.
+    fused = set(plan.fuse_nets)
+    assert by_kind["xor"] in fused
+    assert by_kind["and"] in fused
+    # The two-reader add output stays materialized.
+    two_reader = next(
+        cell.pins["out"].name
+        for cell in module.cells.values()
+        if cell.kind == "add" and cell.pins["out"].name != "out"
+        and cell.pins["a"].name == "a"
+    )
+    assert two_reader not in fused
+    # Ports and sequential-read nets are never fusion candidates.
+    assert "out" not in fused
+    assert all(name not in root_nets(module) for name in fused)
+
+
+def test_div_mod_b_feeders_are_blocklisted():
+    module = Module("divider")
+    a = module.add_input("a", 8)
+    b = module.add_input("b", 8)
+    out = module.add_output("out", 8)
+    divisor = module.binop("or", b, a)  # single reader, feeds div's b
+    module.add_cell("div", {"a": a, "b": divisor, "out": out})
+    module.validate()
+    plan = build_plan(module, collect_profile(module, cycles=32))
+    # The generated div guard references b twice; inlining would
+    # duplicate the whole divisor subtree textually.
+    assert divisor.name not in plan.fuse_nets
+    assert differential_check(module, cycles=128, seed=5, plan=plan)
+
+
+def test_fuse_cap_env_limits_expression_growth(monkeypatch):
+    module = Module("chain")
+    a = module.add_input("a", 8)
+    b = module.add_input("b", 8)
+    out = module.add_output("out", 8)
+    acc = a
+    for _ in range(6):  # a deep single-reader chain
+        acc = module.binop("add", acc, b)
+    module.add_cell("xor", {"a": acc, "b": b, "out": out})
+    module.validate()
+    profile = collect_profile(module, cycles=32)
+    default_fused = len(build_plan(module, profile).fuse_nets)
+    monkeypatch.setenv("REPRO_PGO_FUSE_CAP", "1")
+    assert fuse_op_cap() == 1
+    capped_fused = len(build_plan(module, profile).fuse_nets)
+    assert capped_fused < default_fused
+    monkeypatch.delenv("REPRO_PGO_FUSE_CAP")
+    assert fuse_op_cap() == FUSE_OP_CAP
+
+
+def test_pass_fingerprints_carry_the_profile_digest():
+    module = _mixer()
+    profile = collect_profile(module, cycles=32)
+    reseeded = collect_profile(module, cycles=32, seed=77)
+    passes, _ = pgo_passes(profile)
+    fingerprints = [p.fingerprint() for p in passes]
+    assert all(profile.digest() in fp for fp in fingerprints)
+    other = [p.fingerprint() for p in pgo_passes(reseeded)[0]]
+    assert fingerprints != other  # new observations, new cache keys
+    assert PGO_VERSION == 1
+
+
+def test_gated_interpreter_and_specialized_program_are_bit_identical():
+    module = _mixer()
+    plan = build_plan(module, collect_profile(module, cycles=64))
+    assert differential_check(
+        module, cycles=256, seed=11, backend="interp", plan=plan
+    )
+    assert differential_check(
+        module, cycles=256, seed=11, backend="compiled", plan=plan
+    )
+
+
+def test_fifo_pipeline_differential_under_plan():
+    """The acceptance synthetic: ready/valid FIFO chains exercise the
+    sequential roots (in_ready/out_valid/out_data) the gating logic
+    must treat as change sources."""
+    module = fifo_pipeline(stages=4, width=16, depth=3)
+    profile = collect_profile(module, cycles=64)
+    plan = build_plan(module, profile)
+    for backend in ("interp", "compiled"):
+        assert differential_check(
+            module, cycles=256, seed=21, backend=backend, plan=plan
+        )
+
+
+def test_adversarially_wrong_profile_costs_speed_never_correctness():
+    module = _mixer()
+    roots = root_nets(module)
+    # A profile claiming every root was constant-zero and nothing ever
+    # toggled — maximally wrong under real stimulus.  The runtime guard
+    # must reject the specialized fast path every cycle and gating must
+    # still re-fire cones whose inputs actually changed.
+    lying = SimProfile(
+        module.structural_hash(), 64, 0, 1, "compiled",
+        {}, {name: 0 for name in roots}, {},
+    )
+    plan = build_plan(module, lying)
+    assert plan.const_roots  # the lie made it into the plan...
+    assert set(plan.cold_roots) == set(roots)
+    for backend in ("interp", "compiled"):  # ...and is harmless anyway
+        assert differential_check(
+            module, cycles=256, seed=31, backend=backend, plan=plan
+        )
+
+
+def test_plans_are_scalar_only():
+    module = _mixer()
+    plan = build_plan(module, collect_profile(module, cycles=32))
+    with pytest.raises(NetlistError):
+        differential_check(module, cycles=32, lanes=4, plan=plan)
+    with pytest.raises(NetlistError):
+        differential_check(module, cycles=32, backend="vector", plan=plan)
+
+
+def test_fused_nets_are_inlined_out_of_the_specialized_program():
+    module = _mixer()
+    plan = build_plan(module, collect_profile(module, cycles=32))
+    assert plan.fuse_nets
+    specialized = CompiledSimulator(module, plan=plan)
+    stimulus = random_stimulus(module, 16, seed=41)
+    specialized.run(stimulus)
+    # Outputs stay peekable; a fused net has no slot to peek.
+    assert specialized.peek_net("out") is not None
+    with pytest.raises(NetlistError):
+        specialized.peek_net(plan.fuse_nets[0])

@@ -1,0 +1,163 @@
+"""Activity-profile collection: the observation side of ``-O3``.
+
+``collect_profile`` runs a seeded stimulus window on any backend through
+the uniform ``snapshot()`` hook and records per-net toggle counts,
+whole-window constants and mux-select skew as a :class:`SimProfile`.
+These tests pin the contract the PGO planner and the persisted
+``ProfileStore`` rely on: deterministic digests, backend-independent
+observations, conservative multi-lane constants, and payload validation.
+"""
+
+import pytest
+
+from repro.rtl import (
+    Module,
+    NetlistError,
+    SimProfile,
+    collect_profile,
+    comb_cones,
+    root_nets,
+    valid_profile_payload,
+)
+
+
+def _toy(width=8) -> Module:
+    """Two inputs, a mux, a register feedback — every profile feature."""
+    module = Module("toy")
+    a = module.add_input("a", width)
+    b = module.add_input("b", width)
+    sel = module.add_input("sel", 1)
+    out = module.add_output("out", width)
+    total = module.binop("add", a, b)
+    mixed = module.binop("xor", a, b)
+    picked = module.mux(sel, mixed, total)
+    q = module.register(picked)
+    module.add_cell("add", {"a": q, "b": total, "out": out})
+    module.validate()
+    return module
+
+
+def test_collection_is_deterministic_and_round_trips():
+    first = collect_profile(_toy(), cycles=64)
+    second = collect_profile(_toy(), cycles=64)
+    assert first.digest() == second.digest()
+    assert first.structural_hash == _toy().structural_hash()
+    # Some activity was actually observed under random stimulus.
+    assert first.toggles
+    assert first.mux_ones  # the mux's select skew is recorded
+    payload = first.to_payload()
+    assert valid_profile_payload(payload, first.structural_hash)
+    revived = SimProfile.from_payload(payload)
+    assert revived.digest() == first.digest()
+    assert revived.toggle_rate("a") == first.toggle_rate("a")
+
+
+def test_different_windows_yield_different_digests():
+    base = collect_profile(_toy(), cycles=64)
+    longer = collect_profile(_toy(), cycles=65)
+    reseeded = collect_profile(_toy(), cycles=64, seed=123)
+    assert base.digest() != longer.digest()
+    assert base.digest() != reseeded.digest()
+
+
+def test_payload_validation_rejects_mismatches():
+    profile = collect_profile(_toy(), cycles=32)
+    payload = profile.to_payload()
+    assert valid_profile_payload(payload, profile.structural_hash)
+    assert not valid_profile_payload(payload, "deadbeef")
+    assert not valid_profile_payload(None, profile.structural_hash)
+    assert not valid_profile_payload(
+        dict(payload, version=-1), profile.structural_hash
+    )
+    assert not valid_profile_payload(
+        dict(payload, cycles=1), profile.structural_hash
+    )
+    assert not valid_profile_payload(
+        dict(payload, toggles=[]), profile.structural_hash
+    )
+
+
+def test_backends_observe_the_same_activity():
+    interp = collect_profile(_toy(), cycles=48, backend="interp")
+    compiled = collect_profile(_toy(), cycles=48, backend="compiled")
+    # Backends are bit-identical by differential contract, so the same
+    # window yields the same observations — only the backend tag (part
+    # of the payload, hence the digest) differs.
+    assert interp.toggles == compiled.toggles
+    assert interp.constants == compiled.constants
+    assert interp.mux_ones == compiled.mux_ones
+
+
+def test_vector_profile_constants_are_conservative():
+    scalar = collect_profile(_toy(), cycles=48)
+    vector = collect_profile(_toy(), cycles=48, backend="vector", lanes=4)
+    assert vector.lanes == 4
+    # Multi-lane collection only records a constant when every lane held
+    # one value for the whole window — strictly more conservative than
+    # the single-lane view (lane 0 shares the scalar run's seed).
+    assert set(vector.constants) <= set(scalar.constants)
+
+
+def test_constant_nets_are_observed_with_their_values():
+    module = Module("pinned")
+    a = module.add_input("a", 8)
+    out = module.add_output("out", 8)
+    five = module.constant(5, 8)
+    module.add_cell("and", {"a": a, "b": five, "out": out})
+    module.validate()
+    const_net = next(
+        cell.pins["out"].name
+        for cell in module.cells.values()
+        if cell.kind == "const"
+    )
+    profile = collect_profile(module, cycles=32)
+    # The const cell's net never toggles and its value is recorded —
+    # exactly what guarded constant specialization consumes.
+    assert profile.constants[const_net] == 5
+    assert profile.toggle_rate(const_net) == 0.0
+    # The randomly-driven input is not observed constant.
+    assert "a" not in profile.constants
+
+
+def test_profile_window_env_and_guard(monkeypatch):
+    monkeypatch.setenv("REPRO_PROFILE_CYCLES", "8")
+    assert collect_profile(_toy()).cycles == 8
+    with pytest.raises(NetlistError):
+        collect_profile(_toy(), cycles=1)
+    with pytest.raises(NetlistError):
+        collect_profile(_toy(), lanes=0)
+
+
+def test_root_nets_are_ports_plus_sequential_outputs():
+    module = _toy()
+    roots = root_nets(module)
+    assert set(["a", "b", "sel"]) <= set(roots)
+    q_nets = [
+        cell.pins["q"].name
+        for cell in module.cells.values()
+        if cell.kind in ("reg", "regen")
+    ]
+    assert q_nets and set(q_nets) <= set(roots)
+    assert roots == sorted(roots)
+    # The output port is combinationally driven, not a root.
+    assert "out" not in roots
+
+
+def test_comb_cones_partition_and_order():
+    module = _toy()
+    cones = comb_cones(module)
+    roots = set(root_nets(module))
+    comb_cells = [
+        cell
+        for cell in module.cells.values()
+        if not cell.is_sequential() and cell.kind != "submodule"
+    ]
+    seen = [cell.name for _, cells in cones for cell in cells]
+    # Every combinational cell lands in exactly one cone...
+    assert sorted(seen) == sorted(cell.name for cell in comb_cells)
+    # ...every support is a set of roots...
+    assert all(support <= roots for support, _ in cones)
+    # ...and the schedule is ordered by support size (consumers have
+    # supersets of their producers' support, so this is topological).
+    sizes = [len(support) for support, _ in cones]
+    assert sizes == sorted(sizes)
