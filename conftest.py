@@ -14,3 +14,14 @@ import pytest
 @pytest.fixture(autouse=True)
 def _isolated_disk_cache(tmp_path, monkeypatch):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_fault_plan():
+    """Fault plans install process-globally (see repro.driver.faults);
+    a test that installs one — directly or by building a session with a
+    ``fault_plan`` — must not leak it into the next test."""
+    from repro.driver import faults
+
+    yield
+    faults.uninstall()

@@ -37,6 +37,17 @@ from .cache import (
     freeze_params,
     source_digest,
 )
+from .chaos import SITE_GROUPS, ChaosReport, ChaosRun, run_chaos
+from .faults import (
+    FAULT_MODES,
+    FAULT_SITES,
+    FaultPlan,
+    FaultPlanError,
+    FaultSite,
+    InjectedCrash,
+    InjectedFault,
+    InjectedOSError,
+)
 from .grid import EXECUTORS, EvalGrid
 from .profiler import RunProfiler, RunReport
 from .session import (
@@ -48,9 +59,14 @@ from .session import (
 
 __all__ = [
     "EXECUTORS",
+    "FAULT_MODES",
+    "FAULT_SITES",
     "SCHEMA_VERSION",
+    "SITE_GROUPS",
     "ArtifactCache",
     "CacheStats",
+    "ChaosReport",
+    "ChaosRun",
     "CodegenStore",
     "CompileResult",
     "CompileSession",
@@ -58,6 +74,12 @@ __all__ = [
     "Diagnostic",
     "DiskCache",
     "EvalGrid",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultSite",
+    "InjectedCrash",
+    "InjectedFault",
+    "InjectedOSError",
     "ObligationStore",
     "OptimizedNetlist",
     "ProfileStore",
@@ -70,5 +92,6 @@ __all__ = [
     "default_session",
     "freeze_params",
     "reset_default_session",
+    "run_chaos",
     "source_digest",
 ]

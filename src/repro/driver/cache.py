@@ -22,6 +22,7 @@ entries are deleted and treated as misses, never served.
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import json
 import os
@@ -29,8 +30,10 @@ import pickle
 import tempfile
 import threading
 import time
+import warnings
 from typing import Callable, Dict, Optional, Sequence, Tuple, Union
 
+from . import faults
 from .artifact import StageArtifact
 
 #: The disk format's epoch.  Bump whenever old entries must not survive
@@ -65,6 +68,30 @@ SCHEMA_VERSION = 5
 #: trimmed at attach time once the tree exceeds it.  Overridable via
 #: ``$REPRO_CACHE_MAX_MB`` (0 disables trimming).
 DEFAULT_MAX_BYTES = 2 * 1024 * 1024 * 1024
+
+#: Disk I/O retry policy: transient errors (EIO-class, including every
+#: injected ``disk.*`` fault in its default mode) are retried this many
+#: times with exponential backoff before the operation degrades to a
+#: miss (reads) or a dropped write-back (writes).
+DISK_RETRY_LIMIT = 3
+DISK_RETRY_BACKOFF_SECONDS = 0.005
+
+#: ``.tmp`` files younger than this are *live writers* (between
+#: ``mkstemp`` and ``os.replace``) as far as :meth:`DiskCache._trim` is
+#: concerned: they count toward the size bound but are never reaped.
+#: Older ones are orphans from writers that died mid-store.
+TMP_REAP_AGE_SECONDS = 3600.0
+
+#: errnos that mean "retry might work" vs "this root is done for":
+#: a full or read-only cache directory cannot heal within a run, so
+#: those degrade the disk layer to memory-only mode instead of burning
+#: retries on every later operation.
+_TRANSIENT_ERRNOS = frozenset(
+    {errno.EIO, errno.EAGAIN, errno.EINTR, errno.EBUSY, errno.ETIMEDOUT}
+)
+_DEGRADE_ERRNOS = frozenset(
+    {errno.ENOSPC, errno.EROFS, errno.EACCES, errno.EPERM, errno.EDQUOT}
+)
 
 
 def source_digest(source: str) -> str:
@@ -199,6 +226,16 @@ class DiskCache:
     key write identical content, and readers only ever observe complete
     files.  Load failures of any kind — bad header, wrong schema, digest
     mismatch, unpicklable payload — delete the entry and report a miss.
+
+    Fault tolerance: transient I/O errors (EIO-class) are retried up to
+    :data:`DISK_RETRY_LIMIT` times with exponential backoff
+    (``retry.disk.read`` / ``retry.disk.write`` counters); exhausted
+    retries degrade the single operation to a miss or dropped write.
+    Unrecoverable roots — ENOSPC, read-only filesystems, permission
+    loss — flip the whole layer into *memory-only mode*: a one-way
+    degradation (``degrade.disk`` counter, one warning) after which
+    every load is a miss and every store a no-op, so a full disk slows
+    the pipeline down instead of failing it.
     """
 
     def __init__(
@@ -209,6 +246,8 @@ class DiskCache:
     ):
         self.root = os.path.abspath(root or self.default_root())
         self.stats = stats or CacheStats()
+        self._degraded = False
+        self._degrade_lock = threading.Lock()
         if max_bytes is None:
             override = os.environ.get("REPRO_CACHE_MAX_MB")
             if override is not None:
@@ -240,8 +279,33 @@ class DiskCache:
             self.root, f"v{SCHEMA_VERSION}", stage, f"{digest}.pkl"
         )
 
+    @property
+    def degraded(self) -> bool:
+        """True once the layer has dropped to memory-only mode."""
+        return self._degraded
+
+    def _degrade(self, error: OSError) -> None:
+        """One-way drop to memory-only mode (full/read-only root)."""
+        with self._degrade_lock:
+            if self._degraded:
+                return
+            self._degraded = True
+        self.stats.bump("degrade.disk")
+        warnings.warn(
+            f"disk cache at {self.root} degraded to memory-only mode: "
+            f"{error}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+    @staticmethod
+    def _is_fatal(error: OSError) -> bool:
+        return error.errno in _DEGRADE_ERRNOS
+
     def load(self, key: Tuple) -> Optional[StageArtifact]:
         """The artifact stored for ``key``, or None (miss/corrupt)."""
+        if self._degraded:
+            return None
         started = time.perf_counter()
         try:
             return self._load(key)
@@ -250,12 +314,31 @@ class DiskCache:
                 "wait.disk_read", time.perf_counter() - started
             )
 
+    def _read_entry(self, path: str) -> Optional[bytes]:
+        """Raw entry bytes, retrying transient I/O errors; None on a
+        plain miss, on exhausted retries, or once the root degrades."""
+        for attempt in range(DISK_RETRY_LIMIT):
+            try:
+                faults.inject("disk.read", self.stats)
+                with open(path, "rb") as handle:
+                    return handle.read()
+            except FileNotFoundError:
+                return None
+            except OSError as error:
+                if self._is_fatal(error):
+                    self._degrade(error)
+                    return None
+                if attempt + 1 >= DISK_RETRY_LIMIT:
+                    self.stats.bump("disk.read_error")
+                    return None
+                self.stats.bump("retry.disk.read")
+                time.sleep(DISK_RETRY_BACKOFF_SECONDS * (2 ** attempt))
+        return None
+
     def _load(self, key: Tuple) -> Optional[StageArtifact]:
         path = self._entry_path(key)
-        try:
-            with open(path, "rb") as handle:
-                data = handle.read()
-        except OSError:
+        data = self._read_entry(path)
+        if data is None:
             return None
         try:
             header_line, _, payload = data.partition(b"\n")
@@ -266,6 +349,7 @@ class DiskCache:
                 raise ValueError("key collision or renamed entry")
             if header.get("sha256") != hashlib.sha256(payload).hexdigest():
                 raise ValueError("payload digest mismatch")
+            faults.inject("pickle.load", self.stats)
             artifact = pickle.loads(payload)
             if not isinstance(artifact, StageArtifact):
                 raise ValueError("payload is not a StageArtifact")
@@ -282,6 +366,8 @@ class DiskCache:
 
     def store(self, key: Tuple, artifact: StageArtifact) -> bool:
         """Persist ``artifact`` under ``key``; False if unpicklable."""
+        if self._degraded:
+            return False
         started = time.perf_counter()
         try:
             return self._store(key, artifact)
@@ -289,6 +375,26 @@ class DiskCache:
             self.stats.add_seconds(
                 "wait.disk_write", time.perf_counter() - started
             )
+
+    def _write_entry(self, path: str, header: bytes, payload: bytes) -> None:
+        """One atomic write attempt (may raise OSError)."""
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        faults.inject("disk.write", self.stats)
+        fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(header)
+                handle.write(b"\n")
+                handle.write(payload)
+            faults.inject("disk.replace", self.stats)
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.remove(tmp_path)
+            except OSError:
+                pass
+            raise
 
     def _store(self, key: Tuple, artifact: StageArtifact) -> bool:
         try:
@@ -307,29 +413,25 @@ class DiskCache:
             sort_keys=True,
         ).encode("utf-8")
         path = self._entry_path(key)
-        directory = os.path.dirname(path)
-        try:
-            os.makedirs(directory, exist_ok=True)
-            fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        for attempt in range(DISK_RETRY_LIMIT):
             try:
-                with os.fdopen(fd, "wb") as handle:
-                    handle.write(header)
-                    handle.write(b"\n")
-                    handle.write(payload)
-                os.replace(tmp_path, path)
-            except BaseException:
-                try:
-                    os.remove(tmp_path)
-                except OSError:
-                    pass
-                raise
-        except OSError:
-            # A read-only or full cache directory degrades the disk
-            # layer to a no-op rather than failing the compilation.
-            self.stats.bump("disk.write_error")
-            return False
-        self.stats.bump("disk.write")
-        return True
+                self._write_entry(path, header, payload)
+                self.stats.bump("disk.write")
+                return True
+            except OSError as error:
+                if self._is_fatal(error):
+                    # A full or read-only cache root can't heal within
+                    # this run: drop the whole layer to memory-only
+                    # mode rather than failing the compilation (or
+                    # paying retries on every later write).
+                    self._degrade(error)
+                    return False
+                if attempt + 1 >= DISK_RETRY_LIMIT:
+                    self.stats.bump("disk.write_error")
+                    return False
+                self.stats.bump("retry.disk.write")
+                time.sleep(DISK_RETRY_BACKOFF_SECONDS * (2 ** attempt))
+        return False
 
     def entry_count(self) -> int:
         """Entries currently on disk for the active schema version."""
@@ -350,11 +452,9 @@ class DiskCache:
         """
         entries = []
         total = 0
+        now = time.time()
         for directory, _, files in os.walk(self.root):
             for name in files:
-                # .tmp files are writers that died before os.replace;
-                # they count toward the bound and are evicted like any
-                # entry (a live writer's replace survives the unlink).
                 if not name.endswith((".pkl", ".tmp")):
                     continue
                 path = os.path.join(directory, name)
@@ -362,8 +462,19 @@ class DiskCache:
                     info = os.stat(path)
                 except OSError:
                     continue
-                entries.append((info.st_mtime, info.st_size, path))
                 total += info.st_size
+                # A recent .tmp file may be a *live* writer in another
+                # process, mid-way between mkstemp and os.replace —
+                # unlinking it would lose that writer's entry.  Recent
+                # ones therefore count toward the bound but are never
+                # eviction candidates; only stale orphans (a writer
+                # that died mid-store) are reaped.
+                if (
+                    name.endswith(".tmp")
+                    and now - info.st_mtime < TMP_REAP_AGE_SECONDS
+                ):
+                    continue
+                entries.append((info.st_mtime, info.st_size, path))
         if total <= self.max_bytes:
             return 0
         removed = 0
@@ -641,6 +752,15 @@ class ArtifactCache:
                 artifact.from_cache = True
                 return artifact
             key_lock = self._key_locks.setdefault(key, threading.Lock())
+        try:
+            faults.inject("cache.lock", self.stats)
+        except faults.InjectedFault:
+            # Single-flight dedup lost for this request: degrade to a
+            # private lock (no contention, no sharing).  At worst the
+            # same artifact is computed twice — identical content, so
+            # correctness is untouched; last publisher wins in memory.
+            self.stats.bump("degrade.cache_lock")
+            key_lock = threading.Lock()
         lock_started = time.perf_counter()
         with key_lock:
             self.stats.add_seconds(

@@ -1,0 +1,358 @@
+"""``repro chaos`` — prove the fault tolerance, don't just claim it.
+
+The harness closes the loop the fault-injection substrate
+(:mod:`repro.driver.faults`) opens: for each seeded :class:`FaultPlan`
+it runs the catalog designs through a fresh session — simulate for
+every group, plus the SMT typecheck for the solver group — into a
+fresh throwaway disk cache, and holds the run to three obligations:
+
+1. **Bit-identical** — every design's trace (and typecheck report)
+   digest equals the fault-free baseline's.  The degradation ladders
+   (disk→memory, process→thread→serial, vector→compiled→interp,
+   incremental→one-shot solver, -O3→-O2) are allowed to cost time,
+   never bits.
+2. **Accounted** — every fault the plan fired shows up as a
+   ``fault.injected.<site>`` counter on the session's stats, so no
+   injection was silently swallowed (or silently skipped).
+3. **Contained** — no exception escapes the run.  Injected failures
+   must be absorbed by a retry or a degradation, not surface.
+
+Fault plans are grouped by the subsystem they attack, one run per
+(group, seed)::
+
+    disk    disk.read, disk.write, disk.replace, pickle.load, cache.lock
+    worker  worker.spawn, worker.crash
+    solver  solver.budget
+
+Seeds choose *which* invocation of each site fails
+(:meth:`FaultPlan.seeded` — skip offsets derived from
+``sha256(seed:site)``), so a seed sweep walks the failure through cold
+reads, warm reads, first writes, mid-grid points… while staying exactly
+reproducible: the same seed always breaks the same calls.
+
+Every run gets its own ``mkdtemp`` cache directory — determinism of the
+call indices requires starting cold — and uninstalls its plan on the
+way out, so chaos runs compose with whatever the process does next.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import shutil
+import tempfile
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from . import faults
+
+#: group name → the fault sites a group's plans schedule.  Groups
+#: partition FAULT_SITES: every site is chaos-tested by exactly one
+#: group (asserted by the test suite).
+SITE_GROUPS = {
+    "disk": (
+        "disk.read", "disk.write", "disk.replace", "pickle.load",
+        "cache.lock",
+    ),
+    "worker": ("worker.spawn", "worker.crash"),
+    "solver": ("solver.budget",),
+}
+
+
+def _digest(payload) -> str:
+    """Canonical digest of a run payload (sorted-key JSON → SHA-256)."""
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _chaos_point(session, point):
+    """Grid worker (module-level: process pools must pickle it).
+
+    ``point`` is ``(design, cycles, opt_level, check)``; returns
+    ``(design, payload)`` where payload holds the *bits the run is
+    judged on*: the simulate trace outputs and, when ``check`` is set,
+    the typecheck verdicts.  Deliberately excludes anything a healthy
+    degradation may change — wall clocks, the engine a trace landed on,
+    cache hit counts."""
+    from ..designs.catalog import design_point
+
+    design, cycles, opt_level, check = point
+    source, component, generators, params = design_point(design)
+    payload: Dict[str, object] = {}
+    if check:
+        reports = session.typecheck(source).value
+        payload["typecheck"] = [
+            {
+                "component": report.component,
+                "obligations": report.obligations,
+                "errors": [error.render() for error in report.errors],
+            }
+            for report in reports
+        ]
+    trace = session.simulate(
+        source, component, params, generators,
+        cycles=cycles, opt_level=opt_level,
+    ).value
+    payload["trace"] = trace.outputs
+    return design, payload
+
+
+class ChaosRun:
+    """Outcome of one plan (or the baseline) over the design grid.
+
+    ``digests`` maps each design to its payload-part digests
+    (``{"trace": ..., "typecheck": ...}``).  ``identical`` compares
+    every digest the run produced against the baseline (the baseline
+    always carries the typecheck part, so solver-group runs have
+    something to match).  ``accounted`` holds iff, for every site, the
+    plan's own fire count equals the session's
+    ``fault.injected.<site>`` counter — in process-executor runs both
+    views are parent-side by construction (worker processes rebuild
+    the plan with their own counters), so the equality stays exact.
+    """
+
+    def __init__(
+        self,
+        label: str,
+        plan_spec: Optional[str],
+        seed: Optional[int],
+        digests: Dict[str, Dict[str, str]],
+        fired: Dict[str, int],
+        injected: Dict[str, int],
+        degrades: Dict[str, int],
+        retries: Dict[str, int],
+        error: Optional[str] = None,
+    ):
+        self.label = label
+        self.plan_spec = plan_spec
+        self.seed = seed
+        self.digests = digests
+        self.fired = dict(fired)
+        self.injected = dict(injected)
+        self.degrades = dict(degrades)
+        self.retries = dict(retries)
+        self.error = error
+        self.identical: Optional[bool] = None  # set against the baseline
+
+    @property
+    def accounted(self) -> bool:
+        return self.fired == self.injected
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.error is None
+            and self.accounted
+            and (self.identical is not False)
+        )
+
+    def judge(self, baseline: "ChaosRun") -> None:
+        """Set :attr:`identical` by comparing every digest this run
+        produced against the baseline's."""
+        self.identical = bool(self.digests) and all(
+            baseline.digests.get(design, {}).get(part) == digest
+            for design, parts in self.digests.items()
+            for part, digest in parts.items()
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "label": self.label,
+            "plan": self.plan_spec,
+            "seed": self.seed,
+            "identical": self.identical,
+            "accounted": self.accounted,
+            "error": self.error,
+            "fired": dict(self.fired),
+            "injected": dict(self.injected),
+            "retries": dict(self.retries),
+            "degrades": dict(self.degrades),
+            "digests": {k: dict(v) for k, v in self.digests.items()},
+        }
+
+
+class ChaosReport:
+    """The whole sweep: one baseline plus one run per (group, seed)."""
+
+    def __init__(self, baseline: ChaosRun, runs: List[ChaosRun]):
+        self.baseline = baseline
+        self.runs = runs
+
+    @property
+    def ok(self) -> bool:
+        return self.baseline.error is None and all(r.ok for r in self.runs)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "ok": self.ok,
+            "baseline": self.baseline.to_dict(),
+            "runs": [run.to_dict() for run in self.runs],
+        }
+
+    def render(self) -> str:
+        lines = ["chaos sweep (every run judged against a fault-free "
+                 "baseline):"]
+        for run in self.runs:
+            fired = sum(run.fired.values())
+            status = "ok" if run.ok else "FAILED"
+            details = []
+            if run.error is not None:
+                details.append(f"escaped: {run.error}")
+            if run.identical is False:
+                details.append("outputs diverged")
+            if not run.accounted:
+                details.append(
+                    f"unaccounted faults (plan {run.fired} != "
+                    f"stats {run.injected})"
+                )
+            recovered = sum(run.retries.values()) + sum(
+                run.degrades.values()
+            )
+            lines.append(
+                f"  {run.label:18s} {fired:2d} injected  "
+                f"{recovered:2d} recoveries  {status}"
+                + (f"  [{'; '.join(details)}]" if details else "")
+            )
+        verdict = (
+            "all runs bit-identical, all faults accounted"
+            if self.ok
+            else "CHAOS FAILURES — see runs above"
+        )
+        lines.append(f"  => {verdict}")
+        return "\n".join(lines)
+
+
+def _fault_slices(stats) -> Tuple[Dict[str, int], ...]:
+    counters = stats.snapshot()["counters"]
+
+    def _slice(prefix: str) -> Dict[str, int]:
+        return {
+            name[len(prefix):]: count
+            for name, count in counters.items()
+            if name.startswith(prefix)
+        }
+
+    return (
+        _slice("fault.injected."),
+        _slice("degrade."),
+        _slice("retry."),
+    )
+
+
+def _run_once(
+    label: str,
+    plan: Optional["faults.FaultPlan"],
+    designs: Sequence[str],
+    cycles: int,
+    opt_level: int,
+    check: bool,
+    sim_backend: str,
+    workers: Optional[int],
+    executor: str,
+) -> ChaosRun:
+    """One sweep over the designs in a fresh session + fresh cold cache."""
+    from .. import smt
+    from ..lilac.typecheck.check import clear_obligation_memo
+    from .grid import EvalGrid
+    from .session import CompileSession
+
+    # Deterministic call indices need every run to start *cold*: the
+    # process-global solver memos (obligation verdicts, theory lemmas)
+    # would otherwise answer queries the plan scheduled to fail, so the
+    # same sweep would inject different faults depending on what ran in
+    # the process before it.
+    clear_obligation_memo()
+    smt.clear_solver_caches()
+    cache_dir = tempfile.mkdtemp(prefix="repro-chaos-")
+    digests: Dict[str, Dict[str, str]] = {}
+    error: Optional[str] = None
+    injected: Dict[str, int] = {}
+    degrades: Dict[str, int] = {}
+    retries: Dict[str, int] = {}
+    try:
+        session = CompileSession(
+            opt_level=opt_level,
+            sim_backend=sim_backend,
+            cache_dir=cache_dir,
+            # The baseline gets an explicit *empty* plan, not None — a
+            # None plan would fall back to $REPRO_FAULTS and a stray
+            # environment would poison the reference run.
+            fault_plan=plan if plan is not None else faults.FaultPlan(),
+        )
+        try:
+            grid = EvalGrid(session, max_workers=workers, executor=executor)
+            points = [(name, cycles, opt_level, check) for name in designs]
+            for design, payload in grid.map(_chaos_point, points):
+                digests[design] = {
+                    part: _digest(value) for part, value in payload.items()
+                }
+        except BaseException as escaped:  # containment IS the test
+            error = f"{type(escaped).__name__}: {escaped}"
+        injected, degrades, retries = _fault_slices(session.stats)
+    finally:
+        faults.uninstall()
+        shutil.rmtree(cache_dir, ignore_errors=True)
+    return ChaosRun(
+        label,
+        plan.spec_string() if plan is not None else None,
+        plan.seed if plan is not None else None,
+        digests,
+        dict(plan.fired) if plan is not None else {},
+        injected,
+        degrades,
+        retries,
+        error=error,
+    )
+
+
+def run_chaos(
+    designs: Optional[Sequence[str]] = None,
+    seeds: Iterable[int] = (0,),
+    groups: Sequence[str] = ("disk", "worker", "solver"),
+    cycles: int = 64,
+    opt_level: int = 2,
+    count: int = 2,
+    sim_backend: str = "interp",
+    workers: Optional[int] = None,
+    executor: str = "thread",
+) -> ChaosReport:
+    """The full sweep: a fault-free baseline, then one faulted run per
+    (group, seed), every run judged for bit-identity, accounting and
+    containment.
+
+    ``count`` is how many invocations of each site fail per plan;
+    ``seeds`` shift which invocations those are.  The baseline always
+    runs the typecheck part so solver-group runs have a reference.
+    """
+    from ..designs.catalog import DESIGNS
+
+    designs = list(designs) if designs else sorted(DESIGNS)
+    unknown = [group for group in groups if group not in SITE_GROUPS]
+    if unknown:
+        raise ValueError(
+            f"unknown chaos groups {unknown}; available: "
+            f"{sorted(SITE_GROUPS)}"
+        )
+    baseline = _run_once(
+        "baseline", None, designs, cycles, opt_level, True,
+        sim_backend, workers, executor,
+    )
+    runs: List[ChaosRun] = []
+    for seed in seeds:
+        for group in groups:
+            plan = faults.FaultPlan.seeded(
+                seed, sites=SITE_GROUPS[group], count=count
+            )
+            run = _run_once(
+                f"{group}@seed={seed}",
+                plan,
+                designs,
+                cycles,
+                opt_level,
+                group == "solver",
+                sim_backend,
+                workers,
+                executor,
+            )
+            run.judge(baseline)
+            runs.append(run)
+    return ChaosReport(baseline, runs)

@@ -12,6 +12,10 @@ Subcommands:
 * ``profile`` — simulate catalog designs over the evaluation grid under
   the whole-run wall-time profiler, printing a flame-style attribution
   of compute vs waiting (pool queue, disk I/O, cache-lock contention).
+* ``chaos``  — the fault-injection sweep: catalog designs under seeded
+  fault plans (disk, worker, solver groups), each run asserted
+  bit-identical to a fault-free baseline with every injected fault
+  accounted and no exception escaping.
 * ``all``    — every table, figure and the ablation on one shared
   session, with cache statistics showing the artifacts reused across
   them.
@@ -50,6 +54,7 @@ from ..lilac.ast import LilacError
 from ..rtl import backend_choices
 from ..rtl.passes import OPT_LEVELS
 from .cache import DiskCache
+from .chaos import SITE_GROUPS
 from .grid import EXECUTORS
 from .session import CompileSession
 from .artifact import CompileResult
@@ -294,6 +299,27 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    from .chaos import run_chaos
+
+    report = run_chaos(
+        designs=args.designs,
+        seeds=args.seeds,
+        groups=args.groups,
+        cycles=args.cycles,
+        opt_level=args.opt_level,
+        count=args.count,
+        sim_backend=args.sim_backend,
+        workers=args.workers,
+        executor=args.executor,
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), sort_keys=True))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
 def _cmd_all(args) -> int:
     from .. import evalx
 
@@ -401,6 +427,63 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the attribution report as one JSON line",
     )
     profile.set_defaults(fn=_cmd_profile)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="fault-injection sweep: run the catalog designs under "
+             "seeded fault plans (disk, worker, solver groups) into "
+             "fresh throwaway caches and assert every run is "
+             "bit-identical to a fault-free baseline, every injected "
+             "fault accounted, no exception escaping",
+    )
+    chaos.add_argument(
+        "--designs", nargs="*", choices=sorted(PRESETS), default=None,
+        metavar="NAME",
+        help="catalog designs to sweep (default: all)",
+    )
+    chaos.add_argument(
+        "--seeds", nargs="*", type=int, default=[0], metavar="N",
+        help="fault-plan seeds; each seed shifts which invocation of "
+             "each site fails (default: 0)",
+    )
+    chaos.add_argument(
+        "--groups", nargs="*", choices=sorted(SITE_GROUPS),
+        default=["disk", "worker", "solver"], metavar="GROUP",
+        help="fault-site groups to sweep, one plan per (group, seed) "
+             "(default: all three)",
+    )
+    chaos.add_argument(
+        "--cycles", type=_positive_int, default=64,
+        help="cycles to simulate per design (default: 64)",
+    )
+    chaos.add_argument(
+        "--count", type=_positive_int, default=2,
+        help="failures injected per fault site per plan (default: 2)",
+    )
+    chaos.add_argument(
+        "--workers", type=int, default=None,
+        help="evaluation-grid workers per run (default: cpu count)",
+    )
+    chaos.add_argument(
+        "--executor", choices=EXECUTORS, default="thread",
+        help="evaluation-grid pool for each run; 'process' exercises "
+             "real worker-process deaths and the process->thread->"
+             "serial degradation ladder (default: thread)",
+    )
+    chaos.add_argument(
+        "-O", dest="opt_level", type=int, choices=OPT_LEVELS, default=2,
+        metavar="LEVEL",
+        help="netlist optimization level for the sweep (default: 2)",
+    )
+    chaos.add_argument(
+        "--sim-backend", choices=backend_choices(), default="interp",
+        help="simulation engine for the sweep (default: interp)",
+    )
+    chaos.add_argument(
+        "--json", action="store_true",
+        help="emit the chaos report as one JSON line",
+    )
+    chaos.set_defaults(fn=_cmd_chaos)
 
     all_ = sub.add_parser(
         "all",

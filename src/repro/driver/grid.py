@@ -28,6 +28,20 @@ Two executors:
 ``"auto"`` picks ``"process"`` for multi-point sweeps when the session
 has a disk cache to rendezvous through and the worker function pickles,
 else falls back to ``"thread"``.
+
+Fault tolerance (the degradation ladder *process → thread → serial*):
+a worker-process crash (:class:`BrokenProcessPool` — real, or injected
+via the ``worker.crash`` fault site, which in process mode kills the
+worker with ``os._exit``) or a failed pool spawn (``worker.spawn``)
+no longer cancels the run.  The grid re-runs the sweep one rung down
+the ladder — every rung produces bit-identical results, the in-memory
+and disk caches make re-visiting completed points cheap — warning once
+and bumping ``degrade.executor``.  Within a rung, *transient* per-point
+failures (an injected crash in thread/serial mode, a ``point_timeout``
+expiry) are retried with exponential backoff up to ``point_retries``
+times (``retry.worker`` counter).  Genuine worker exceptions keep their
+PR 4 semantics: first failure in point order propagates, outstanding
+points are cancelled.
 """
 
 from __future__ import annotations
@@ -35,9 +49,13 @@ from __future__ import annotations
 import os
 import pickle
 import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
+from . import faults
 from .session import CompileSession, default_session
 
 Point = TypeVar("Point")
@@ -45,9 +63,27 @@ Result = TypeVar("Result")
 
 EXECUTORS = ("thread", "process", "auto")
 
+#: Per-point transient failures, retried in place (never escalated to
+#: a different executor): an injected worker crash surfacing as an
+#: exception, or a ``point_timeout`` expiry.
+_TRANSIENT = (faults.InjectedCrash, FuturesTimeout, TimeoutError)
+
 #: spec-key → session, one per worker *process* (module globals are
 #: per-process, so this is the workers' session memo, not the parent's).
 _WORKER_SESSIONS: Dict[Tuple, CompileSession] = {}
+
+
+class _ExecutorFailure(Exception):
+    """The *pool itself* failed (spawn refused, worker process died).
+
+    Internal signal that separates "this executor rung is broken —
+    degrade down the ladder" from "a worker function raised — cancel
+    and propagate", which must keep reaching the caller unchanged.
+    """
+
+    def __init__(self, message: str, cause: BaseException):
+        super().__init__(message)
+        self.cause = cause
 
 
 def _worker_session(spec: Dict[str, object]) -> CompileSession:
@@ -59,7 +95,8 @@ def _worker_session(spec: Dict[str, object]) -> CompileSession:
     return session
 
 
-def _process_point(spec: Dict[str, object], fn, point, submitted=None):
+def _process_point(spec: Dict[str, object], fn, point, submitted=None,
+                   crash: bool = False):
     """Executed inside a pool worker: rebuild the session, run the point.
 
     Returns ``(queue_wait_seconds, result)``: how long the point sat in
@@ -68,7 +105,14 @@ def _process_point(spec: Dict[str, object], fn, point, submitted=None):
     clamped at zero against clock skew), and the worker function's
     value.  The parent unwraps the pair and accounts the wait under
     ``wait.pool_queue`` on its own session stats.
+
+    ``crash`` is the parent-side ``worker.crash`` injection decision:
+    the worker dies for real (``os._exit``), so the parent observes a
+    genuine :class:`BrokenProcessPool` — the exact failure the
+    degradation ladder exists for.
     """
+    if crash:
+        os._exit(13)
     wait = 0.0 if submitted is None else max(0.0, time.time() - submitted)
     return wait, fn(_worker_session(spec), point)
 
@@ -82,13 +126,23 @@ def _picklable(fn) -> bool:
 
 
 class EvalGrid:
-    """Maps a worker function over grid points, preserving point order."""
+    """Maps a worker function over grid points, preserving point order.
+
+    ``point_timeout`` bounds each point's wall clock (None — the
+    default — disables the bound; expiries count as transient failures
+    and are retried).  ``point_retries`` is how many times a transient
+    per-point failure is retried before it propagates;
+    ``retry_backoff`` seeds the exponential backoff between attempts.
+    """
 
     def __init__(
         self,
         session: Optional[CompileSession] = None,
         max_workers: Optional[int] = None,
         executor: str = "thread",
+        point_timeout: Optional[float] = None,
+        point_retries: int = 2,
+        retry_backoff: float = 0.05,
     ):
         if executor not in EXECUTORS:
             raise ValueError(
@@ -97,6 +151,9 @@ class EvalGrid:
         self.session = session if session is not None else default_session()
         self.max_workers = max_workers
         self.executor = executor
+        self.point_timeout = point_timeout
+        self.point_retries = int(point_retries)
+        self.retry_backoff = float(retry_backoff)
 
     def _worker_count(self, points: int) -> int:
         if self.max_workers is not None:
@@ -127,49 +184,149 @@ class EvalGrid:
         Results come back in point order.  The first exception raised
         by a worker (in point order) propagates to the caller; pending
         points that have not started yet are cancelled rather than run
-        to completion first.
+        to completion first.  Executor-level failures (a crashed worker
+        process, a refused spawn) degrade the pool down the
+        process → thread → serial ladder and re-run the sweep instead
+        of propagating.
         """
         points = list(points)
         workers = self._worker_count(len(points))
         if workers <= 1 or len(points) <= 1:
-            return [fn(self.session, point) for point in points]
+            return self._map_serial(fn, points)
         mode = self._resolve_executor(fn, len(points), workers)
+        ladder = (
+            ("process", "thread", "serial")
+            if mode == "process"
+            else ("thread", "serial")
+        )
+        failure: Optional[_ExecutorFailure] = None
+        for step, rung in enumerate(ladder):
+            if step:
+                self.session.stats.bump("degrade.executor")
+                warnings.warn(
+                    f"evaluation grid degraded {ladder[step - 1]} -> "
+                    f"{rung} executor after: {failure.cause!r}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            try:
+                if rung == "serial":
+                    return self._map_serial(fn, points)
+                return self._map_pool(rung, fn, points, workers)
+            except _ExecutorFailure as error:
+                failure = error
+        raise failure.cause  # unreachable: serial never raises this
+
+    # -- the three executor rungs ---------------------------------------
+
+    def _map_serial(
+        self, fn, points: Sequence[Point]
+    ) -> List[Result]:
+        stats = self.session.stats
+        results: List[Result] = []
+        for point in points:
+            attempts = 0
+            while True:
+                try:
+                    if faults.should_fire("worker.crash", stats):
+                        raise faults.InjectedCrash(
+                            "injected fault at worker.crash"
+                        )
+                    results.append(fn(self.session, point))
+                    break
+                except _TRANSIENT:
+                    attempts += 1
+                    if attempts > self.point_retries:
+                        raise
+                    stats.bump("retry.worker")
+                    time.sleep(self.retry_backoff * (2 ** (attempts - 1)))
+        return results
+
+    def _map_pool(
+        self, mode: str, fn, points: Sequence[Point], workers: int
+    ) -> List[Result]:
         stats = self.session.stats
         if mode == "process":
+            try:
+                faults.inject("worker.spawn", stats)
+                pool = ProcessPoolExecutor(max_workers=workers)
+            except OSError as error:
+                raise _ExecutorFailure("process pool unavailable", error)
             spec = self.session.spec()
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = [
-                    pool.submit(
-                        _process_point, spec, fn, point, time.time()
-                    )
-                    for point in points
-                ]
-                pairs = self._gather(futures)
-            for wait, _ in pairs:
+
+            def submit(point):
+                crash = faults.should_fire("worker.crash", stats)
+                return pool.submit(
+                    _process_point, spec, fn, point, time.time(), crash
+                )
+
+            def resolve(future):
+                wait, result = future.result(self.point_timeout)
                 stats.add_seconds("wait.pool_queue", wait)
-            return [result for _, result in pairs]
+                return result
 
-        def run_point(point, submitted):
-            stats.add_seconds(
-                "wait.pool_queue", max(0.0, time.time() - submitted)
-            )
-            return fn(self.session, point)
+        else:
+            pool = ThreadPoolExecutor(max_workers=workers)
 
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            futures = [
-                pool.submit(run_point, point, time.time())
-                for point in points
-            ]
-            return self._gather(futures)
+            def run_point(point, submitted, crash):
+                stats.add_seconds(
+                    "wait.pool_queue", max(0.0, time.time() - submitted)
+                )
+                if crash:
+                    raise faults.InjectedCrash(
+                        "injected fault at worker.crash"
+                    )
+                return fn(self.session, point)
+
+            def submit(point):
+                crash = faults.should_fire("worker.crash", stats)
+                return pool.submit(run_point, point, time.time(), crash)
+
+            def resolve(future):
+                return future.result(self.point_timeout)
+
+        with pool:
+            futures = [submit(point) for point in points]
+            results: List[Optional[Result]] = [None] * len(points)
+            for index, point in enumerate(points):
+                attempts = 0
+                while True:
+                    try:
+                        results[index] = resolve(futures[index])
+                        break
+                    except BrokenProcessPool as error:
+                        self._cancel(futures)
+                        raise _ExecutorFailure(
+                            "worker process crashed", error
+                        )
+                    except _TRANSIENT as error:
+                        attempts += 1
+                        if attempts > self.point_retries:
+                            self._cancel(futures)
+                            raise
+                        stats.bump("retry.worker")
+                        time.sleep(
+                            self.retry_backoff * (2 ** (attempts - 1))
+                        )
+                        try:
+                            futures[index] = submit(point)
+                        except (BrokenProcessPool, RuntimeError) as broken:
+                            # The pool died between the failure and the
+                            # resubmit: escalate down the ladder.
+                            self._cancel(futures)
+                            raise _ExecutorFailure(
+                                "pool lost during retry", broken
+                            )
+                    except BaseException:
+                        # Genuine worker failure: prune the queue before
+                        # the pool shutdown joins running workers —
+                        # already-running futures finish, never-started
+                        # ones are dropped.
+                        self._cancel(futures)
+                        raise
+            return results
 
     @staticmethod
-    def _gather(futures) -> List[Result]:
-        try:
-            return [future.result() for future in futures]
-        except BaseException:
-            # Prune the queue before the pool shutdown joins running
-            # workers: already-running futures finish, never-started
-            # ones are dropped.
-            for future in futures:
-                future.cancel()
-            raise
+    def _cancel(futures) -> None:
+        for future in futures:
+            future.cancel()

@@ -32,6 +32,10 @@ from typing import Dict, Optional
 _COMPUTE_PREFIX = "compute."
 _WAIT_PREFIX = "wait."
 
+#: counter-name prefixes the robustness section splits on: injected
+#: faults and the retries/degradations that absorbed them.
+_FAULT_PREFIXES = ("fault.injected.", "retry.", "degrade.")
+
 
 class RunReport:
     """Attribution of one profiled run's wall clock.
@@ -40,6 +44,10 @@ class RunReport:
     hits cost nothing, so a warm run's compute collapses toward zero);
     ``waits`` maps wait sites (``disk_read``, ``disk_write``,
     ``cache_lock``, ``pool_queue``) to seconds spent there.
+
+    ``faults`` maps the robustness counters (``fault.injected.<site>``,
+    ``retry.<site>``, ``degrade.<path>``) that ticked during the run —
+    empty in a fault-free, fully healthy run.
     """
 
     def __init__(
@@ -47,10 +55,12 @@ class RunReport:
         wall_seconds: float,
         compute: Dict[str, float],
         waits: Dict[str, float],
+        faults: Optional[Dict[str, int]] = None,
     ):
         self.wall_seconds = wall_seconds
         self.compute = dict(compute)
         self.waits = dict(waits)
+        self.faults = dict(faults or {})
 
     @property
     def compute_seconds(self) -> float:
@@ -72,6 +82,7 @@ class RunReport:
             "unattributed_seconds": self.unattributed_seconds,
             "compute": dict(self.compute),
             "waits": dict(self.waits),
+            "faults": dict(self.faults),
         }
 
     def _bar(self, seconds: float, width: int = 28) -> str:
@@ -115,6 +126,10 @@ class RunReport:
             f"{self._share(self.unattributed_seconds)}  "
             "(stimulus, imports, rendering)"
         )
+        if self.faults:
+            lines.append("  faults    (injected / recovered)")
+            for name, count in sorted(self.faults.items()):
+                lines.append(f"    {name:28s} {count:4d}")
         return "\n".join(lines)
 
 
@@ -133,11 +148,14 @@ class RunProfiler:
     def __init__(self, session):
         self.session = session
         self._baseline: Dict[str, float] = {}
+        self._counter_baseline: Dict[str, int] = {}
         self._started = 0.0
         self._wall: Optional[float] = None
 
     def __enter__(self) -> "RunProfiler":
-        self._baseline = dict(self.session.stats.snapshot()["timers"])
+        snapshot = self.session.stats.snapshot()
+        self._baseline = dict(snapshot["timers"])
+        self._counter_baseline = dict(snapshot["counters"])
         self._wall = None
         self._started = time.perf_counter()
         return self
@@ -153,10 +171,10 @@ class RunProfiler:
             if self._wall is not None
             else time.perf_counter() - self._started
         )
-        timers = self.session.stats.snapshot()["timers"]
+        snapshot = self.session.stats.snapshot()
         compute: Dict[str, float] = {}
         waits: Dict[str, float] = {}
-        for name, seconds in timers.items():
+        for name, seconds in snapshot["timers"].items():
             delta = seconds - self._baseline.get(name, 0.0)
             if delta <= 0.0:
                 continue
@@ -164,7 +182,14 @@ class RunProfiler:
                 compute[name[len(_COMPUTE_PREFIX):]] = delta
             elif name.startswith(_WAIT_PREFIX):
                 waits[name[len(_WAIT_PREFIX):]] = delta
-        return RunReport(wall, compute, waits)
+        faults: Dict[str, int] = {}
+        for name, count in snapshot["counters"].items():
+            if not name.startswith(_FAULT_PREFIXES):
+                continue
+            delta = count - self._counter_baseline.get(name, 0)
+            if delta > 0:
+                faults[name] = delta
+        return RunReport(wall, compute, waits, faults)
 
 
 def simulate_catalog_point(session, point):

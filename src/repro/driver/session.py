@@ -44,6 +44,7 @@ from __future__ import annotations
 
 import threading
 import time
+import warnings
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..generators.base import Generator, GeneratorRegistry
@@ -52,6 +53,8 @@ from ..lilac.stdlib import stdlib_program
 from ..lilac.parser import parse_program
 from ..lilac.typecheck import check_component, check_program
 from ..rtl import (
+    BACKEND_FALLBACKS,
+    SimBackendUnavailable,
     SimProfile,
     backend_fingerprint,
     collect_profile,
@@ -70,6 +73,7 @@ from ..rtl.passes import (
     pipeline_for_level,
 )
 from ..synth import synthesize
+from . import faults
 from .artifact import (
     CompileResult,
     Diagnostic,
@@ -135,6 +139,7 @@ class CompileSession:
         typecheck_jobs: Optional[int] = None,
         typecheck_executor: str = "thread",
         profile_auto: bool = True,
+        fault_plan: Union["faults.FaultPlan", str, None] = None,
     ):
         self.profile_auto = bool(profile_auto)
         self.verify = verify
@@ -161,6 +166,20 @@ class CompileSession:
             )
         self.typecheck_executor = typecheck_executor
         self.stats = CacheStats()
+        # Fault injection: an explicit plan (object or spec string)
+        # wins; otherwise $REPRO_FAULTS is honored, so chaos runs and
+        # CI smokes can knock out any entry point without plumbing.
+        # The plan is installed process-globally — injection sites live
+        # in layers (the SAT solver, the disk cache internals) that
+        # never see a session — with fires accounted on this session's
+        # stats as ``fault.injected.<site>``.
+        if isinstance(fault_plan, str):
+            fault_plan = faults.FaultPlan.parse(fault_plan)
+        if fault_plan is None:
+            fault_plan = faults.FaultPlan.from_env()
+        self.fault_plan = fault_plan
+        if fault_plan is not None:
+            faults.install(fault_plan.bind(self.stats))
         disk = DiskCache(cache_dir, self.stats) if cache_dir else None
         self.cache_dir = disk.root if disk is not None else None
         self.cache = ArtifactCache(self.stats, disk=disk)
@@ -229,6 +248,13 @@ class CompileSession:
             "typecheck_jobs": None,
             "typecheck_executor": self.typecheck_executor,
             "profile_auto": self.profile_auto,
+            # Workers rebuild the plan from its grammar spelling with
+            # fresh counters — each process schedules its own failures.
+            "fault_plan": (
+                self.fault_plan.spec_string()
+                if self.fault_plan is not None
+                else None
+            ),
         }
 
     @classmethod
@@ -506,15 +532,28 @@ class CompileSession:
                 profile = SimProfile.from_payload(payload)
         if profile is None and self.profile_auto:
             start = time.perf_counter()
-            profile = collect_profile(
-                module, codegen_store=self._codegen_store
-            )
+            try:
+                profile = collect_profile(
+                    module, codegen_store=self._codegen_store
+                )
+            except Exception as error:
+                # -O3 without a profile *is* -O2 (pgo_plan stays None),
+                # so a failed profiling run degrades, never fails.
+                self.stats.bump("degrade.pgo")
+                warnings.warn(
+                    f"activity profiling failed ({error!r}); "
+                    "-O3 degrading to -O2 semantics",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                profile = None
+            else:
+                self.stats.bump("profile.collected")
+                if self._profile_store is not None:
+                    self._profile_store.save(profile.to_payload())
             self.stats.add_seconds(
                 "profile.collect", time.perf_counter() - start
             )
-            self.stats.bump("profile.collected")
-            if self._profile_store is not None:
-                self._profile_store.save(profile.to_payload())
         with self._mutex:
             self._profiles[structural] = profile
         return profile
@@ -659,12 +698,34 @@ class CompileSession:
                     "tuner.resolve", time.perf_counter() - tune_start
                 )
                 self.stats.bump(f"tuner.chose.{resolved}")
-            simulator = make_simulator(
-                optimized.module, resolved,
-                lanes=n_lanes,
-                codegen_store=self._codegen_store,
-                plan=getattr(optimized, "pgo_plan", None),
-            )
+            # Degradation ladder vector -> compiled -> interp: a
+            # backend that cannot run here (missing numpy, a faulted
+            # codegen path) falls to the next rung instead of failing
+            # the stage.  Every rung is bit-identical by the
+            # differential contract, so the trace — and the cache key,
+            # which carries the *requested* engine — is unchanged; only
+            # SimTrace.backend records where the run actually landed.
+            while True:
+                try:
+                    simulator = make_simulator(
+                        optimized.module, resolved,
+                        lanes=n_lanes,
+                        codegen_store=self._codegen_store,
+                        plan=getattr(optimized, "pgo_plan", None),
+                    )
+                    break
+                except SimBackendUnavailable as error:
+                    fallback = BACKEND_FALLBACKS.get(resolved)
+                    if fallback is None:
+                        raise
+                    self.stats.bump("degrade.sim_backend")
+                    warnings.warn(
+                        f"sim backend {resolved!r} unavailable "
+                        f"({error}); degrading to {fallback!r}",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                    resolved = fallback
             if n_lanes == 1:
                 stimulus = random_stimulus(optimized.module, cycles, seed)
                 run_start = time.perf_counter()
@@ -928,6 +989,37 @@ class CompileSession:
             "disk_stores": counters.get("profile.store", 0),
         }
 
+    def fault_stats(self) -> Dict[str, object]:
+        """The robustness picture: injected faults and how the stack
+        absorbed them.
+
+        ``injected`` maps each fault site to fires accounted on this
+        session, ``retries`` counts in-place recoveries, and
+        ``degrades`` counts rungs taken down the degradation ladders
+        (disk→memory, process→thread→serial, vector→compiled→interp,
+        incremental→one-shot solver, -O3→-O2).  All zero / empty in a
+        fault-free run.
+        """
+        counters = self.stats.snapshot()["counters"]
+
+        def _slice(prefix: str) -> Dict[str, int]:
+            return {
+                name[len(prefix):]: count
+                for name, count in sorted(counters.items())
+                if name.startswith(prefix)
+            }
+
+        return {
+            "plan": (
+                self.fault_plan.spec_string()
+                if self.fault_plan is not None
+                else None
+            ),
+            "injected": _slice("fault.injected."),
+            "retries": _slice("retry."),
+            "degrades": _slice("degrade."),
+        }
+
     def stats_dict(self) -> Dict[str, object]:
         """Machine-readable cache + pass statistics (``--stats json``)."""
         return {
@@ -940,6 +1032,7 @@ class CompileSession:
             "typecheck": self.typecheck_stats(),
             "tuner": self.tuner_stats(),
             "profile": self.profile_stats(),
+            "faults": self.fault_stats(),
         }
 
 

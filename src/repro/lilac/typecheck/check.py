@@ -30,6 +30,7 @@ from __future__ import annotations
 import itertools
 import os
 import time
+import warnings
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ... import smt
@@ -1164,6 +1165,60 @@ class ComponentChecker:
             status, smt.translate_model(canonical_model, canon.to_original)
         )
 
+    def _recovering_discharge(
+        self, obligation, assertions, solve, on_degrade=None
+    ) -> "smt.Result":
+        """:meth:`_cached_discharge` plus the solver degradation rung.
+
+        A :class:`~repro.smt.SolverError` (DPLL(T) conflict budget
+        exhausted — genuinely, or injected through the
+        ``solver.budget`` fault site) does not fail the obligation:
+        the discharge degrades to a fresh one-shot solve of the same
+        obligation (``degrade.solver`` counter) — for the incremental
+        engine that is the incremental→one-shot ladder rung, for the
+        one-shot engine a retry with a fresh budget.  Verdicts are
+        identical either way (the engines are differentially proven
+        equivalent), so degradation costs speed, never correctness.
+        Only when the fallback *also* exhausts does the error escape —
+        with the component name and canonical obligation digest
+        attached, naming the one reproducible query that broke.
+        """
+        # Lazy import: the driver package imports this module at
+        # import time, so a module-level import would be circular.
+        from ...driver import faults
+
+        def checked():
+            if faults.should_fire("solver.budget", self.stats):
+                raise smt.SolverError(
+                    "DPLL(T) conflict budget exhausted (injected)"
+                )
+            return solve()
+
+        try:
+            return self._cached_discharge(assertions, checked)
+        except smt.SolverError:
+            self._bump("degrade.solver")
+            warnings.warn(
+                f"solver budget exhausted checking {self.sig.name}; "
+                "degrading to a fresh one-shot solve",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            if on_degrade is not None:
+                on_degrade()
+            try:
+                return self._cached_discharge(
+                    assertions,
+                    lambda: self._solve_obligation(obligation),
+                )
+            except smt.SolverError as error:
+                digest = smt.canonical_query(
+                    assertions, tag=_engine_tag()
+                ).digest
+                raise error.with_context(
+                    component=self.sig.name, digest=digest
+                ) from error
+
     def _solve_obligation(self, obligation: Obligation) -> "smt.Result":
         """One-shot discharge of a single obligation (also the reference
         engine for differential tests)."""
@@ -1197,7 +1252,8 @@ class ComponentChecker:
     def _discharge_oneshot(self) -> None:
         for obligation in self.obligations:
             assertions, _ = self._obligation_assertions(obligation)
-            result = self._cached_discharge(
+            result = self._recovering_discharge(
+                obligation,
                 assertions,
                 lambda obligation=obligation: self._solve_obligation(
                     obligation
@@ -1250,15 +1306,24 @@ class ComponentChecker:
                 *extras, obligation.path, smt.Not(obligation.goal)
             )
 
+        def reset_engine():
+            # A budget exhaustion can leave the shared solver's
+            # assumption stack mid-query; later obligations rebuild a
+            # fresh incremental solver rather than trust it.
+            engine["solver"] = None
+            engine["asserted"] = 0
+
         results: Dict[int, object] = {}
         for index in order:
             obligation = self.obligations[index]
             assertions, upto = self._obligation_assertions(obligation)
-            results[index] = self._cached_discharge(
+            results[index] = self._recovering_discharge(
+                obligation,
                 assertions,
                 lambda obligation=obligation, upto=upto: solve_incremental(
                     obligation, upto
                 ),
+                on_degrade=reset_engine,
             )
         for index, obligation in enumerate(self.obligations):
             self._record_result(obligation, results[index])

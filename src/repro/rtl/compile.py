@@ -1758,6 +1758,19 @@ SIM_BACKEND_VERSIONS = {
 }
 
 
+#: The simulation-backend degradation ladder: when an engine cannot be
+#: instantiated (its runtime support is missing, or a fault-injection
+#: run knocked it out), the session falls back one rung at a time until
+#: it reaches the dependency-free interpreter.  Every rung is
+#: bit-identical by the differential contract, so degrading costs
+#: throughput, never correctness.
+BACKEND_FALLBACKS = {
+    "vector": "compiled",
+    "batched": "compiled",
+    "compiled": "interp",
+}
+
+
 def backend_fingerprint(name: str) -> str:
     """``name@version`` — the backend's contribution to cache keys.
 

@@ -148,7 +148,49 @@ def clear_solver_caches() -> None:
 
 
 class SolverError(Exception):
-    """Raised when the solver exceeds its iteration budget."""
+    """Raised when the solver exceeds its conflict budget.
+
+    When exhaustion escapes the typecheck recovery ladder (the one-shot
+    fallback re-exhausted too) the error carries *attribution*:
+    ``component`` names the Lilac component whose obligation broke the
+    budget and ``digest`` is the obligation's canonical digest — the
+    persistent cache key — so a budget failure deep in a long run names
+    one reproducible query instead of only a stack trace.  Both are
+    None on the raw error the DPLL(T) loop raises;
+    :meth:`with_context` attaches them at the layer that knows them.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        component: Optional[str] = None,
+        digest: Optional[str] = None,
+    ):
+        super().__init__(message)
+        self.component = component
+        self.digest = digest
+
+    def with_context(
+        self,
+        component: Optional[str] = None,
+        digest: Optional[str] = None,
+    ) -> "SolverError":
+        """A copy of this error with attribution folded into the
+        message (existing context wins — the innermost layer knows
+        best)."""
+        component = self.component or component
+        digest = self.digest or digest
+        base = str(self.args[0]) if self.args else "solver budget exhausted"
+        details = ", ".join(
+            part
+            for part in (
+                f"component={component}" if component else "",
+                f"obligation={digest}" if digest else "",
+            )
+            if part
+        )
+        message = f"{base} [{details}]" if details else base
+        return SolverError(message, component=component, digest=digest)
 
 
 class Result:

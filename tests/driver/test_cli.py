@@ -189,3 +189,35 @@ def test_stats_json_surfaces_tuner_and_profile_counters(capsys):
         name.startswith("compute.")
         for name in payload["cache"]["timers"]
     )
+
+
+def test_chaos_command_sweeps_and_reports(capsys):
+    assert main([
+        "chaos", "--designs", "fpu", "--cycles", "16", "--count", "1",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "chaos sweep" in out
+    assert "disk@seed=0" in out
+    assert "all runs bit-identical, all faults accounted" in out
+
+
+def test_chaos_json_report(capsys):
+    assert main([
+        "chaos", "--designs", "fpu", "--cycles", "16", "--count", "1",
+        "--groups", "disk", "--json",
+    ]) == 0
+    payload = json.loads(capsys.readouterr().out.splitlines()[-1])
+    assert payload["ok"] is True
+    assert [run["label"] for run in payload["runs"]] == ["disk@seed=0"]
+    run = payload["runs"][0]
+    assert run["identical"] is True
+    assert run["fired"] == run["injected"]
+
+
+def test_stats_json_carries_the_fault_section(capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_FAULTS", "disk.read")
+    assert main(["compile", "--design", "fpu", "--stats", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out.splitlines()[-1])
+    assert payload["faults"]["plan"] == "disk.read"
+    assert payload["faults"]["injected"] == {"disk.read": 1}
+    assert payload["faults"]["retries"] == {"disk.read": 1}

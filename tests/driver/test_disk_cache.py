@@ -227,3 +227,104 @@ def test_freeze_params_distinguishes_bool_from_int():
     )
     # Positional and keyword spellings remain distinct keys.
     assert freeze_params([1]) != freeze_params({"x": 1})
+
+
+# -- fault tolerance: retries, quarantine, memory-only degradation ------
+
+
+def test_transient_read_faults_are_retried_and_served(tmp_path):
+    _warm(tmp_path)
+    warm = CompileSession(cache_dir=str(tmp_path), fault_plan="disk.read:2")
+    artifact = warm.synthesize(SOURCE, "Double", {"#W": 8})
+    assert artifact.from_cache  # the retries healed the injected EIOs
+    assert warm.stats.counter("retry.disk.read") == 2
+    assert warm.stats.counter("fault.injected.disk.read") == 2
+    assert not warm.cache.disk.degraded
+
+
+def test_transient_write_faults_are_retried_and_persisted(tmp_path):
+    cold = CompileSession(
+        cache_dir=str(tmp_path), fault_plan="disk.write,disk.replace@2"
+    )
+    cold.synthesize(SOURCE, "Double", {"#W": 8})
+    assert cold.stats.counter("retry.disk.write") == 2
+    assert not cold.cache.disk.degraded
+
+    warm = CompileSession(cache_dir=str(tmp_path))
+    assert warm.synthesize(SOURCE, "Double", {"#W": 8}).from_cache
+
+
+def test_exhausted_read_retries_degrade_to_a_miss(tmp_path):
+    cold_session, cold = _warm(tmp_path)
+    # Enough scheduled failures to exhaust every retry of the first load.
+    warm = CompileSession(cache_dir=str(tmp_path), fault_plan="disk.read:3")
+    artifact = warm.synthesize(SOURCE, "Double", {"#W": 8})
+    assert artifact.value.luts == cold.value.luts  # recomputed, same bits
+    assert warm.stats.counter("disk.read_error") == 1
+    assert not warm.cache.disk.degraded  # transient errors never degrade
+
+
+def test_enospc_degrades_to_memory_only_once(tmp_path):
+    import pytest
+
+    with pytest.warns(RuntimeWarning, match="memory-only"):
+        session = CompileSession(
+            cache_dir=str(tmp_path), fault_plan="disk.write#enospc"
+        )
+        first = session.synthesize(SOURCE, "Double", {"#W": 8})
+    assert session.cache.disk.degraded
+    assert session.stats.counter("degrade.disk") == 1
+    # The session keeps working from memory; nothing further persists.
+    again = session.synthesize(SOURCE, "Double", {"#W": 8})
+    assert again.from_cache
+    assert first.value.luts == again.value.luts
+    assert session.cache.disk.entry_count() == 0
+    assert session.stats.counter("degrade.disk") == 1  # warned once
+
+
+def test_readonly_root_degrades_on_load_too(tmp_path):
+    _warm(tmp_path)
+    warm = CompileSession(
+        cache_dir=str(tmp_path), fault_plan="disk.read#erofs"
+    )
+    artifact = warm.synthesize(SOURCE, "Double", {"#W": 8})
+    assert not artifact.from_cache  # every later lookup is a miss
+    assert warm.cache.disk.degraded
+    assert warm.stats.counter("degrade.disk") == 1
+
+
+def test_injected_pickle_garbage_is_quarantined(tmp_path):
+    cold_session, cold = _warm(tmp_path)
+    entries_before = len(_entry_files(tmp_path))
+    warm = CompileSession(cache_dir=str(tmp_path), fault_plan="pickle.load")
+    artifact = warm.synthesize(SOURCE, "Double", {"#W": 8})
+    assert artifact.value.luts == cold.value.luts
+    assert warm.stats.counter("disk.corrupt") == 1
+    # Quarantine deleted the poisoned entry; the recompute re-stored it.
+    assert len(_entry_files(tmp_path)) == entries_before
+
+
+def test_trim_spares_young_tmp_files_of_live_writers(tmp_path):
+    import time as _time
+
+    cache = DiskCache(str(tmp_path))
+    for index in range(4):
+        key = ("parse", f"entry{index}")
+        assert cache.store(key, StageArtifact("parse", key, "x" * 512, 0.0))
+    stage_dir = os.path.join(
+        str(tmp_path), f"v{SCHEMA_VERSION}", "parse"
+    )
+    young = os.path.join(stage_dir, "live-writer.tmp")
+    stale = os.path.join(stage_dir, "orphan.tmp")
+    with open(young, "wb") as handle:
+        handle.write(b"z" * 512)
+    with open(stale, "wb") as handle:
+        handle.write(b"z" * 512)
+    os.utime(stale, (1_000_000, 1_000_000))  # ancient: a dead writer's
+    for age, path in enumerate(sorted(_entry_files(tmp_path))):
+        os.utime(path, (2_000_000 + age, 2_000_000 + age))
+
+    DiskCache(str(tmp_path), max_bytes=1)  # trim everything trimmable
+    assert os.path.exists(young)  # may be mid-mkstemp/os.replace: spared
+    assert not os.path.exists(stale)  # orphan: reaped
+    assert not _entry_files(tmp_path)

@@ -160,6 +160,80 @@ def test_auto_executor_falls_back_to_thread_for_closures(tmp_path):
     assert uncached._resolve_executor(_simulate_trace, 4, 4) == "thread"
 
 
+# -- fault tolerance: retries, timeouts, the degradation ladder ---------
+
+
+def test_injected_crash_is_retried_in_thread_mode():
+    session = CompileSession(fault_plan="worker.crash:2@1")
+    grid = EvalGrid(session, max_workers=2)
+    assert grid.map(lambda s, p: p * 10, [1, 2, 3, 4]) == [10, 20, 30, 40]
+    assert session.stats.counter("retry.worker") == 2
+    assert session.stats.counter("fault.injected.worker.crash") == 2
+    assert session.stats.counter("degrade.executor") == 0
+
+
+def test_injected_crash_is_retried_serially():
+    session = CompileSession(fault_plan="worker.crash")
+    grid = EvalGrid(session, max_workers=1)
+    assert grid.map(lambda s, p: p + 1, [1, 2]) == [2, 3]
+    assert session.stats.counter("retry.worker") == 1
+
+
+def test_crash_retries_exhaust_and_propagate():
+    from repro.driver.faults import InjectedCrash
+
+    session = CompileSession(fault_plan="worker.crash:9")
+    grid = EvalGrid(
+        session, max_workers=2, point_retries=2, retry_backoff=0.001
+    )
+    with pytest.raises(InjectedCrash):
+        grid.map(lambda s, p: p, [1, 2, 3])
+
+
+def test_point_timeout_retries_then_succeeds():
+    attempts = []
+
+    def slow_once(session, point):
+        attempts.append(point)
+        if len(attempts) == 1:
+            time.sleep(0.5)
+        return point
+
+    grid = EvalGrid(
+        CompileSession(), max_workers=2,
+        point_timeout=0.2, point_retries=2, retry_backoff=0.001,
+    )
+    assert grid.map(slow_once, [1, 2]) == [1, 2]
+
+
+def test_spawn_failure_degrades_process_to_thread(tmp_path):
+    session = CompileSession(
+        cache_dir=str(tmp_path), fault_plan="worker.spawn"
+    )
+    grid = EvalGrid(session, max_workers=2, executor="process")
+    with pytest.warns(RuntimeWarning, match="degraded process -> thread"):
+        assert grid.map(_double, [1, 2, 3]) == [2, 4, 6]
+    assert session.stats.counter("degrade.executor") == 1
+    assert session.stats.counter("fault.injected.worker.spawn") == 1
+
+
+def test_worker_process_death_degrades_to_thread(tmp_path):
+    """A real worker death (os._exit via the injected crash) surfaces
+    as BrokenProcessPool; the grid re-runs the sweep on threads with
+    identical results."""
+    session = CompileSession(
+        cache_dir=str(tmp_path), fault_plan="worker.crash"
+    )
+    grid = EvalGrid(session, max_workers=2, executor="process")
+    with pytest.warns(RuntimeWarning, match="degraded process -> thread"):
+        assert grid.map(_double, [1, 2, 3]) == [2, 4, 6]
+    assert session.stats.counter("degrade.executor") == 1
+
+
+def _double(session, point):
+    return point * 2
+
+
 def test_figure13_rows_match_across_worker_counts():
     """A real evalx grid: values identical no matter the pool size."""
     from repro.evalx import figure13

@@ -82,3 +82,32 @@ def test_grid_worker_reports_pool_queue_waits(tmp_path):
     # the site only appears in the report when time actually accrued,
     # but whatever is there must be non-negative.
     assert report.waits.get("pool_queue", 0.0) >= 0.0
+
+
+def test_profiler_reports_fault_recovery_counters(tmp_path):
+    """Injected faults and their recoveries show up in the run report
+    as counter deltas scoped to the profiled block."""
+    session = CompileSession(
+        cache_dir=str(tmp_path), fault_plan="disk.read"
+    )
+    with RunProfiler(session) as profiler:
+        session.simulate(SOURCE, "Double", {"#W": 8}, cycles=16)
+    report = profiler.report()
+    assert report.faults["fault.injected.disk.read"] == 1
+    assert report.faults["retry.disk.read"] == 1
+    assert report.to_dict()["faults"] == report.faults
+    text = report.render()
+    assert "faults" in text
+    assert "fault.injected.disk.read" in text
+
+
+def test_profiler_fault_section_is_baseline_relative(tmp_path):
+    session = CompileSession(
+        cache_dir=str(tmp_path), fault_plan="disk.read"
+    )
+    session.synthesize(SOURCE, "Double", {"#W": 8})
+    with RunProfiler(session) as profiler:
+        pass  # the injection happened before the profiled block
+    report = profiler.report()
+    assert not report.faults
+    assert "fault.injected" not in report.render()

@@ -272,3 +272,53 @@ def test_session_spec_round_trips():
     )
     clone = CompileSession.from_spec(session.spec())
     assert clone.spec() == session.spec()
+
+
+# ---------------------------------------------------------------------------
+# The simulation-backend degradation ladder.
+
+
+def test_unavailable_backend_degrades_down_the_ladder(monkeypatch):
+    """A backend that cannot run here (missing numpy, a broken codegen
+    path) falls vector -> compiled -> interp with an identical trace
+    under the *requested* engine's cache key."""
+    from repro.driver import session as session_mod
+    from repro.rtl import SimBackendUnavailable
+
+    baseline = CompileSession(sim_backend="compiled").simulate(
+        FPU_LA_SOURCE, "FPU", {"#W": 32}, generators(), cycles=16
+    ).value.outputs
+
+    real = session_mod.make_simulator
+
+    def flaky(module, backend, **kwargs):
+        if backend == "vector":
+            raise SimBackendUnavailable("vector backend disabled")
+        return real(module, backend, **kwargs)
+
+    monkeypatch.setattr(session_mod, "make_simulator", flaky)
+    degraded = CompileSession(sim_backend="vector", sim_lanes=4)
+    with pytest.warns(RuntimeWarning, match="degrading to 'compiled'"):
+        trace = degraded.simulate(
+            FPU_LA_SOURCE, "FPU", {"#W": 32}, generators(), cycles=16
+        ).value
+    assert degraded.stats.counter("degrade.sim_backend") == 1
+    assert trace.outputs[0] == baseline
+
+
+def test_ladder_exhaustion_reraises(monkeypatch):
+    from repro.driver import session as session_mod
+    from repro.rtl import SimBackendUnavailable
+
+    def broken(module, backend, **kwargs):
+        raise SimBackendUnavailable(f"{backend} disabled")
+
+    monkeypatch.setattr(session_mod, "make_simulator", broken)
+    # vector -> compiled -> interp, then nothing left: the error
+    # escapes (two degradations happened along the way).
+    session = CompileSession(sim_backend="vector", sim_lanes=4)
+    with pytest.warns(RuntimeWarning):
+        with pytest.raises(SimBackendUnavailable, match="interp disabled"):
+            session.simulate(FPU_LA_SOURCE, "FPU", {"#W": 32},
+                             generators(), cycles=8)
+    assert session.stats.counter("degrade.sim_backend") == 2
