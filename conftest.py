@@ -17,6 +17,16 @@ def _isolated_disk_cache(tmp_path, monkeypatch):
 
 
 @pytest.fixture(autouse=True)
+def _no_fsync(monkeypatch):
+    """Skip fsync in tests: SIGKILL safety only needs write *ordering*
+    (which the suite exercises), not power-loss durability — and fsync
+    on every cache write makes the suite dramatically slower on some
+    filesystems.  Tests that verify the syncing path itself re-enable
+    it with ``monkeypatch.setenv("REPRO_CACHE_FSYNC", "1")``."""
+    monkeypatch.setenv("REPRO_CACHE_FSYNC", "0")
+
+
+@pytest.fixture(autouse=True)
 def _no_leaked_fault_plan():
     """Fault plans install process-globally (see repro.driver.faults);
     a test that installs one — directly or by building a session with a

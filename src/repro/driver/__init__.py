@@ -37,8 +37,17 @@ from .cache import (
     freeze_params,
     source_digest,
 )
-from .chaos import SITE_GROUPS, ChaosReport, ChaosRun, run_chaos
+from .chaos import (
+    SITE_GROUPS,
+    ChaosReport,
+    ChaosRun,
+    CrashChaosReport,
+    CrashChaosRun,
+    run_chaos,
+    run_crash_chaos,
+)
 from .faults import (
+    CRASH_SITES,
     FAULT_MODES,
     FAULT_SITES,
     FaultPlan,
@@ -48,7 +57,10 @@ from .faults import (
     InjectedFault,
     InjectedOSError,
 )
+from .fsck import Finding, FsckReport, run_fsck
 from .grid import EXECUTORS, EvalGrid
+from .journal import IntentJournal, LeaseManager
+from .ledger import RunLedger, graceful_drain, point_key
 from .profiler import RunProfiler, RunReport
 from .session import (
     CompileSession,
@@ -58,6 +70,7 @@ from .session import (
 )
 
 __all__ = [
+    "CRASH_SITES",
     "EXECUTORS",
     "FAULT_MODES",
     "FAULT_SITES",
@@ -70,6 +83,8 @@ __all__ = [
     "CodegenStore",
     "CompileResult",
     "CompileSession",
+    "CrashChaosReport",
+    "CrashChaosRun",
     "DEFAULT_STAGES",
     "Diagnostic",
     "DiskCache",
@@ -77,12 +92,17 @@ __all__ = [
     "FaultPlan",
     "FaultPlanError",
     "FaultSite",
+    "Finding",
+    "FsckReport",
     "InjectedCrash",
     "InjectedFault",
     "InjectedOSError",
+    "IntentJournal",
+    "LeaseManager",
     "ObligationStore",
     "OptimizedNetlist",
     "ProfileStore",
+    "RunLedger",
     "RunProfiler",
     "RunReport",
     "STAGES",
@@ -91,7 +111,11 @@ __all__ = [
     "TunerStore",
     "default_session",
     "freeze_params",
+    "graceful_drain",
+    "point_key",
     "reset_default_session",
     "run_chaos",
+    "run_crash_chaos",
+    "run_fsck",
     "source_digest",
 ]

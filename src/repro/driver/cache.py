@@ -33,7 +33,7 @@ import time
 import warnings
 from typing import Callable, Dict, Optional, Sequence, Tuple, Union
 
-from . import faults
+from . import faults, journal as journal_mod
 from .artifact import StageArtifact
 
 #: The disk format's epoch.  Bump whenever old entries must not survive
@@ -236,6 +236,19 @@ class DiskCache:
     degradation (``degrade.disk`` counter, one warning) after which
     every load is a miss and every store a no-op, so a full disk slows
     the pipeline down instead of failing it.
+
+    Crash consistency (:mod:`repro.driver.journal`): every store is a
+    journaled transaction — the temp file is fsynced, a write-ahead
+    *intent record* goes durable before the ``os.replace``, the
+    directory entry is fsynced after it, and only then is the record
+    retired.  Attaching a cache replays any dead writer's dangling
+    intents (roll forward when the destination landed intact, roll back
+    otherwise) and reaps dead-PID writer leases, so a SIGKILLed — or
+    power-lost — predecessor leaves this store exactly as consistent
+    as a clean shutdown would have.  ``repro fsck`` runs the same
+    classification offline.  ``$REPRO_CACHE_FSYNC=0`` skips the fsyncs
+    (kill-safety needs only the ordering; power-loss durability needs
+    the syncs).
     """
 
     def __init__(
@@ -248,6 +261,17 @@ class DiskCache:
         self.stats = stats or CacheStats()
         self._degraded = False
         self._degrade_lock = threading.Lock()
+        #: write-ahead intent journal + writer leases; both live outside
+        #: the schema-versioned subtree and survive schema bumps.
+        self.journal = journal_mod.IntentJournal(self.root, self.stats)
+        self.leases = journal_mod.LeaseManager(self.root, self.stats)
+        self._lease_held = False
+        if os.path.isdir(self.root):
+            # Crash recovery before anything reads or trims: replay any
+            # dead predecessor's dangling write intents and drop its
+            # lease, so the rest of this session sees a clean store.
+            self.journal.recover()
+            self.leases.reap_stale()
         if max_bytes is None:
             override = os.environ.get("REPRO_CACHE_MAX_MB")
             if override is not None:
@@ -278,6 +302,13 @@ class DiskCache:
         return os.path.join(
             self.root, f"v{SCHEMA_VERSION}", stage, f"{digest}.pkl"
         )
+
+    def bind_stats(self, stats: CacheStats) -> None:
+        """Route this layer's counters (and the journal's / leases')
+        into ``stats`` — the session's shared object — from now on."""
+        self.stats = stats
+        self.journal.stats = stats
+        self.leases.stats = stats
 
     @property
     def degraded(self) -> bool:
@@ -377,24 +408,52 @@ class DiskCache:
             )
 
     def _write_entry(self, path: str, header: bytes, payload: bytes) -> None:
-        """One atomic write attempt (may raise OSError)."""
+        """One atomic, journaled write attempt (may raise OSError).
+
+        The crash-consistency protocol, in order: (1) temp file written
+        and fsynced — a later replace never publishes torn bytes;
+        (2) write-ahead intent record made durable — any crash from
+        here on is classifiable by recovery/fsck; (3) atomic
+        ``os.replace`` plus a directory fsync — the publish itself
+        survives power loss; (4) the record retired.  The two
+        ``proc.kill.write`` consultations bracket the replace: the
+        first dies in the roll-*back* window (intent durable, entry
+        unpublished), the second in the roll-*forward* window (entry
+        published, commit lost).
+        """
         directory = os.path.dirname(path)
         os.makedirs(directory, exist_ok=True)
+        self._ensure_lease()
         faults.inject("disk.write", self.stats)
         fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        record = None
         try:
             with os.fdopen(fd, "wb") as handle:
                 handle.write(header)
                 handle.write(b"\n")
                 handle.write(payload)
+                handle.flush()
+                journal_mod.fsync_fd(handle.fileno())
+            record = self.journal.begin(path, tmp_path)
+            faults.kill_here("proc.kill.write", self.stats)
             faults.inject("disk.replace", self.stats)
             os.replace(tmp_path, path)
+            journal_mod.fsync_dir(directory)
+            faults.kill_here("proc.kill.write", self.stats)
+            self.journal.commit(record)
         except BaseException:
             try:
                 os.remove(tmp_path)
             except OSError:
                 pass
+            self.journal.abort(record)
             raise
+
+    def _ensure_lease(self) -> None:
+        """Hold this process's writer lease (idempotent, first write)."""
+        if not self._lease_held:
+            self.leases.acquire()
+            self._lease_held = True
 
     def _store(self, key: Tuple, artifact: StageArtifact) -> bool:
         try:
@@ -453,6 +512,7 @@ class DiskCache:
         entries = []
         total = 0
         now = time.time()
+        pending = self.journal.pending_tmps()
         for directory, _, files in os.walk(self.root):
             for name in files:
                 if not name.endswith((".pkl", ".tmp")):
@@ -463,17 +523,23 @@ class DiskCache:
                 except OSError:
                     continue
                 total += info.st_size
-                # A recent .tmp file may be a *live* writer in another
-                # process, mid-way between mkstemp and os.replace —
-                # unlinking it would lose that writer's entry.  Recent
-                # ones therefore count toward the bound but are never
-                # eviction candidates; only stale orphans (a writer
-                # that died mid-store) are reaped.
-                if (
-                    name.endswith(".tmp")
-                    and now - info.st_mtime < TMP_REAP_AGE_SECONDS
-                ):
-                    continue
+                # A .tmp file may be a *live* writer in another process,
+                # mid-way between mkstemp and os.replace — unlinking it
+                # would lose that writer's entry.  The intent journal
+                # makes this exact, where the age heuristic only guesses:
+                # a tmp whose intent record's owner PID is alive is never
+                # an eviction candidate no matter how old (a writer
+                # stalled behind a slow pickle is still a writer), while
+                # a dead owner's tmp is a reapable orphan immediately.
+                # Unjournaled tmps (a writer that died before its
+                # ``begin()``) fall back to the age heuristic.
+                if name.endswith(".tmp"):
+                    record = pending.get(os.path.abspath(path))
+                    if record is not None:
+                        if journal_mod.pid_alive(record.pid):
+                            continue
+                    elif now - info.st_mtime < TMP_REAP_AGE_SECONDS:
+                        continue
                 entries.append((info.st_mtime, info.st_size, path))
         if total <= self.max_bytes:
             return 0
@@ -598,6 +664,9 @@ class ObligationStore:
         return payload
 
     def save(self, digest: str, status: str, model) -> bool:
+        # Crash-chaos site: die with a discharged-but-unpersisted
+        # verdict in hand, the worst possible moment for this store.
+        faults.kill_here("proc.kill.solver", self.disk.stats)
         key = self._key(digest)
         payload = {"digest": digest, "status": status, "model": model}
         stored = self.disk.store(
@@ -721,7 +790,7 @@ class ArtifactCache:
         self.stats = stats or CacheStats()
         self.disk = disk
         if disk is not None:
-            disk.stats = self.stats
+            disk.bind_stats(self.stats)
         self._mutex = threading.Lock()
         self._artifacts: Dict[Tuple, StageArtifact] = {}
         self._key_locks: Dict[Tuple, threading.Lock] = {}

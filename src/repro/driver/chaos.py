@@ -39,15 +39,21 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import shutil
+import subprocess
+import sys
 import tempfile
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from . import faults
 
 #: group name → the fault sites a group's plans schedule.  Groups
-#: partition FAULT_SITES: every site is chaos-tested by exactly one
-#: group (asserted by the test suite).
+#: partition the *in-process* fault sites: every non-crash site is
+#: chaos-tested by exactly one group (asserted by the test suite).
+#: The ``proc.kill.*`` crash family is deliberately absent — those
+#: sites SIGKILL the process, so only :func:`run_crash_chaos` (which
+#: schedules them in child processes) may plan them.
 SITE_GROUPS = {
     "disk": (
         "disk.read", "disk.write", "disk.replace", "pickle.load",
@@ -356,3 +362,303 @@ def run_chaos(
             run.judge(baseline)
             runs.append(run)
     return ChaosReport(baseline, runs)
+
+
+# ---------------------------------------------------------------------------
+# Kill-9 chaos: real subprocesses, real SIGKILLs, consistency judged
+# offline by fsck and a resumed run.
+
+
+class CrashChaosRun:
+    """Outcome of one (site, seed) kill-9 experiment.
+
+    The experiment: an uninterrupted baseline child establishes the
+    reference digests and the site's consultation count; a kill child
+    runs the same sweep cold with ``REPRO_FAULTS=<site>:1@<skip>`` and
+    must die by SIGKILL; ``repro fsck`` must find (or ``--repair`` to)
+    a consistent store; a resume child over the same store and run id
+    must exit cleanly with digests bit-identical to the baseline, while
+    re-computing strictly fewer points whenever the killed child
+    checkpointed any.
+    """
+
+    def __init__(self, site: str, seed: int):
+        self.site = site
+        self.seed = seed
+        self.skip: Optional[int] = None
+        self.calls: int = 0
+        self.kill_rc: Optional[int] = None
+        self.fsck_counts: Dict[str, int] = {}
+        self.fsck_consistent: Optional[bool] = None
+        self.resume_rc: Optional[int] = None
+        self.identical: Optional[bool] = None
+        self.total_points: int = 0
+        self.resumed_points: int = 0   # served from the killed run's ledger
+        self.recomputed_points: int = 0
+        self.error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        if self.error is not None:
+            return False
+        strictly_fewer = (
+            self.resumed_points == 0
+            or self.recomputed_points < self.total_points
+        )
+        return (
+            self.kill_rc == -9
+            and self.fsck_consistent is True
+            and self.resume_rc == 0
+            and self.identical is True
+            and strictly_fewer
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "site": self.site,
+            "seed": self.seed,
+            "skip": self.skip,
+            "calls": self.calls,
+            "kill_rc": self.kill_rc,
+            "fsck_counts": dict(self.fsck_counts),
+            "fsck_consistent": self.fsck_consistent,
+            "resume_rc": self.resume_rc,
+            "identical": self.identical,
+            "total_points": self.total_points,
+            "resumed_points": self.resumed_points,
+            "recomputed_points": self.recomputed_points,
+            "error": self.error,
+            "ok": self.ok,
+        }
+
+
+class CrashChaosReport:
+    """The whole kill-9 sweep: one experiment per (site, seed)."""
+
+    def __init__(self, runs: List[CrashChaosRun]):
+        self.runs = runs
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.runs) and all(run.ok for run in self.runs)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"ok": self.ok, "runs": [run.to_dict() for run in self.runs]}
+
+    def render(self) -> str:
+        lines = ["crash chaos (SIGKILL at seeded sites, judged by fsck "
+                 "+ resume):"]
+        for run in self.runs:
+            status = "ok" if run.ok else "FAILED"
+            detail = ""
+            if run.error is not None:
+                detail = f"  [{run.error}]"
+            elif not run.ok:
+                parts = []
+                if run.kill_rc != -9:
+                    parts.append(f"kill rc={run.kill_rc}")
+                if run.fsck_consistent is not True:
+                    parts.append("store inconsistent")
+                if run.resume_rc != 0:
+                    parts.append(f"resume rc={run.resume_rc}")
+                if run.identical is not True:
+                    parts.append("outputs diverged")
+                detail = f"  [{'; '.join(parts)}]"
+            lines.append(
+                f"  {run.site:18s} seed={run.seed}  kill@{run.skip}"
+                f"/{run.calls}  resumed {run.resumed_points}"
+                f"/{run.total_points} points  {status}{detail}"
+            )
+        verdict = (
+            "every killed store fsck-consistent, every resume "
+            "bit-identical"
+            if self.ok
+            else "CRASH-CHAOS FAILURES — see runs above"
+        )
+        lines.append(f"  => {verdict}")
+        return "\n".join(lines)
+
+
+def _sweep_command(
+    store: str, run_id: str, designs: Sequence[str], cycles: int,
+    opt_level: int, check: bool, resume: bool,
+) -> List[str]:
+    command = [
+        sys.executable, "-m", "repro", "sweep",
+        "--designs", *designs,
+        "--cycles", str(cycles),
+        "-O", str(opt_level),
+        "--cache-dir", store,
+        "--run-id", run_id,
+        "--stats", "json",
+    ]
+    if check:
+        command.append("--check")
+    if resume:
+        command.append("--resume")
+    return command
+
+
+def _child_env(fault_spec: Optional[str]) -> Dict[str, str]:
+    """The environment a chaos child runs under: this interpreter's
+    ``repro`` importable, fsyncs off (SIGKILL consistency needs only
+    ordering, and the sweep runs dozens of stores), and exactly the
+    requested fault plan — never an inherited one."""
+    import repro
+
+    env = dict(os.environ)
+    src_dir = os.path.dirname(os.path.dirname(os.path.abspath(
+        repro.__file__
+    )))
+    existing = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = (
+        src_dir + (os.pathsep + existing if existing else "")
+    )
+    env[faults.FAULTS_ENV] = fault_spec or ""
+    env.setdefault("REPRO_CACHE_FSYNC", "0")
+    return env
+
+
+def _run_sweep_child(
+    store: str, run_id: str, designs: Sequence[str], cycles: int,
+    opt_level: int, check: bool, resume: bool,
+    fault_spec: Optional[str], timeout: float,
+) -> Tuple[int, Optional[Dict[str, object]], str]:
+    """Launch one ``repro sweep`` child; returns ``(returncode, parsed
+    stats payload or None, captured stderr tail)``."""
+    command = _sweep_command(
+        store, run_id, designs, cycles, opt_level, check, resume
+    )
+    proc = subprocess.run(
+        command,
+        env=_child_env(fault_spec),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        timeout=timeout,
+        text=True,
+    )
+    payload: Optional[Dict[str, object]] = None
+    if proc.returncode == 0:
+        try:
+            payload = json.loads(proc.stdout)
+        except ValueError:
+            payload = None
+    return proc.returncode, payload, proc.stderr[-2000:]
+
+
+def run_crash_chaos(
+    designs: Optional[Sequence[str]] = None,
+    seeds: Iterable[int] = (0,),
+    sites: Sequence[str] = faults.CRASH_SITES,
+    cycles: int = 32,
+    opt_level: int = 2,
+    timeout: float = 300.0,
+) -> CrashChaosReport:
+    """Kill-9 the pipeline for real and prove the store survives.
+
+    For each (site, seed): run an uninterrupted ``repro sweep`` child
+    against a fresh store (the digest baseline, and the source of the
+    site's consultation count, from which the seed derives a valid skip
+    offset exactly as :meth:`FaultPlan.seeded` would); SIGKILL a second
+    cold child at that consultation via ``REPRO_FAULTS``; fsck the
+    carnage (report first, then ``--repair``, which must leave the
+    store consistent); finally resume the killed run in a third child,
+    which must complete bit-identical to the baseline while serving the
+    killed child's checkpoints instead of recomputing them.
+    """
+    from ..designs.catalog import DESIGNS
+    from .fsck import run_fsck
+
+    unknown = [site for site in sites if site not in faults.CRASH_SITES]
+    if unknown:
+        raise ValueError(
+            f"unknown crash sites {unknown}; available: "
+            f"{list(faults.CRASH_SITES)}"
+        )
+    designs = list(designs) if designs else sorted(DESIGNS)
+    runs: List[CrashChaosRun] = []
+    for seed in seeds:
+        for site in sites:
+            run = CrashChaosRun(site, seed)
+            runs.append(run)
+            check = site == "proc.kill.solver"
+            run.total_points = len(designs)
+            baseline_store = tempfile.mkdtemp(prefix="repro-crash-base-")
+            kill_store = tempfile.mkdtemp(prefix="repro-crash-kill-")
+            try:
+                rc, baseline, stderr = _run_sweep_child(
+                    baseline_store, "baseline", designs, cycles,
+                    opt_level, check, False, None, timeout,
+                )
+                if rc != 0 or baseline is None:
+                    run.error = (
+                        f"baseline child failed (rc={rc}): {stderr}"
+                    )
+                    continue
+                calls = (
+                    baseline.get("faults", {})
+                    .get("calls", {})
+                    .get(site, 0)
+                )
+                run.calls = int(calls)
+                if run.calls <= 0:
+                    run.error = (
+                        f"site {site} never consulted by the baseline "
+                        "sweep — nothing to kill"
+                    )
+                    continue
+                digest_material = hashlib.sha256(
+                    f"{seed}:{site}".encode("utf-8")
+                ).hexdigest()
+                run.skip = int(digest_material, 16) % run.calls
+                fault_spec = f"{site}:1@{run.skip}"
+                try:
+                    proc = subprocess.run(
+                        _sweep_command(
+                            kill_store, "killed", designs, cycles,
+                            opt_level, check, False,
+                        ),
+                        env=_child_env(fault_spec),
+                        stdout=subprocess.PIPE,
+                        stderr=subprocess.PIPE,
+                        timeout=timeout,
+                        text=True,
+                    )
+                    run.kill_rc = proc.returncode
+                except subprocess.TimeoutExpired:
+                    run.error = "kill child timed out"
+                    continue
+                if run.kill_rc != -9:
+                    run.error = (
+                        f"kill child exited {run.kill_rc}, expected "
+                        "death by SIGKILL"
+                    )
+                    continue
+                # The carnage, classified — then repaired.
+                report = run_fsck(kill_store)
+                run.fsck_counts = report.counts()
+                repaired = run_fsck(kill_store, repair=True)
+                verify = run_fsck(kill_store)
+                run.fsck_consistent = (
+                    repaired.consistent and verify.consistent
+                )
+                rc, resumed, stderr = _run_sweep_child(
+                    kill_store, "killed", designs, cycles,
+                    opt_level, check, True, None, timeout,
+                )
+                run.resume_rc = rc
+                if rc != 0 or resumed is None:
+                    run.error = f"resume child failed (rc={rc}): {stderr}"
+                    continue
+                checkpoint = resumed.get("checkpoint", {})
+                run.resumed_points = int(checkpoint.get("hits", 0))
+                run.recomputed_points = int(checkpoint.get("stores", 0))
+                run.identical = (
+                    resumed.get("digests") == baseline.get("digests")
+                )
+            except subprocess.TimeoutExpired:
+                run.error = "chaos child timed out"
+            finally:
+                shutil.rmtree(baseline_store, ignore_errors=True)
+                shutil.rmtree(kill_store, ignore_errors=True)
+    return CrashChaosReport(runs)

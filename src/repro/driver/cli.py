@@ -15,10 +15,27 @@ Subcommands:
 * ``chaos``  — the fault-injection sweep: catalog designs under seeded
   fault plans (disk, worker, solver groups), each run asserted
   bit-identical to a fault-free baseline with every injected fault
-  accounted and no exception escaping.
+  accounted and no exception escaping.  ``--crash`` switches to the
+  kill-9 harness: real child processes SIGKILLed at seeded
+  ``proc.kill.*`` sites, the store fsck'd and the run resumed.
+* ``sweep``  — a deterministic catalog sweep printing one JSON line of
+  content digests, checkpoint and fault accounting; the unit of work
+  the crash-chaos harness launches (and kills, and resumes) as a
+  subprocess.
+* ``fsck``   — offline store consistency check: digest-verify every
+  entry, classify orphan temp files against the write-ahead journal,
+  reap dead writers' leases; ``--repair`` quarantines/mends.  Exit 0
+  iff the store is consistent.
 * ``all``    — every table, figure and the ablation on one shared
   session, with cache statistics showing the artifacts reused across
   them.
+
+Grid-shaped subcommands take ``--run-id NAME`` to checkpoint every
+completed grid point into a per-run ledger under
+``<cache>/runs/NAME/``, and ``--resume`` to continue a previous run of
+that name, serving its checkpoints verbatim (bit-identical by
+construction) and computing only what is missing.  SIGINT/SIGTERM
+drain gracefully — the ledger is flushed, exit code 130.
 
 Every subcommand accepts ``-O{0,1,2,3}`` to select the netlist
 optimization level (the pass pipeline of :mod:`repro.rtl.passes`;
@@ -82,6 +99,31 @@ def _session_from_args(args) -> CompileSession:
         typecheck_jobs=args.typecheck_jobs,
         typecheck_executor=args.typecheck_executor,
     )
+
+
+def _attach_ledger(session: CompileSession, args) -> None:
+    """Wire ``--run-id``/``--resume`` into a session-held RunLedger."""
+    run_id = getattr(args, "run_id", None)
+    resume = bool(getattr(args, "resume", False))
+    if run_id is None:
+        if resume:
+            raise SystemExit("--resume requires --run-id")
+        return
+    if session.cache_dir is None:
+        raise SystemExit(
+            "--run-id needs the disk cache (drop --no-disk-cache): the "
+            "ledger lives under <cache>/runs/"
+        )
+    from .ledger import RunLedger
+
+    try:
+        session.ledger = RunLedger(
+            session.cache_dir, run_id, session.stats, resume=resume
+        )
+    except FileExistsError as error:
+        raise SystemExit(str(error))
+    except ValueError as error:
+        raise SystemExit(f"cannot open run {run_id!r}: {error}")
 
 
 def _print_stats(session: CompileSession, mode: Optional[str]) -> None:
@@ -183,19 +225,26 @@ def _cmd_compile(args) -> int:
 
 def _run_artifacts(names: List[str], args) -> int:
     from .. import evalx
+    from .ledger import graceful_drain
 
     session = _session_from_args(args)
-    for name in names:
-        print(f"== {name} ==")
-        print(
-            evalx.run_artifact(
-                name,
-                session=session,
-                workers=args.workers,
-                executor=args.executor,
-            )
-        )
-        print()
+    _attach_ledger(session, args)
+    try:
+        with graceful_drain(session.stats):
+            for name in names:
+                print(f"== {name} ==")
+                print(
+                    evalx.run_artifact(
+                        name,
+                        session=session,
+                        workers=args.workers,
+                        executor=args.executor,
+                    )
+                )
+                print()
+    finally:
+        if session.ledger is not None:
+            session.ledger.close()
     if args.stats == "json":
         _print_stats(session, "json")
     else:
@@ -269,18 +318,25 @@ def _cmd_profile(args) -> int:
     import functools
 
     from .grid import EvalGrid
+    from .ledger import graceful_drain
     from .profiler import RunProfiler, simulate_catalog_point
 
     session = _session_from_args(args)
+    _attach_ledger(session, args)
     names = args.designs or sorted(PRESETS)
     grid = EvalGrid(
         session, max_workers=args.workers, executor=args.executor
     )
-    with RunProfiler(session) as profiler:
-        rows = grid.map(
-            simulate_catalog_point,
-            [(name, args.cycles, args.opt_level) for name in names],
-        )
+    try:
+        with graceful_drain(session.stats):
+            with RunProfiler(session) as profiler:
+                rows = grid.map(
+                    simulate_catalog_point,
+                    [(name, args.cycles, args.opt_level) for name in names],
+                )
+    finally:
+        if session.ledger is not None:
+            session.ledger.close()
     report = profiler.report()
     if args.json:
         payload = report.to_dict()
@@ -299,9 +355,82 @@ def _cmd_profile(args) -> int:
     return 0
 
 
-def _cmd_chaos(args) -> int:
-    from .chaos import run_chaos
+def _cmd_sweep(args) -> int:
+    """A deterministic catalog sweep with machine-readable output.
 
+    The crash-chaos harness's unit of work: the printed JSON carries
+    per-design *content digests* (trace bits and typecheck verdicts —
+    nothing wall-clock-shaped), the checkpoint picture, and fault-plan
+    accounting, so a killed-and-resumed sweep can be compared
+    bit-for-bit against an uninterrupted one.
+    """
+    from . import faults
+    from .chaos import _chaos_point, _digest
+    from .grid import EvalGrid
+    from .ledger import graceful_drain
+
+    session = _session_from_args(args)
+    if session.fault_plan is None:
+        # Even a fault-free sweep installs an (empty) plan: the crash
+        # harness reads a baseline's per-site consultation counts to
+        # derive kill offsets, and only an installed plan counts calls.
+        session.fault_plan = faults.FaultPlan()
+        faults.install(session.fault_plan.bind(session.stats))
+    _attach_ledger(session, args)
+    names = args.designs or sorted(PRESETS)
+    points = [
+        (name, args.cycles, args.opt_level, args.check) for name in names
+    ]
+    grid = EvalGrid(
+        session, max_workers=args.workers, executor=args.executor
+    )
+    try:
+        with graceful_drain(session.stats):
+            results = grid.map(_chaos_point, points)
+    finally:
+        if session.ledger is not None:
+            session.ledger.close()
+    payload = session.stats_dict()
+    payload["digests"] = {
+        design: {part: _digest(value) for part, value in parts.items()}
+        for design, parts in results
+    }
+    print(json.dumps(payload, sort_keys=True))
+    return 0
+
+
+def _cmd_fsck(args) -> int:
+    from .fsck import run_fsck
+
+    root = args.cache_dir or DiskCache.default_root()
+    report = run_fsck(root, repair=args.repair)
+    if args.stats == "json":
+        print(json.dumps(report.to_dict(), sort_keys=True))
+    else:
+        print(report.render())
+    return report.exit_code
+
+
+def _cmd_chaos(args) -> int:
+    from .chaos import run_chaos, run_crash_chaos
+    from .faults import CRASH_SITES
+
+    if args.crash:
+        report = run_crash_chaos(
+            designs=args.designs,
+            seeds=args.seeds,
+            sites=args.sites or list(CRASH_SITES),
+            cycles=args.cycles,
+            opt_level=args.opt_level,
+            timeout=args.timeout,
+        )
+        if args.json:
+            print(json.dumps(report.to_dict(), sort_keys=True))
+        else:
+            print(report.render())
+        return 0 if report.ok else 1
+    if args.sites:
+        raise SystemExit("--sites only applies with --crash")
     report = run_chaos(
         designs=args.designs,
         seeds=args.seeds,
@@ -483,7 +612,68 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="emit the chaos report as one JSON line",
     )
+    chaos.add_argument(
+        "--crash", action="store_true",
+        help="kill-9 mode: SIGKILL real child sweeps at seeded "
+             "proc.kill.* sites, assert the store fscks consistent and "
+             "a --resume completes bit-identical to an uninterrupted "
+             "baseline",
+    )
+    chaos.add_argument(
+        "--sites", nargs="*", default=None, metavar="SITE",
+        choices=("proc.kill.write", "proc.kill.point", "proc.kill.solver"),
+        help="crash sites for --crash (default: all three)",
+    )
+    chaos.add_argument(
+        "--timeout", type=float, default=300.0, metavar="SECONDS",
+        help="per-child wall-clock bound in --crash mode (default: 300)",
+    )
     chaos.set_defaults(fn=_cmd_chaos)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="deterministic catalog sweep printing one JSON line of "
+             "per-design content digests + checkpoint/fault accounting "
+             "(the subprocess unit the crash-chaos harness kills and "
+             "resumes)",
+    )
+    sweep.add_argument(
+        "--designs", nargs="*", choices=sorted(PRESETS), default=None,
+        metavar="NAME",
+        help="catalog designs to sweep (default: all)",
+    )
+    sweep.add_argument(
+        "--cycles", type=_positive_int, default=32,
+        help="cycles to simulate per design (default: 32)",
+    )
+    sweep.add_argument(
+        "--check", action="store_true",
+        help="also run (and digest) the SMT typecheck per design",
+    )
+    sweep.set_defaults(fn=_cmd_sweep)
+
+    fsck = sub.add_parser(
+        "fsck",
+        help="offline store consistency check: digest-verify entries, "
+             "classify temp files against the write-ahead journal, "
+             "reap dead writers' leases; exit 0 iff consistent",
+    )
+    fsck.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="store root to check (default: $REPRO_CACHE_DIR, else the "
+             "user cache dir)",
+    )
+    fsck.add_argument(
+        "--repair", action="store_true",
+        help="mend what a dead writer left behind: quarantine corrupt "
+             "entries, replay dangling write intents, unlink orphan "
+             "temp files, reap stale leases",
+    )
+    fsck.add_argument(
+        "--stats", choices=("text", "json"), default="text",
+        help="'json' emits the machine-readable findings as one line",
+    )
+    fsck.set_defaults(fn=_cmd_fsck)
 
     all_ = sub.add_parser(
         "all",
@@ -492,7 +682,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     all_.set_defaults(fn=_cmd_all)
 
-    for command in (table, figure, ablation, profile, all_):
+    for command in (table, figure, ablation, profile, all_, sweep):
         command.add_argument(
             "--workers", type=int, default=None,
             help="evaluation-grid worker threads (default: cpu count)",
@@ -504,7 +694,19 @@ def build_parser() -> argparse.ArgumentParser:
                  "rendezvous through the disk cache; 'auto' picks "
                  "process for cacheable CPU-bound sweeps",
         )
-    for command in (compile_, table, figure, profile, all_):
+        command.add_argument(
+            "--run-id", default=None, metavar="NAME",
+            help="checkpoint completed grid points into a per-run "
+                 "ledger at <cache>/runs/NAME/ (requires the disk "
+                 "cache)",
+        )
+        command.add_argument(
+            "--resume", action="store_true",
+            help="continue the --run-id run: previously completed "
+                 "points are served from the ledger bit-identically, "
+                 "only the remainder computes",
+        )
+    for command in (compile_, table, figure, profile, all_, sweep):
         command.add_argument(
             "-O", dest="opt_level", type=int, choices=OPT_LEVELS, default=0,
             metavar="LEVEL",
@@ -512,7 +714,7 @@ def build_parser() -> argparse.ArgumentParser:
                  "3 = profile-guided, degrades to 2 without a profile)",
         )
     for command in (compile_, typecheck, table, figure, ablation, profile,
-                    all_):
+                    all_, sweep):
         command.add_argument(
             "--typecheck-jobs", type=_positive_int, default=None,
             metavar="N",
@@ -527,7 +729,7 @@ def build_parser() -> argparse.ArgumentParser:
                  "disk cache's 'smt' store",
         )
     for command in (compile_, typecheck, table, figure, ablation, profile,
-                    all_):
+                    all_, sweep):
         command.add_argument(
             "--stats", choices=("text", "json"), default=None,
             help="end-of-run cache + per-pass statistics; 'json' prints "
@@ -563,6 +765,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.fn(args)
+    except KeyboardInterrupt:
+        hint = ""
+        if getattr(args, "run_id", None):
+            hint = (
+                f" — completed points are checkpointed; continue with "
+                f"--run-id {args.run_id} --resume"
+            )
+        print(f"interrupted{hint}", file=sys.stderr)
+        return 130
     except (LilacError, GeneratorError, FilamentError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

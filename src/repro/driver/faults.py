@@ -32,6 +32,21 @@ Sites (the complete set — the hardened code asserts membership)::
     solver.budget  an obligation's DPLL(T) conflict budget exhausts
                    (typecheck falls back to the one-shot engine)
 
+and the *crash* family — sites that SIGKILL the whole process, for the
+kill-9 chaos harness (:mod:`repro.driver.chaos` ``--crash``).  Unlike
+every other site there is no recovery in-process: the process dies for
+real (``os.kill(getpid(), SIGKILL)``), and consistency is judged
+offline by ``repro fsck`` plus a ``--resume`` of the run::
+
+    proc.kill.write   inside DiskCache._write_entry — consulted twice
+                      per store (before the atomic replace, and after
+                      it but before the journal commit), so seeds walk
+                      the kill through both crash windows
+    proc.kill.point   in the EvalGrid parent, after a grid point
+                      completes and its ledger checkpoint is recorded
+    proc.kill.solver  in ObligationStore.save, as a solver verdict is
+                      about to be persisted mid-discharge
+
 Plans are spelled in a tiny grammar, one entry per site, comma
 separated::
 
@@ -63,6 +78,7 @@ import contextlib
 import errno
 import hashlib
 import os
+import signal
 import threading
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -77,6 +93,19 @@ FAULT_SITES = (
     "worker.spawn",
     "worker.crash",
     "solver.budget",
+    "proc.kill.write",
+    "proc.kill.point",
+    "proc.kill.solver",
+)
+
+#: The crash family: consulted only through :func:`kill_here`, which
+#: SIGKILLs the process instead of raising.  Kept out of every in-
+#: process chaos group — a plan that schedules one of these is asking
+#: for the process to die.
+CRASH_SITES = (
+    "proc.kill.write",
+    "proc.kill.point",
+    "proc.kill.solver",
 )
 
 #: Failure-kind refinements.  ``transient`` is retryable (EIO-class);
@@ -398,3 +427,19 @@ def inject(site: str, stats=None) -> None:
     spec = check(site, stats)
     if spec is not None:
         raise spec.exception()
+
+
+def kill_here(site: str, stats=None) -> None:
+    """The crash-family injection hook: SIGKILL this process when the
+    active plan schedules this invocation of ``site`` to fire.
+
+    Deliberately unsurvivable — no cleanup handler, no atexit, no
+    flushing runs: SIGKILL is the fault model.  Whatever state the
+    process leaves behind is exactly what the write-ahead journal,
+    ``repro fsck`` and the run ledger exist to make consistent, which
+    is why ``repro chaos --crash`` schedules these sites only in child
+    processes it launched for that purpose."""
+    if site not in CRASH_SITES:
+        raise ValueError(f"{site!r} is not a crash site; see CRASH_SITES")
+    if check(site, stats) is not None:
+        os.kill(os.getpid(), signal.SIGKILL)

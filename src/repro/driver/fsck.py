@@ -1,0 +1,335 @@
+"""Offline consistency checker for the on-disk artifact store.
+
+``repro fsck`` is the store's independent auditor: where
+:meth:`~repro.driver.journal.IntentJournal.recover` repairs what it can
+at attach time, fsck *classifies everything* — every entry, temp file,
+intent record, and lease under a cache root — and either reports
+(read-only, the default) or repairs (``--repair``).  The crash-chaos
+harness and CI assert on its verdict: after any SIGKILL the store must
+fsck clean, or clean after one ``--repair`` pass.
+
+Finding kinds, from worst to mildest:
+
+``corrupt_entry``
+    A ``.pkl`` whose header fails to parse, whose payload digest
+    disagrees with its header, or whose header schema disagrees with the
+    ``v<N>/`` directory it sits in.  Repair quarantines the file
+    (renamed ``*.quarantine`` so evidence survives for a post-mortem;
+    readers ignore it).
+``dangling_intent``
+    An intent record whose owner PID is dead — a writer died
+    mid-transaction.  Repair replays it exactly as attach-time recovery
+    would: destination intact → roll forward, else roll back.
+``orphan_tmp``
+    A ``.tmp`` with no intent record and no live excuse: its writer died
+    before journaling (or predates the journal).  Repair unlinks it.
+``stale_lease``
+    A lease file naming a dead PID.  Repair reaps it.
+``live_tmp`` *(informational)*
+    A ``.tmp`` owned by a provably live writer (journaled intent with a
+    live PID, or young enough for the age heuristic).  Never repaired —
+    a concurrent writer is not damage.
+``foreign_schema`` *(informational)*
+    A self-consistent entry under a non-current ``v<N>/`` subtree.
+    Stale but harmless (trim evicts by age); never repaired.
+
+Only the non-informational kinds make a store inconsistent.  Exit code
+(see :attr:`FsckReport.exit_code`): 0 when consistent — including after
+repairs, which is what "repairable" means — 1 when damage remains.
+
+Counters (on a caller-supplied ``CacheStats``): ``fsck.scanned`` per
+``.pkl`` examined, ``fsck.<kind>`` per finding, ``fsck.repaired`` per
+repair action taken.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, List, Optional
+
+from . import journal as journal_mod
+from .cache import SCHEMA_VERSION, TMP_REAP_AGE_SECONDS
+
+#: Finding kinds that leave the store damaged (vs merely noteworthy).
+DAMAGE_KINDS = (
+    "corrupt_entry",
+    "dangling_intent",
+    "orphan_tmp",
+    "stale_lease",
+)
+INFO_KINDS = ("live_tmp", "foreign_schema")
+
+#: Suffix repair gives corrupt entries instead of deleting them: the
+#: bytes stay on disk for a post-mortem, readers never see the file.
+QUARANTINE_SUFFIX = ".quarantine"
+
+
+class Finding:
+    """One classified irregularity (or notable fact) in the store."""
+
+    __slots__ = ("kind", "path", "detail", "repaired", "action")
+
+    def __init__(self, kind: str, path: str, detail: str):
+        self.kind = kind
+        self.path = path
+        self.detail = detail
+        #: set by the repair pass.
+        self.repaired = False
+        self.action: Optional[str] = None
+
+    @property
+    def damage(self) -> bool:
+        return self.kind in DAMAGE_KINDS
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "path": self.path,
+            "detail": self.detail,
+            "damage": self.damage,
+            "repaired": self.repaired,
+            "action": self.action,
+        }
+
+    def __repr__(self) -> str:
+        return f"Finding({self.kind}, {self.path!r})"
+
+
+class FsckReport:
+    """Everything one fsck pass learned about a store root."""
+
+    def __init__(self, root: str, repair: bool):
+        self.root = root
+        self.repair = repair
+        self.findings: List[Finding] = []
+        self.scanned = 0
+        self.valid = 0
+
+    def add(self, finding: Finding) -> Finding:
+        self.findings.append(finding)
+        return finding
+
+    def by_kind(self, kind: str) -> List[Finding]:
+        return [f for f in self.findings if f.kind == kind]
+
+    def counts(self) -> Dict[str, int]:
+        tally: Dict[str, int] = {}
+        for finding in self.findings:
+            tally[finding.kind] = tally.get(finding.kind, 0) + 1
+        return tally
+
+    @property
+    def consistent(self) -> bool:
+        """No damage outstanding (repaired damage doesn't count)."""
+        return not any(f.damage and not f.repaired for f in self.findings)
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.consistent else 1
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "root": self.root,
+            "repair": self.repair,
+            "scanned": self.scanned,
+            "valid": self.valid,
+            "consistent": self.consistent,
+            "exit_code": self.exit_code,
+            "counts": self.counts(),
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+    def render(self) -> str:
+        lines = [f"fsck {self.root}"]
+        lines.append(
+            f"  scanned {self.scanned} entries, {self.valid} valid"
+        )
+        for finding in self.findings:
+            status = ""
+            if finding.repaired:
+                status = f" [repaired: {finding.action}]"
+            elif not finding.damage:
+                status = " [info]"
+            lines.append(
+                f"  {finding.kind}: {finding.path} — "
+                f"{finding.detail}{status}"
+            )
+        verdict = "consistent" if self.consistent else "INCONSISTENT"
+        lines.append(f"  store is {verdict}")
+        return "\n".join(lines)
+
+
+def _bump(stats, counter: str, amount: int = 1) -> None:
+    if stats is not None:
+        stats.bump(counter, amount)
+
+
+def _classify_entry(path: str, current_subtree: bool) -> Optional[Finding]:
+    """A finding for one ``.pkl``, or None when the entry is healthy."""
+    import hashlib
+    import json
+
+    try:
+        with open(path, "rb") as handle:
+            data = handle.read()
+    except OSError as error:
+        return Finding("corrupt_entry", path, f"unreadable: {error}")
+    header_line, _, payload = data.partition(b"\n")
+    try:
+        header = json.loads(header_line.decode("utf-8"))
+        if not isinstance(header, dict):
+            raise ValueError("header is not an object")
+    except Exception:
+        return Finding("corrupt_entry", path, "unparseable header")
+    if header.get("sha256") != hashlib.sha256(payload).hexdigest():
+        return Finding("corrupt_entry", path, "payload digest mismatch")
+    schema = header.get("schema")
+    if current_subtree:
+        if schema != SCHEMA_VERSION:
+            # A valid entry filed under the wrong version directory can
+            # only come from tampering or a copy gone wrong; readers
+            # would reject it anyway, so it is damage, not history.
+            return Finding(
+                "corrupt_entry", path,
+                f"header schema {schema!r} under v{SCHEMA_VERSION}/ subtree",
+            )
+        return None
+    return Finding(
+        "foreign_schema", path,
+        f"valid entry of schema {schema!r} (current is {SCHEMA_VERSION})",
+    )
+
+
+def run_fsck(root: str, repair: bool = False, stats=None) -> FsckReport:
+    """Scan (and with ``repair=True``, mend) the store at ``root``.
+
+    Safe to run against a store other processes are actively writing:
+    repairs only ever touch state whose owning PID is provably dead,
+    quarantined corruption, or unjournaled orphans past the age
+    threshold — the same discretion attach-time recovery exercises.
+    """
+    root = os.path.abspath(root)
+    report = FsckReport(root, repair)
+    journal = journal_mod.IntentJournal(root, stats)
+    leases = journal_mod.LeaseManager(root, stats)
+    pending = journal.pending_tmps()
+    now = time.time()
+    current_prefix = os.path.join(root, f"v{SCHEMA_VERSION}") + os.sep
+
+    # -- pass 1: every entry and temp file in every schema subtree -----
+    for directory, _, files in os.walk(root):
+        # The journal/lease directories have their own passes.
+        relative = os.path.relpath(directory, root)
+        top = relative.split(os.sep, 1)[0]
+        if top in (journal_mod.JOURNAL_DIRNAME, journal_mod.LEASE_DIRNAME,
+                   "runs"):
+            continue
+        for name in sorted(files):
+            path = os.path.join(directory, name)
+            if name.endswith(".pkl"):
+                report.scanned += 1
+                _bump(stats, "fsck.scanned")
+                in_current = (path.startswith(current_prefix)
+                              or directory == root)
+                finding = _classify_entry(path, in_current)
+                if finding is None:
+                    report.valid += 1
+                    continue
+                report.add(finding)
+                _bump(stats, f"fsck.{finding.kind}")
+                if repair and finding.kind == "corrupt_entry":
+                    try:
+                        os.replace(path, path + QUARANTINE_SUFFIX)
+                        finding.repaired = True
+                        finding.action = "quarantined"
+                        _bump(stats, "fsck.repaired")
+                    except OSError as error:
+                        finding.detail += f"; quarantine failed: {error}"
+            elif name.endswith(".tmp"):
+                record = pending.get(os.path.abspath(path))
+                if record is not None and journal_mod.pid_alive(record.pid):
+                    report.add(Finding(
+                        "live_tmp", path,
+                        f"journaled writer pid {record.pid} is alive",
+                    ))
+                    _bump(stats, "fsck.live_tmp")
+                    continue
+                if record is not None:
+                    # Classified (and repaired) with its intent record
+                    # in pass 2; counting it here too would double-book.
+                    continue
+                try:
+                    age = now - os.stat(path).st_mtime
+                except OSError:
+                    continue
+                if age < TMP_REAP_AGE_SECONDS:
+                    report.add(Finding(
+                        "live_tmp", path,
+                        f"unjournaled but young ({age:.0f}s); "
+                        "possibly a pre-journal writer",
+                    ))
+                    _bump(stats, "fsck.live_tmp")
+                    continue
+                finding = report.add(Finding(
+                    "orphan_tmp", path,
+                    f"no intent record, {age:.0f}s old",
+                ))
+                _bump(stats, "fsck.orphan_tmp")
+                if repair:
+                    try:
+                        os.remove(path)
+                        finding.repaired = True
+                        finding.action = "unlinked"
+                        _bump(stats, "fsck.repaired")
+                    except OSError as error:
+                        finding.detail += f"; unlink failed: {error}"
+
+    # -- pass 2: intent records -----------------------------------------
+    for record in journal.records():
+        if journal_mod.pid_alive(record.pid):
+            continue
+        valid_dest = (
+            os.path.exists(record.dest)
+            and journal_mod.validate_entry_file(record.dest)
+        )
+        direction = "roll forward" if valid_dest else "roll back"
+        finding = report.add(Finding(
+            "dangling_intent", record.path or record.txn,
+            f"writer pid {record.pid} is dead; "
+            f"destination {'intact' if valid_dest else 'absent or torn'} "
+            f"({direction})",
+        ))
+        _bump(stats, "fsck.dangling_intent")
+        if not repair:
+            continue
+        try:
+            if not valid_dest and os.path.exists(record.dest):
+                os.remove(record.dest)
+            for leftover in (record.tmp, record.path):
+                if leftover and os.path.exists(leftover):
+                    os.remove(leftover)
+            finding.repaired = True
+            finding.action = direction.replace(" ", "_")
+            _bump(stats, "fsck.repaired")
+        except OSError as error:
+            finding.detail += f"; replay failed: {error}"
+
+    # -- pass 3: leases --------------------------------------------------
+    for pid, lease_path in sorted(leases.holders().items()):
+        if journal_mod.pid_alive(pid):
+            continue
+        finding = report.add(Finding(
+            "stale_lease", lease_path, f"pid {pid} is dead"
+        ))
+        _bump(stats, "fsck.stale_lease")
+        if repair:
+            try:
+                os.remove(lease_path)
+                finding.repaired = True
+                finding.action = "reaped"
+                _bump(stats, "fsck.repaired")
+            except OSError as error:
+                finding.detail += f"; reap failed: {error}"
+
+    return report

@@ -1,0 +1,445 @@
+"""Write-ahead intent journal and writer leases for the disk cache.
+
+PR 9 hardened the store against *injected* I/O failures, but the
+process itself was still free to die between ``mkstemp`` and
+``os.replace`` — leaving orphaned ``.tmp`` files that only the trim
+heuristic's age threshold (or PR 9's lazy read-time quarantine) would
+ever notice, and leaving nothing on disk that says whether a given
+``.tmp`` belongs to a live writer or a corpse.  This module is the
+crash-consistency substrate that closes that hole:
+
+* An **intent journal**: before a writer publishes an entry it appends
+  a durable *intent record* (one small JSON file under
+  ``<root>/journal/``) naming the temp file, the destination, and the
+  writing PID; after the atomic ``os.replace`` succeeds the record is
+  retired.  A record that survives a crash therefore pins down exactly
+  which window the writer died in, and :func:`IntentJournal.recover`
+  (run when a :class:`~repro.driver.cache.DiskCache` attaches) replays
+  it: destination valid → roll forward (drop the leftovers);
+  destination missing or torn → roll back (drop the temp file and the
+  torn destination).  Either way the store ends consistent — a crashed
+  write degrades to a dropped write-back, never to a torn entry.
+* **Writer leases**: every process that writes a store root holds a
+  lease file (``<root>/leases/<pid>.json``).  Leases make *liveness*
+  checkable offline: ``repro fsck`` and the trim pass classify a
+  ``.tmp`` by its intent record's owner — a live owner's temp file is
+  never reaped (no matter how old: a writer stalled behind a slow pickle
+  is still a writer), a dead owner's is reclaimed immediately instead
+  of waiting out the age threshold.  Leases of dead PIDs are reaped on
+  attach and by ``fsck``.
+
+Durability: temp-file contents, the intent record, and the directory
+entries are ``fsync``\\ ed so a *committed* entry survives power loss,
+not just a process kill.  ``$REPRO_CACHE_FSYNC=0`` disables the syncs
+(the test suite does — SIGKILL consistency needs only the ordering,
+which the journal provides either way; only power-loss durability needs
+the syncs).
+
+Counters (on whatever ``CacheStats`` the owner supplies):
+``journal.begin`` / ``journal.commit`` per write transaction,
+``journal.recovered.forward`` / ``journal.recovered.rollback`` per
+replayed record, ``journal.lease_reaped`` per dead lease dropped.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import threading
+from typing import Dict, List, Optional, Tuple
+
+#: Subdirectories of a cache root this module owns.  Both live *outside*
+#: the ``v<schema>/`` subtree: journal records and leases describe the
+#: store as a filesystem, not any one schema's payloads.
+JOURNAL_DIRNAME = "journal"
+LEASE_DIRNAME = "leases"
+
+#: Record-format epoch; recovery skips (and fsck flags) records from a
+#: different epoch instead of misreading them.
+JOURNAL_VERSION = 1
+
+#: ``$REPRO_CACHE_FSYNC=0`` turns every fsync in the store into a no-op.
+FSYNC_ENV = "REPRO_CACHE_FSYNC"
+
+
+def fsync_enabled() -> bool:
+    """Whether the store pays for real ``fsync`` calls (default: yes)."""
+    return os.environ.get(FSYNC_ENV, "1") != "0"
+
+
+def fsync_fd(fd: int) -> None:
+    if fsync_enabled():
+        os.fsync(fd)
+
+
+def fsync_dir(path: str) -> None:
+    """Flush a directory's entry table (the rename/replace itself)."""
+    if not fsync_enabled():
+        return
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def pid_alive(pid: int) -> bool:
+    """Best-effort liveness probe (signal 0; EPERM counts as alive)."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    except OSError:
+        return False
+    return True
+
+
+def validate_entry_bytes(data: bytes) -> bool:
+    """Whether raw entry bytes are a self-consistent store entry
+    (parseable JSON header whose payload digest matches).  Schema
+    agreement with the *path* is the reader's concern; self-consistency
+    is all recovery and fsck need to call a destination "not torn"."""
+    try:
+        header_line, _, payload = data.partition(b"\n")
+        header = json.loads(header_line.decode("utf-8"))
+        return (
+            isinstance(header, dict)
+            and header.get("sha256") == hashlib.sha256(payload).hexdigest()
+        )
+    except Exception:
+        return False
+
+
+def validate_entry_file(path: str) -> bool:
+    try:
+        with open(path, "rb") as handle:
+            return validate_entry_bytes(handle.read())
+    except OSError:
+        return False
+
+
+class IntentRecord:
+    """One write transaction's durable intent."""
+
+    __slots__ = ("txn", "pid", "dest", "tmp", "created", "path")
+
+    def __init__(self, txn: str, pid: int, dest: str, tmp: str,
+                 created: float, path: Optional[str] = None):
+        self.txn = txn
+        self.pid = pid
+        self.dest = dest
+        self.tmp = tmp
+        self.created = created
+        #: the record file itself (set when loaded from disk).
+        self.path = path
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "version": JOURNAL_VERSION,
+            "txn": self.txn,
+            "pid": self.pid,
+            "dest": self.dest,
+            "tmp": self.tmp,
+            "created": self.created,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object],
+                  path: Optional[str] = None) -> "IntentRecord":
+        if data.get("version") != JOURNAL_VERSION:
+            raise ValueError(f"journal record version {data.get('version')!r}")
+        return cls(
+            str(data["txn"]), int(data["pid"]), str(data["dest"]),
+            str(data["tmp"]), float(data.get("created", 0.0)), path=path,
+        )
+
+    def __repr__(self) -> str:
+        return f"IntentRecord(txn={self.txn!r}, pid={self.pid}, dest={self.dest!r})"
+
+
+class IntentJournal:
+    """The write-ahead intent journal of one store root.
+
+    Lifecycle of a journaled write (see ``DiskCache._write_entry``)::
+
+        tmp written + fsynced
+        begin()      -> intent record durable on disk      (write-ahead)
+        os.replace(tmp, dest) + directory fsync            (publish)
+        commit()     -> record retired                     (done)
+
+    A crash before ``begin`` leaves an unreferenced ``.tmp`` (reaped by
+    trim/fsck via the age heuristic).  A crash between ``begin`` and
+    the replace leaves a record whose destination is stale or absent —
+    rolled *back*.  A crash between the replace and ``commit`` leaves a
+    record whose destination is valid — rolled *forward*.  Recovery
+    never touches records whose owner PID is still alive: that is a
+    concurrent writer mid-flight, not a corpse.
+    """
+
+    def __init__(self, root: str, stats=None):
+        self.root = os.path.abspath(root)
+        self.dir = os.path.join(self.root, JOURNAL_DIRNAME)
+        self.stats = stats
+        self._lock = threading.Lock()
+        self._counter = 0
+
+    def _bump(self, counter: str, amount: int = 1) -> None:
+        if self.stats is not None:
+            self.stats.bump(counter, amount)
+
+    def _next_txn(self) -> str:
+        with self._lock:
+            self._counter += 1
+            serial = self._counter
+        token = hashlib.sha256(
+            f"{os.getpid()}:{serial}:{id(self)}".encode("utf-8")
+        ).hexdigest()[:12]
+        return f"{os.getpid()}-{serial}-{token}"
+
+    # -- the write-ahead protocol ---------------------------------------
+
+    def begin(self, dest: str, tmp: str) -> Optional[IntentRecord]:
+        """Durably record the intent to publish ``tmp`` at ``dest``.
+
+        Returns the record, or None when the journal directory cannot
+        be written (the caller's write proceeds unjournaled — exactly
+        the pre-journal behavior, no worse)."""
+        record = IntentRecord(
+            self._next_txn(), os.getpid(),
+            os.path.abspath(dest), os.path.abspath(tmp),
+            os.stat(tmp).st_mtime if os.path.exists(tmp) else 0.0,
+        )
+        record.path = os.path.join(self.dir, f"{record.txn}.json")
+        data = json.dumps(record.to_dict(), sort_keys=True).encode("utf-8")
+        try:
+            os.makedirs(self.dir, exist_ok=True)
+            fd, tmp_record = tempfile.mkstemp(
+                dir=self.dir, suffix=".rec.tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(data)
+                    handle.flush()
+                    fsync_fd(handle.fileno())
+                os.replace(tmp_record, record.path)
+            except BaseException:
+                try:
+                    os.remove(tmp_record)
+                except OSError:
+                    pass
+                raise
+            fsync_dir(self.dir)
+        except OSError:
+            return None
+        self._bump("journal.begin")
+        return record
+
+    def commit(self, record: Optional[IntentRecord]) -> None:
+        """Retire a completed transaction's record."""
+        if record is None or record.path is None:
+            return
+        try:
+            os.remove(record.path)
+            fsync_dir(self.dir)
+        except OSError:
+            pass
+        self._bump("journal.commit")
+
+    def abort(self, record: Optional[IntentRecord]) -> None:
+        """Retire an abandoned transaction's record (the write failed
+        before publishing; the caller already removed the temp file)."""
+        if record is None or record.path is None:
+            return
+        try:
+            os.remove(record.path)
+            fsync_dir(self.dir)
+        except OSError:
+            pass
+        self._bump("journal.abort")
+
+    # -- introspection and recovery -------------------------------------
+
+    def records(self) -> List[IntentRecord]:
+        """Every intent record currently on disk (unparseable record
+        files are skipped — fsck reports them; recovery must not)."""
+        found: List[IntentRecord] = []
+        try:
+            names = sorted(os.listdir(self.dir))
+        except OSError:
+            return found
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            path = os.path.join(self.dir, name)
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    found.append(
+                        IntentRecord.from_dict(json.load(handle), path=path)
+                    )
+            except (OSError, ValueError, KeyError, TypeError):
+                continue
+        return found
+
+    def pending_tmps(self) -> Dict[str, IntentRecord]:
+        """Map of temp-file path → intent record, for every record on
+        disk.  The trim pass uses it to tell live writers from corpses."""
+        return {record.tmp: record for record in self.records()}
+
+    def recover(self) -> Tuple[int, int]:
+        """Replay every dead writer's dangling intent; returns
+        ``(rolled_forward, rolled_back)``.
+
+        Roll-forward (destination is a self-consistent entry: the
+        ``os.replace`` happened, only the commit was lost) retires the
+        record and any leftover temp file.  Roll-back (destination
+        absent or torn) removes the temp file, removes a torn
+        destination, and retires the record.  Records owned by live
+        PIDs — concurrent writers mid-transaction — are left alone.
+        """
+        forward = rollback = 0
+        me = os.getpid()
+        for record in self.records():
+            if record.pid != me and pid_alive(record.pid):
+                continue
+            if os.path.exists(record.dest) and validate_entry_file(
+                record.dest
+            ):
+                forward += 1
+                self._bump("journal.recovered.forward")
+            else:
+                rollback += 1
+                self._bump("journal.recovered.rollback")
+                if os.path.exists(record.dest):
+                    # Torn destination: a replace that half-happened on
+                    # a non-atomic filesystem, or a record written for a
+                    # write that then failed.  Quarantine it.
+                    try:
+                        os.remove(record.dest)
+                    except OSError:
+                        pass
+            for leftover in (record.tmp, record.path):
+                if leftover is None:
+                    continue
+                try:
+                    os.remove(leftover)
+                except OSError:
+                    pass
+        if forward or rollback:
+            fsync_dir(self.dir)
+        return forward, rollback
+
+
+class LeaseManager:
+    """Per-process writer leases under ``<root>/leases/``.
+
+    A lease is one JSON file named by PID.  It claims nothing
+    exclusive — concurrent writers are already safe via atomic
+    replaces — it only makes *liveness* an offline-checkable fact, so
+    fsck and trim can classify another process's half-finished state
+    without guessing from file ages alone.
+    """
+
+    def __init__(self, root: str, stats=None):
+        self.root = os.path.abspath(root)
+        self.dir = os.path.join(self.root, LEASE_DIRNAME)
+        self.stats = stats
+        self._held: Optional[str] = None
+        self._lock = threading.Lock()
+
+    def _bump(self, counter: str, amount: int = 1) -> None:
+        if self.stats is not None:
+            self.stats.bump(counter, amount)
+
+    def lease_path(self, pid: Optional[int] = None) -> str:
+        return os.path.join(
+            self.dir, f"{os.getpid() if pid is None else pid}.json"
+        )
+
+    def acquire(self) -> Optional[str]:
+        """Claim (or refresh) this process's lease; None on I/O failure.
+        Idempotent — one lease per (root, PID) no matter how many
+        sessions attach."""
+        with self._lock:
+            path = self.lease_path()
+            payload = json.dumps(
+                {
+                    "version": JOURNAL_VERSION,
+                    "pid": os.getpid(),
+                    "host": os.uname().nodename if hasattr(os, "uname")
+                    else "",
+                },
+                sort_keys=True,
+            ).encode("utf-8")
+            try:
+                os.makedirs(self.dir, exist_ok=True)
+                fd, tmp = tempfile.mkstemp(dir=self.dir, suffix=".tmp")
+                try:
+                    with os.fdopen(fd, "wb") as handle:
+                        handle.write(payload)
+                    os.replace(tmp, path)
+                except BaseException:
+                    try:
+                        os.remove(tmp)
+                    except OSError:
+                        pass
+                    raise
+            except OSError:
+                return None
+            self._held = path
+            return path
+
+    def release(self) -> None:
+        with self._lock:
+            if self._held is None:
+                return
+            try:
+                os.remove(self._held)
+            except OSError:
+                pass
+            self._held = None
+
+    def holders(self) -> Dict[int, str]:
+        """PID → lease path for every lease file on disk."""
+        found: Dict[int, str] = {}
+        try:
+            names = os.listdir(self.dir)
+        except OSError:
+            return found
+        for name in names:
+            stem, _, extension = name.partition(".")
+            if extension != "json":
+                continue
+            try:
+                found[int(stem)] = os.path.join(self.dir, name)
+            except ValueError:
+                continue
+        return found
+
+    def live_pids(self) -> Tuple[int, ...]:
+        return tuple(
+            pid for pid in sorted(self.holders()) if pid_alive(pid)
+        )
+
+    def reap_stale(self) -> int:
+        """Drop leases whose PID is dead; returns how many."""
+        reaped = 0
+        for pid, path in self.holders().items():
+            if pid_alive(pid):
+                continue
+            try:
+                os.remove(path)
+            except OSError:
+                continue
+            reaped += 1
+        if reaped:
+            self._bump("journal.lease_reaped", reaped)
+        return reaped

@@ -33,8 +33,18 @@ _COMPUTE_PREFIX = "compute."
 _WAIT_PREFIX = "wait."
 
 #: counter-name prefixes the robustness section splits on: injected
-#: faults and the retries/degradations that absorbed them.
-_FAULT_PREFIXES = ("fault.injected.", "retry.", "degrade.")
+#: faults, the retries/degradations that absorbed them, and the
+#: crash-consistency machinery (intent journal, fsck, run checkpoints,
+#: worker watchdog).
+_FAULT_PREFIXES = (
+    "fault.injected.",
+    "retry.",
+    "degrade.",
+    "journal.",
+    "fsck.",
+    "checkpoint.",
+    "watchdog.",
+)
 
 
 class RunReport:

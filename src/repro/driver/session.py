@@ -215,6 +215,10 @@ class CompileSession:
             if self.cache.disk is not None
             else None
         )
+        #: run ledger for checkpoint/resume (attached by the CLI's
+        #: ``--run-id``/``--resume`` plumbing; grids pick it up via
+        #: ``getattr(session, "ledger", None)``).
+        self.ledger = None
         #: in-session profile memo keyed by structural hash (value None
         #: caches the *absence* of a profile when auto-collection is off).
         self._profiles: Dict[str, Optional[SimProfile]] = {}
@@ -1018,6 +1022,35 @@ class CompileSession:
             "injected": _slice("fault.injected."),
             "retries": _slice("retry."),
             "degrades": _slice("degrade."),
+            # Per-site consultation counts from the installed plan: the
+            # crash-chaos harness reads a baseline child's counts to
+            # derive valid skip offsets for its kill runs.
+            "calls": (
+                dict(self.fault_plan.calls)
+                if self.fault_plan is not None
+                else {}
+            ),
+        }
+
+    def checkpoint_stats(self) -> Dict[str, object]:
+        """The resume picture: ledger identity and checkpoint traffic.
+
+        ``hits`` are points served from a previous (or this) process's
+        ledger without recomputation, ``stores`` are fresh checkpoints,
+        ``drains`` counts graceful SIGINT/SIGTERM unwinds.
+        ``results_digest`` is the order-independent digest over all
+        recorded results — the cross-run bit-identity witness.
+        """
+        counters = self.stats.snapshot()["counters"]
+        return {
+            "run_id": self.ledger.run_id if self.ledger else None,
+            "recorded": len(self.ledger) if self.ledger else 0,
+            "hits": counters.get("checkpoint.hit", 0),
+            "stores": counters.get("checkpoint.store", 0),
+            "drains": counters.get("checkpoint.drain", 0),
+            "results_digest": (
+                self.ledger.results_digest if self.ledger else None
+            ),
         }
 
     def stats_dict(self) -> Dict[str, object]:
@@ -1033,6 +1066,7 @@ class CompileSession:
             "tuner": self.tuner_stats(),
             "profile": self.profile_stats(),
             "faults": self.fault_stats(),
+            "checkpoint": self.checkpoint_stats(),
         }
 
 

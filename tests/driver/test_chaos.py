@@ -7,13 +7,16 @@ design subset so the suite stays fast.
 
 import pytest
 
-from repro.driver import FAULT_SITES, SITE_GROUPS, run_chaos
+from repro.driver import CRASH_SITES, FAULT_SITES, SITE_GROUPS, run_chaos
 from repro.driver.chaos import ChaosRun, _run_once
 
 
-def test_site_groups_partition_fault_sites():
-    """Every fault site is chaos-tested by exactly one group."""
+def test_site_groups_plus_crash_sites_partition_fault_sites():
+    """Every fault site is chaos-tested by exactly one group — except
+    the ``proc.kill.*`` crash sites, which SIGKILL the process and are
+    exercised by the separate ``repro chaos --crash`` harness."""
     seen = [site for sites in SITE_GROUPS.values() for site in sites]
+    seen.extend(CRASH_SITES)
     assert sorted(seen) == sorted(FAULT_SITES)
     assert len(seen) == len(set(seen))
 

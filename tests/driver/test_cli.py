@@ -221,3 +221,94 @@ def test_stats_json_carries_the_fault_section(capsys, monkeypatch):
     assert payload["faults"]["plan"] == "disk.read"
     assert payload["faults"]["injected"] == {"disk.read": 1}
     assert payload["faults"]["retries"] == {"disk.read": 1}
+
+
+def test_sweep_emits_digests_and_checkpoints(tmp_path, capsys):
+    cache = str(tmp_path / "store")
+    assert main([
+        "sweep", "--designs", "fpu", "--cycles", "8", "-O1",
+        "--cache-dir", cache, "--run-id", "run-a", "--stats", "json",
+    ]) == 0
+    payload = json.loads(capsys.readouterr().out.splitlines()[-1])
+    assert set(payload["digests"]) == {"fpu"}
+    assert "trace" in payload["digests"]["fpu"]
+    assert payload["checkpoint"]["run_id"] == "run-a"
+    assert payload["checkpoint"]["stores"] == 1
+    # The journal bracketed every publish.
+    assert payload["cache"]["counters"]["journal.begin"] >= 1
+
+    # A --resume serves the point from the ledger, digests unchanged.
+    assert main([
+        "sweep", "--designs", "fpu", "--cycles", "8", "-O1",
+        "--cache-dir", cache, "--run-id", "run-a", "--resume",
+        "--stats", "json",
+    ]) == 0
+    resumed = json.loads(capsys.readouterr().out.splitlines()[-1])
+    assert resumed["digests"] == payload["digests"]
+    assert resumed["checkpoint"]["hits"] == 1
+    assert resumed["checkpoint"]["stores"] == 0
+
+
+def test_rerunning_a_run_id_without_resume_is_refused(tmp_path, capsys):
+    cache = str(tmp_path / "store")
+    args = [
+        "sweep", "--designs", "fpu", "--cycles", "8", "-O1",
+        "--cache-dir", cache, "--run-id", "run-a",
+    ]
+    assert main(args) == 0
+    with pytest.raises(SystemExit, match="pass --resume"):
+        main(args)
+
+
+def test_resume_requires_a_run_id():
+    with pytest.raises(SystemExit, match="--resume requires --run-id"):
+        main(["sweep", "--designs", "fpu", "--resume"])
+
+
+def test_fsck_command_reports_a_consistent_store(tmp_path, capsys):
+    cache = str(tmp_path / "store")
+    assert main([
+        "sweep", "--designs", "fpu", "--cycles", "8", "-O1",
+        "--cache-dir", cache,
+    ]) == 0
+    capsys.readouterr()
+    assert main(["fsck", "--cache-dir", cache]) == 0
+    assert "store is consistent" in capsys.readouterr().out
+
+    assert main(["fsck", "--cache-dir", cache, "--stats", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out.splitlines()[-1])
+    assert payload["consistent"] is True
+    assert payload["exit_code"] == 0
+    assert payload["scanned"] >= 1
+
+
+def test_fsck_flags_and_repairs_damage(tmp_path, capsys):
+    import os
+
+    cache = str(tmp_path / "store")
+    assert main([
+        "sweep", "--designs", "fpu", "--cycles", "8", "-O1",
+        "--cache-dir", cache,
+    ]) == 0
+    capsys.readouterr()
+    # Bit-rot one entry behind the store's back.
+    victim = None
+    for directory, _, files in os.walk(cache):
+        for name in files:
+            if name.endswith(".pkl") and "runs" not in directory:
+                victim = f"{directory}/{name}"
+                break
+        if victim:
+            break
+    with open(victim, "ab") as handle:
+        handle.write(b"bitrot")
+    assert main(["fsck", "--cache-dir", cache]) == 1
+    assert "corrupt_entry" in capsys.readouterr().out
+    assert main(["fsck", "--cache-dir", cache, "--repair"]) == 0
+    assert "quarantined" in capsys.readouterr().out
+    assert main(["fsck", "--cache-dir", cache]) == 0
+
+
+def test_chaos_sites_flag_requires_crash_mode():
+    with pytest.raises(SystemExit, match="--sites only applies"):
+        main(["chaos", "--sites", "proc.kill.write"])

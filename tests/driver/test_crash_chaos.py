@@ -1,0 +1,71 @@
+"""Kill-9 chaos: a real SIGKILLed child, fsck'd and resumed.
+
+The CI matrix runs all three ``proc.kill.*`` sites; the suite keeps one
+real subprocess experiment (the cheapest site) so the whole
+kill → fsck → resume → compare protocol is exercised on every test run,
+plus unit tests of the verdict logic that need no subprocesses.
+"""
+
+import pytest
+
+from repro.driver import run_crash_chaos
+from repro.driver.chaos import CrashChaosRun
+
+
+def _verdict(**overrides):
+    run = CrashChaosRun("proc.kill.write", 0)
+    run.skip = 0
+    run.calls = 4
+    run.kill_rc = -9
+    run.fsck_consistent = True
+    run.resume_rc = 0
+    run.identical = True
+    run.total_points = 2
+    run.resumed_points = 1
+    run.recomputed_points = 1
+    for name, value in overrides.items():
+        setattr(run, name, value)
+    return run
+
+
+def test_verdict_requires_every_leg_of_the_protocol():
+    assert _verdict().ok
+    assert not _verdict(kill_rc=0).ok          # child survived the kill
+    assert not _verdict(kill_rc=1).ok          # died, but not by SIGKILL
+    assert not _verdict(fsck_consistent=False).ok
+    assert not _verdict(resume_rc=1).ok
+    assert not _verdict(identical=False).ok
+    assert not _verdict(error="lost child").ok
+
+
+def test_verdict_demands_strictly_fewer_recomputes_after_a_checkpoint():
+    # The killed child checkpointed a point: the resume must not redo
+    # the whole grid.
+    assert not _verdict(resumed_points=1, recomputed_points=2).ok
+    # Killed before any checkpoint landed: a full recompute is honest.
+    assert _verdict(resumed_points=0, recomputed_points=2).ok
+
+
+def test_crash_chaos_rejects_unknown_sites():
+    with pytest.raises(ValueError, match="unknown crash sites"):
+        run_crash_chaos(sites=("disk.read",))
+
+
+def test_kill9_store_fscks_consistent_and_resume_is_bit_identical():
+    """One real experiment: SIGKILL a child sweep inside the disk-write
+    window, then assert the store is (or repairs to) consistent and the
+    resumed run reproduces the baseline digests."""
+    report = run_crash_chaos(
+        designs=("fpu",), seeds=(0,), sites=("proc.kill.write",),
+        cycles=8, opt_level=1,
+    )
+    assert report.ok, report.render()
+    (run,) = report.runs
+    assert run.kill_rc == -9
+    assert run.fsck_consistent is True
+    assert run.resume_rc == 0
+    assert run.identical is True
+    payload = report.to_dict()
+    assert payload["ok"] is True
+    assert payload["runs"][0]["site"] == "proc.kill.write"
+    assert "every killed store fsck-consistent" in report.render()

@@ -328,3 +328,57 @@ def test_trim_spares_young_tmp_files_of_live_writers(tmp_path):
     assert os.path.exists(young)  # may be mid-mkstemp/os.replace: spared
     assert not os.path.exists(stale)  # orphan: reaped
     assert not _entry_files(tmp_path)
+
+
+# -- trim vs live writers (the journal makes the race exact) ------------
+
+
+def test_trim_spares_live_writers_and_reaps_dead_ones(tmp_path):
+    """A ``.tmp`` whose intent record names a live PID is never an
+    eviction candidate no matter how old; a dead writer's is reapable
+    immediately; unjournaled tmps fall back to the age heuristic."""
+    import subprocess
+    import sys
+    import time
+
+    from repro.driver import journal
+    from repro.driver.cache import TMP_REAP_AGE_SECONDS
+
+    root = str(tmp_path)
+    cache = DiskCache(root=root, max_bytes=1)
+    subtree = os.path.join(root, f"v{SCHEMA_VERSION}", "stage")
+    os.makedirs(subtree, exist_ok=True)
+    ancient = time.time() - 2 * TMP_REAP_AGE_SECONDS
+
+    def plant_tmp(name, pid=None):
+        path = os.path.join(subtree, name)
+        with open(path, "wb") as handle:
+            handle.write(b"half-written payload")
+        os.utime(path, (ancient, ancient))
+        if pid is not None:
+            journal_dir = os.path.join(root, journal.JOURNAL_DIRNAME)
+            os.makedirs(journal_dir, exist_ok=True)
+            record = journal.IntentRecord(
+                f"{pid}-{name}", pid, path[:-4] + ".pkl", path, ancient
+            )
+            with open(
+                os.path.join(journal_dir, f"{record.txn}.json"),
+                "w", encoding="utf-8",
+            ) as handle:
+                json.dump(record.to_dict(), handle)
+        return path
+
+    corpse = subprocess.Popen([sys.executable, "-c", "pass"])
+    corpse.wait()
+    live_tmp = plant_tmp("live.tmp", pid=os.getppid())
+    dead_tmp = plant_tmp("dead.tmp", pid=corpse.pid)
+    old_orphan = plant_tmp("orphan.tmp")
+    young_tmp = os.path.join(subtree, "young.tmp")
+    with open(young_tmp, "wb") as handle:
+        handle.write(b"just born")
+
+    assert cache._trim() == 2
+    assert os.path.exists(live_tmp)        # journaled live writer
+    assert os.path.exists(young_tmp)       # young: benefit of the doubt
+    assert not os.path.exists(dead_tmp)    # journaled corpse
+    assert not os.path.exists(old_orphan)  # aged-out orphan

@@ -157,3 +157,36 @@ def test_fault_stats_slices_the_counters(tmp_path):
     assert stats["injected"] == {"disk.read": 1}
     assert stats["retries"] == {"disk.read": 1}
     assert "faults" in session.stats_dict()
+
+
+# -- the crash family ----------------------------------------------------
+
+
+def test_crash_sites_are_fault_sites_with_the_spec_grammar():
+    from repro.driver.faults import CRASH_SITES
+
+    assert set(CRASH_SITES) <= set(FAULT_SITES)
+    plan = FaultPlan.parse("proc.kill.write@3")
+    assert plan.spec_string() == "proc.kill.write@3"
+    assert plan.planned("proc.kill.write") == 1
+
+
+def test_kill_here_rejects_non_crash_sites():
+    from repro.driver.faults import kill_here
+
+    with pytest.raises(ValueError, match="not a crash site"):
+        kill_here("disk.read")
+
+
+def test_kill_here_outside_its_window_is_a_no_op():
+    """The suite still running after these calls *is* the assertion —
+    a bug here SIGKILLs the test process."""
+    from repro.driver.faults import kill_here
+
+    kill_here("proc.kill.write")  # no plan installed
+    stats = CacheStats()
+    plan = FaultPlan.parse("proc.kill.point@5").bind(stats)
+    with installed(plan):
+        kill_here("proc.kill.point")  # call 0; window opens at skip 5
+    assert plan.calls["proc.kill.point"] == 1
+    assert plan.fired == {}

@@ -6,7 +6,7 @@ import time
 import pytest
 
 from repro.designs.fpu import FPU_LA_SOURCE
-from repro.driver import CompileSession, EvalGrid
+from repro.driver import CompileSession, EvalGrid, RunLedger
 from repro.generators.flopoco import FloPoCoGenerator
 
 FREQUENCIES = (100, 150, 250, 400, 100, 400)
@@ -252,3 +252,98 @@ def test_figure13_rows_match_across_worker_counts():
         assert a.rv.registers == b.rv.registers
         assert a.lilac.fmax_mhz == pytest.approx(b.lilac.fmax_mhz)
         assert a.rv.fmax_mhz == pytest.approx(b.rv.fmax_mhz)
+
+
+# -- checkpointing: the run ledger --------------------------------------
+
+
+def _triple(session, point):
+    return point * 3
+
+
+def test_ledgered_grid_resumes_without_recomputing(tmp_path):
+    cache = str(tmp_path / "cache")
+    cold = CompileSession(cache_dir=cache)
+    ledger = RunLedger(cache, "run-a", cold.stats)
+    assert EvalGrid(cold, max_workers=1, ledger=ledger).map(
+        _triple, [1, 2, 3]
+    ) == [3, 6, 9]
+    assert cold.stats.counter("checkpoint.store") == 3
+    ledger.close()
+
+    warm = CompileSession(cache_dir=cache)
+    resumed = RunLedger(cache, "run-a", warm.stats, resume=True)
+    calls = []
+
+    def tracked(session, point):
+        calls.append(point)
+        return _triple(session, point)
+
+    tracked.__module__ = _triple.__module__
+    tracked.__qualname__ = _triple.__qualname__  # same point identity
+    assert EvalGrid(warm, max_workers=1, ledger=resumed).map(
+        tracked, [1, 2, 3]
+    ) == [3, 6, 9]
+    assert calls == []  # every point served from the ledger
+    assert warm.stats.counter("checkpoint.hit") == 3
+    assert resumed.results_digest == ledger.results_digest
+    resumed.close()
+
+
+def test_grid_picks_up_the_session_attached_ledger(tmp_path):
+    session = CompileSession(cache_dir=str(tmp_path))
+    session.ledger = RunLedger(str(tmp_path), "run-s", session.stats)
+    assert EvalGrid(session, max_workers=1).map(_triple, [1, 2]) == [3, 6]
+    assert session.stats.counter("checkpoint.store") == 2
+    session.ledger.close()
+
+
+def test_keyboard_interrupt_flushes_the_ledger_and_propagates(tmp_path):
+    """Satellite: Ctrl-C exits promptly — no retry, no next point — and
+    what already completed is on disk for ``--resume``."""
+    session = CompileSession(cache_dir=str(tmp_path))
+    ledger = RunLedger(str(tmp_path), "run-ki", session.stats)
+
+    def interrupt(sess, point):
+        if point == 2:
+            raise KeyboardInterrupt()
+        return point
+
+    grid = EvalGrid(session, max_workers=1, ledger=ledger, point_retries=5)
+    with pytest.raises(KeyboardInterrupt):
+        grid.map(interrupt, [1, 2, 3])
+    assert session.stats.counter("retry.worker") == 0
+    assert session.stats.counter("checkpoint.store") == 1
+    ledger.close()
+    resumed = RunLedger(str(tmp_path), "run-ki", resume=True)
+    assert len(resumed) == 1  # point 1 survived the interrupt
+    resumed.close()
+
+
+# -- the hung-worker watchdog -------------------------------------------
+
+
+def _hang_in_worker(session, point):
+    """Hangs only inside a pool worker *process* — the thread rung the
+    ladder degrades to (and any requeue) completes instantly."""
+    import multiprocessing
+
+    if multiprocessing.current_process().name != "MainProcess":
+        time.sleep(60)
+    return point * 2
+
+
+def test_watchdog_kills_hung_workers_and_requeues(tmp_path):
+    cache = str(tmp_path / "cache")
+    session = CompileSession(cache_dir=cache)
+    ledger = RunLedger(cache, "run-w", session.stats)
+    grid = EvalGrid(
+        session, max_workers=2, executor="process",
+        watchdog_timeout=0.3, ledger=ledger,
+    )
+    with pytest.warns(RuntimeWarning, match="degraded process -> thread"):
+        assert grid.map(_hang_in_worker, [1, 2, 3]) == [2, 4, 6]
+    assert session.stats.counter("watchdog.kill") >= 1
+    assert session.stats.counter("watchdog.requeue") >= 1
+    assert session.stats.counter("degrade.executor") >= 1
+    ledger.close()

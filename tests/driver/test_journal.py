@@ -1,0 +1,168 @@
+"""The write-ahead intent journal and writer leases.
+
+These are the crash-consistency substrate under the disk cache: an
+intent record durable *before* the publishing ``os.replace``, recovery
+that replays a dead writer's dangling intent (forward when the entry
+landed, back when it didn't), and per-PID leases that make liveness an
+offline-checkable fact.
+"""
+
+import hashlib
+import json
+import os
+import subprocess
+import sys
+
+from repro.driver import CacheStats
+from repro.driver import journal
+
+
+def _dead_pid():
+    """A PID that provably belonged to a now-dead process."""
+    proc = subprocess.Popen([sys.executable, "-c", "pass"])
+    proc.wait()
+    return proc.pid
+
+
+def _entry_bytes(payload=b"payload"):
+    header = {"sha256": hashlib.sha256(payload).hexdigest()}
+    return json.dumps(header).encode("utf-8") + b"\n" + payload
+
+
+def _plant(tmp_path, pid, publish=None):
+    """An intent record owned by ``pid``, its temp file, and optionally
+    a valid or torn destination — the on-disk shape of a writer that
+    died at a chosen protocol step."""
+    root = str(tmp_path)
+    dest = os.path.join(root, "entry.pkl")
+    tmp = os.path.join(root, "writer.tmp")
+    with open(tmp, "wb") as handle:
+        handle.write(_entry_bytes())
+    if publish == "valid":
+        with open(dest, "wb") as handle:
+            handle.write(_entry_bytes())
+    elif publish == "torn":
+        with open(dest, "wb") as handle:
+            handle.write(b"definitely not an entry")
+    journal_dir = os.path.join(root, journal.JOURNAL_DIRNAME)
+    os.makedirs(journal_dir, exist_ok=True)
+    record = journal.IntentRecord(f"{pid}-1-feed", pid, dest, tmp, 0.0)
+    record.path = os.path.join(journal_dir, f"{record.txn}.json")
+    with open(record.path, "w", encoding="utf-8") as handle:
+        json.dump(record.to_dict(), handle)
+    return record
+
+
+def test_begin_then_commit_retires_the_record(tmp_path):
+    stats = CacheStats()
+    jnl = journal.IntentJournal(str(tmp_path), stats)
+    tmp = tmp_path / "x.tmp"
+    tmp.write_bytes(b"x")
+    record = jnl.begin(str(tmp_path / "x.pkl"), str(tmp))
+    assert record is not None
+    assert os.path.exists(record.path)
+    assert set(jnl.pending_tmps()) == {str(tmp)}
+    jnl.commit(record)
+    assert not os.path.exists(record.path)
+    assert jnl.records() == []
+    assert stats.counter("journal.begin") == 1
+    assert stats.counter("journal.commit") == 1
+
+
+def test_abort_retires_the_record(tmp_path):
+    stats = CacheStats()
+    jnl = journal.IntentJournal(str(tmp_path), stats)
+    tmp = tmp_path / "x.tmp"
+    tmp.write_bytes(b"x")
+    record = jnl.begin(str(tmp_path / "x.pkl"), str(tmp))
+    jnl.abort(record)
+    assert jnl.records() == []
+    assert stats.counter("journal.abort") == 1
+    # None (an unjournaled write) is accepted silently.
+    jnl.abort(None)
+    assert stats.counter("journal.abort") == 1
+
+
+def test_recover_rolls_forward_when_destination_is_valid(tmp_path):
+    record = _plant(tmp_path, _dead_pid(), publish="valid")
+    stats = CacheStats()
+    jnl = journal.IntentJournal(str(tmp_path), stats)
+    assert jnl.recover() == (1, 0)
+    # The published entry survives; the leftovers are retired.
+    assert os.path.exists(record.dest)
+    assert not os.path.exists(record.tmp)
+    assert not os.path.exists(record.path)
+    assert stats.counter("journal.recovered.forward") == 1
+
+
+def test_recover_rolls_back_a_torn_destination(tmp_path):
+    record = _plant(tmp_path, _dead_pid(), publish="torn")
+    jnl = journal.IntentJournal(str(tmp_path), CacheStats())
+    assert jnl.recover() == (0, 1)
+    assert not os.path.exists(record.dest)
+    assert not os.path.exists(record.tmp)
+    assert not os.path.exists(record.path)
+
+
+def test_recover_rolls_back_when_destination_is_missing(tmp_path):
+    record = _plant(tmp_path, _dead_pid(), publish=None)
+    stats = CacheStats()
+    assert journal.IntentJournal(str(tmp_path), stats).recover() == (0, 1)
+    assert not os.path.exists(record.tmp)
+    assert stats.counter("journal.recovered.rollback") == 1
+
+
+def test_recover_leaves_live_writers_alone(tmp_path):
+    """A record whose owner PID is alive is a concurrent writer
+    mid-transaction, not a corpse — recovery must not touch it."""
+    record = _plant(tmp_path, os.getppid(), publish=None)
+    jnl = journal.IntentJournal(str(tmp_path), CacheStats())
+    assert jnl.recover() == (0, 0)
+    assert os.path.exists(record.tmp)
+    assert os.path.exists(record.path)
+
+
+def test_lease_acquire_is_idempotent_and_releases(tmp_path):
+    leases = journal.LeaseManager(str(tmp_path), CacheStats())
+    first = leases.acquire()
+    second = leases.acquire()
+    assert first == second
+    assert list(leases.holders()) == [os.getpid()]
+    assert leases.live_pids() == (os.getpid(),)
+    leases.release()
+    assert leases.holders() == {}
+
+
+def test_reap_stale_drops_only_dead_leases(tmp_path):
+    stats = CacheStats()
+    leases = journal.LeaseManager(str(tmp_path), stats)
+    leases.acquire()
+    dead = _dead_pid()
+    with open(leases.lease_path(dead), "w", encoding="utf-8") as handle:
+        json.dump({"version": journal.JOURNAL_VERSION, "pid": dead}, handle)
+    assert leases.reap_stale() == 1
+    assert list(leases.holders()) == [os.getpid()]
+    assert stats.counter("journal.lease_reaped") == 1
+
+
+def test_validate_entry_bytes_checks_the_digest():
+    assert journal.validate_entry_bytes(_entry_bytes())
+    assert not journal.validate_entry_bytes(b"no header here")
+    tampered = _entry_bytes() + b"extra"
+    assert not journal.validate_entry_bytes(tampered)
+
+
+def test_pid_alive_probes():
+    assert journal.pid_alive(os.getpid())
+    assert not journal.pid_alive(_dead_pid())
+    assert not journal.pid_alive(0)
+    assert not journal.pid_alive(-1)
+
+
+def test_fsync_gate_reads_the_environment(monkeypatch):
+    monkeypatch.setenv(journal.FSYNC_ENV, "0")
+    assert not journal.fsync_enabled()
+    monkeypatch.setenv(journal.FSYNC_ENV, "1")
+    assert journal.fsync_enabled()
+    monkeypatch.delenv(journal.FSYNC_ENV)
+    assert journal.fsync_enabled()  # durable by default

@@ -1,0 +1,149 @@
+"""The run ledger: checkpoint, replay, identity, digests, drains."""
+
+import functools
+import json
+import os
+import signal
+
+import pytest
+
+from repro.driver import CacheStats, RunLedger, graceful_drain, point_key
+from repro.driver.ledger import describe_fn, iter_run_ids
+
+
+def _fn(session, point):
+    return point
+
+
+def test_record_then_lookup_round_trips(tmp_path):
+    stats = CacheStats()
+    ledger = RunLedger(str(tmp_path), "run-a", stats)
+    key = point_key(_fn, 7)
+    assert ledger.lookup(key) == (False, None)
+    assert ledger.record(key, {"value": 7})
+    assert ledger.lookup(key) == (True, {"value": 7})
+    assert key in ledger and len(ledger) == 1
+    assert stats.counter("checkpoint.miss") == 1
+    assert stats.counter("checkpoint.hit") == 1
+    assert stats.counter("checkpoint.store") == 1
+    # Re-recording an already-checkpointed key is a cheap no-op.
+    assert ledger.record(key, {"value": 7})
+    assert stats.counter("checkpoint.store") == 1
+    ledger.close()
+
+
+def test_fresh_run_refuses_an_existing_ledger(tmp_path):
+    RunLedger(str(tmp_path), "run-a").close()
+    with pytest.raises(FileExistsError, match="pass --resume"):
+        RunLedger(str(tmp_path), "run-a")
+
+
+def test_resume_replays_recorded_points(tmp_path):
+    first = RunLedger(str(tmp_path), "run-a")
+    keys = [point_key(_fn, n) for n in range(3)]
+    for n, key in enumerate(keys):
+        first.record(key, n * 10)
+    first.close()
+
+    resumed = RunLedger(str(tmp_path), "run-a", resume=True)
+    assert len(resumed) == 3
+    for n, key in enumerate(keys):
+        assert resumed.lookup(key) == (True, n * 10)
+    assert resumed.results_digest == first.results_digest
+    resumed.close()
+
+
+def test_torn_tail_line_is_tolerated(tmp_path):
+    ledger = RunLedger(str(tmp_path), "run-a")
+    key = point_key(_fn, 1)
+    ledger.record(key, "kept")
+    ledger.close()
+    with open(ledger.manifest_path, "a", encoding="utf-8") as handle:
+        handle.write('{"type": "point", "key": "torn')  # killed mid-append
+
+    resumed = RunLedger(str(tmp_path), "run-a", resume=True)
+    assert len(resumed) == 1
+    assert resumed.lookup(key) == (True, "kept")
+    resumed.close()
+
+
+def test_missing_side_file_degrades_to_a_recompute(tmp_path):
+    ledger = RunLedger(str(tmp_path), "run-a")
+    key = point_key(_fn, 1)
+    ledger.record(key, "gone")
+    ledger.close()
+    os.remove(os.path.join(ledger.points_dir, f"{key}.pkl"))
+    resumed = RunLedger(str(tmp_path), "run-a", resume=True)
+    assert len(resumed) == 0  # dropped checkpoint, never a wrong result
+    resumed.close()
+
+
+def test_version_mismatch_refuses_loudly(tmp_path):
+    ledger = RunLedger(str(tmp_path), "run-a")
+    ledger.close()
+    with open(ledger.manifest_path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(
+            {"type": "header", "version": 99, "run_id": "run-a"}
+        ) + "\n")
+    with pytest.raises(ValueError, match="version"):
+        RunLedger(str(tmp_path), "run-a", resume=True)
+
+
+def test_headerless_manifest_refuses(tmp_path):
+    ledger = RunLedger(str(tmp_path), "run-a")
+    ledger.close()
+    with open(ledger.manifest_path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(
+            {"type": "point", "key": "k", "sha256": "0" * 64, "seq": 1}
+        ) + "\n")
+    with pytest.raises(ValueError, match="no intact header"):
+        RunLedger(str(tmp_path), "run-a", resume=True)
+
+
+@pytest.mark.parametrize("bad", ["", ".", "..", "a/b"])
+def test_hostile_run_ids_are_rejected(tmp_path, bad):
+    with pytest.raises(ValueError, match="invalid run id"):
+        RunLedger(str(tmp_path), bad)
+
+
+def test_results_digest_is_order_independent(tmp_path):
+    forward = RunLedger(str(tmp_path), "fwd")
+    backward = RunLedger(str(tmp_path), "bwd")
+    keys = [point_key(_fn, n) for n in range(4)]
+    for n, key in enumerate(keys):
+        forward.record(key, n)
+    for n, key in reversed(list(enumerate(keys))):
+        backward.record(key, n)
+    assert forward.results_digest == backward.results_digest
+    assert forward.digest_map() == backward.digest_map()
+    forward.close()
+    backward.close()
+
+
+def test_point_key_separates_functions_points_and_bindings():
+    assert point_key(_fn, 1) == point_key(_fn, 1)
+    assert point_key(_fn, 1) != point_key(_fn, 2)
+    narrow = functools.partial(_fn, width=8)
+    wide = functools.partial(_fn, width=16)
+    assert point_key(narrow, 1) != point_key(wide, 1)
+    assert "partial" in describe_fn(narrow)
+    assert describe_fn(_fn).endswith(":_fn")
+
+
+def test_graceful_drain_turns_sigterm_into_keyboard_interrupt():
+    previous = signal.getsignal(signal.SIGTERM)
+    stats = CacheStats()
+    with pytest.raises(KeyboardInterrupt, match="drain on signal"):
+        with graceful_drain(stats) as drain:
+            os.kill(os.getpid(), signal.SIGTERM)
+    assert drain.drained
+    assert stats.counter("checkpoint.drain") == 1
+    assert signal.getsignal(signal.SIGTERM) == previous
+
+
+def test_iter_run_ids_lists_only_real_ledgers(tmp_path):
+    RunLedger(str(tmp_path), "run-b").close()
+    RunLedger(str(tmp_path), "run-a").close()
+    os.makedirs(os.path.join(str(tmp_path), "runs", "empty-dir"))
+    assert list(iter_run_ids(str(tmp_path))) == ["run-a", "run-b"]
+    assert list(iter_run_ids(str(tmp_path / "nowhere"))) == []
